@@ -1,0 +1,54 @@
+"""Shared benchmark helpers.
+
+Every benchmark runs the paper's workload at a reduced scale (the full
+25 MB / 1 MB sizes are available via ``python -m repro.bench all``) and
+checks *shape* properties: who wins, roughly by how much, and where the
+paper's qualitative claims (PRESTOserve immunity to random writes,
+B-tree cost on creation, …) show up.  Absolute simulated seconds for
+the full-size runs are recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import build_inversion_cs, build_inversion_sp, build_nfs
+from repro.bench.workload import Benchmark, BenchmarkSizes
+
+SCALE = 0.08
+SIZES = BenchmarkSizes.scaled(SCALE)
+
+_BUILDERS = {
+    "inversion_cs": build_inversion_cs,
+    "nfs": build_nfs,
+    "inversion_sp": build_inversion_sp,
+}
+
+_cache: dict[str, dict[str, float]] = {}
+
+
+def run_scaled(config: str, **kwargs) -> dict[str, float]:
+    """Run the full scaled workload for one configuration, memoized for
+    the session (the sim is deterministic, so re-running is waste)."""
+    key = config + repr(sorted(kwargs.items()))
+    if key not in _cache:
+        built = _BUILDERS[config](**kwargs)
+        try:
+            bench = Benchmark(built.adapter, SIZES)
+            _cache[key] = bench.run_all()
+        finally:
+            built.close()
+    return _cache[key]
+
+
+@pytest.fixture
+def scaled_results():
+    return run_scaled
+
+
+def report(title: str, rows: list[tuple[str, float, float | None]]) -> None:
+    """Print measured (and paper, when available) numbers."""
+    print(f"\n{title}")
+    for label, ours, paper in rows:
+        extra = f"   [paper: {paper:g} s]" if paper is not None else ""
+        print(f"  {label:<42} {ours:10.3f} s{extra}")

@@ -1,0 +1,104 @@
+"""Three access paths to the same Inversion data.
+
+The paper predicts the trade-off of its planned NFS interface: clients
+get protocol compatibility but "no multi-operation transaction
+protection", i.e. every write is its own forced transaction — the exact
+cost profile that makes `create` slow.  This bench measures Inversion
+through (a) the in-process library, (b) the TCP client/server library,
+and (c) the NFS bridge, on the same workload.
+"""
+
+import os
+import shutil
+import tempfile
+
+from conftest import report
+
+from repro.bench.harness import build_inversion_sp
+from repro.core.filesystem import InversionFS
+from repro.core.nfs_bridge import InversionNFSBridge
+from repro.db.database import Database
+from repro.nfs.client import NFSClient, UDP_RPC_10MBIT
+from repro.sim.clock import SimClock
+from repro.sim.network import NetworkModel
+
+NBYTES = 400_000
+IO = 8064
+
+
+def _bridge_times():
+    workdir = tempfile.mkdtemp(prefix="bridge-bench-")
+    clock = SimClock()
+    db = Database.create(os.path.join(workdir, "db"), clock=clock)
+    fs = InversionFS.mkfs(db)
+    client = NFSClient(InversionNFSBridge(fs),
+                       NetworkModel(clock=clock, params=UDP_RPC_10MBIT))
+    fh = client.create("/f")
+    start = clock.now()
+    pos = 0
+    while pos < NBYTES:
+        n = min(IO, NBYTES - pos)
+        client.write(fh, pos, b"b" * n)
+        pos += n
+    write_time = clock.now() - start
+    db.flush_caches()
+    start = clock.now()
+    pos = 0
+    while pos < NBYTES:
+        n = min(IO, NBYTES - pos)
+        client.read(fh, pos, n)
+        pos += n
+    read_time = clock.now() - start
+    db.close()
+    shutil.rmtree(workdir, ignore_errors=True)
+    return write_time, read_time
+
+
+def _native_times():
+    built = build_inversion_sp()
+    try:
+        client = built.adapter.client
+        clock = built.adapter.clock
+        fd = client.p_creat("/f")
+        client.p_begin()
+        start = clock.now()
+        pos = 0
+        while pos < NBYTES:
+            n = min(IO, NBYTES - pos)
+            client.p_write(fd, b"b" * n)
+            pos += n
+        client.p_commit()
+        write_time = clock.now() - start
+        built.adapter.db.flush_caches()
+        client.p_begin()
+        client.p_lseek(fd, 0, 0, 0)
+        start = clock.now()
+        pos = 0
+        while pos < NBYTES:
+            n = min(IO, NBYTES - pos)
+            client.p_read(fd, n)
+            pos += n
+        client.p_commit()
+        read_time = clock.now() - start
+        return write_time, read_time
+    finally:
+        built.close()
+
+
+def test_nfs_bridge_vs_native_library(benchmark):
+    def run():
+        return _native_times(), _bridge_times()
+    (nat_w, nat_r), (br_w, br_r) = benchmark.pedantic(run, rounds=1,
+                                                      iterations=1)
+    report("Access paths to Inversion (400 KB in 8 KB units)",
+           [("native library, one txn: write", nat_w, None),
+            ("NFS bridge, per-op txns:  write", br_w, None),
+            ("native library: read", nat_r, None),
+            ("NFS bridge: read", br_r, None)])
+    # The paper's predicted cost of protocol compatibility: without
+    # client-controlled transactions, each NFS write commits alone, so
+    # bridge writes are much slower than one batched transaction.
+    assert br_w > nat_w * 2
+    # Reads carry only the RPC overhead — the gap must be far smaller.
+    assert br_r < br_w
+    assert br_r / nat_r < br_w / nat_w

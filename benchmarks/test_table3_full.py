@@ -1,0 +1,79 @@
+"""Table 3: all nine operations in all three configurations.
+
+The paper's headline comparisons:
+
+- single-process Inversion "is faster than either of the network
+  benchmarks in virtually all categories";
+- "the important exception is in random write time, for which ULTRIX
+  NFS using PRESTOserve is fastest";
+- user code in the file system manager yields "performance as much as
+  seven times better than that of ULTRIX NFS" (single 1 MB read:
+  2.8 s vs 0.4 s).
+"""
+
+from conftest import report, run_scaled
+
+from repro.bench.report import PAPER_TABLE3
+from repro.bench.workload import Benchmark
+
+
+def test_table3_all_configurations(benchmark, scaled_results):
+    sp = benchmark.pedantic(lambda: run_scaled("inversion_sp"),
+                            rounds=1, iterations=1)
+    cs = run_scaled("inversion_cs")
+    nfs = run_scaled("nfs")
+    rows = []
+    for op in Benchmark.ALL_OPS:
+        rows.append((f"{op} (c/s | nfs | sp)", cs[op],
+                     PAPER_TABLE3["inversion_cs"][op]))
+        rows.append((f"  …nfs", nfs[op], PAPER_TABLE3["nfs"][op]))
+        rows.append((f"  …sp", sp[op], PAPER_TABLE3["inversion_sp"][op]))
+    report("Table 3 (scaled)", rows)
+
+    # Single-process beats client/server everywhere (no wire to cross).
+    for op in Benchmark.ALL_OPS:
+        assert sp[op] <= cs[op] * 1.05, f"sp slower than cs on {op}"
+
+    # Single-process beats NFS on reads (the "seven times" direction).
+    for op in ("read_single", "read_seq_pages"):
+        assert sp[op] < nfs[op], f"sp must beat NFS on {op}"
+    # Random reads: at this reduced scale Inversion's fixed startup
+    # costs (catalog + fileatt + index root reads) are a large share of
+    # only ~19 operations; allow parity here — the full-size run shows
+    # 1.8 s vs 3.2 s in Inversion's favour (EXPERIMENTS.md).
+    assert sp["read_random_pages"] < nfs["read_random_pages"] * 1.25
+
+    # The paper's noted exception: NFS+PRESTOserve wins random writes
+    # against single-process Inversion.
+    assert nfs["write_random_pages"] < sp["write_random_pages"]
+
+
+def test_table3_single_process_read_speedup_factor(benchmark, scaled_results):
+    benchmark.pedantic(lambda: run_scaled("inversion_sp"), rounds=1, iterations=1)
+    sp = run_scaled("inversion_sp")
+    nfs = run_scaled("nfs")
+    factor = nfs["read_seq_pages"] / sp["read_seq_pages"]
+    # Paper: 2.2/0.4 = 5.5x on sequential page reads (and "as much as
+    # seven times" on the single-transfer case).  At the reduced scale
+    # fixed startup costs dilute the factor (full size: 3.6x, see
+    # EXPERIMENTS.md); the in-process path must still clearly win.
+    assert factor > 1.15, f"speedup only {factor:.2f}x"
+
+
+def test_table3_deterministic(benchmark, scaled_results):
+    benchmark.pedantic(lambda: run_scaled("nfs"), rounds=1, iterations=1)
+    """The simulation replaces the paper's mean-of-ten with exact
+    determinism: two runs give identical numbers."""
+    from conftest import SIZES, _BUILDERS
+    from repro.bench.workload import Benchmark
+
+    def once():
+        built = _BUILDERS["inversion_sp"]()
+        try:
+            bench = Benchmark(built.adapter, SIZES)
+            bench.op_create()
+            bench.op_read_seq_pages()
+            return bench.results["read_seq_pages"]
+        finally:
+            built.close()
+    assert once() == once()

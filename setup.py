@@ -1,0 +1,8 @@
+"""Legacy shim so `pip install -e .` works without the `wheel` package
+(offline environments): `pip install -e . --no-use-pep517` or plain
+`python setup.py develop` both route through here.  All real metadata
+lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

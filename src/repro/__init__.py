@@ -1,0 +1,29 @@
+"""Reproduction of the Inversion file system (Olson, USENIX 1993).
+
+Top-level convenience surface::
+
+    from repro import Database, InversionFS, InversionClient
+
+    db = Database.create("/tmp/invdb")
+    fs = InversionFS.mkfs(db)
+    client = InversionClient(fs)
+
+Packages:
+
+- :mod:`repro.sim` — simulated 1993 hardware (clock, disk, network,
+  NVRAM, CPU cost models).
+- :mod:`repro.db` — the POSTGRES-like no-overwrite database substrate.
+- :mod:`repro.devices` — the device manager switch and device managers.
+- :mod:`repro.core` — the Inversion file system itself.
+- :mod:`repro.nfs` — the ULTRIX NFS + PRESTOserve baseline.
+- :mod:`repro.bench` — the paper's benchmark harness
+  (``python -m repro.bench all``).
+"""
+
+from repro.db.database import Database
+from repro.core.filesystem import InversionFS
+from repro.core.library import InversionClient
+
+__version__ = "1.0.0"
+
+__all__ = ["Database", "InversionFS", "InversionClient", "__version__"]

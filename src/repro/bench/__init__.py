@@ -1,0 +1,54 @@
+"""Benchmark harness for the paper's evaluation section.
+
+"The benchmark consisted of the following operations: create a 25 MByte
+file; measure the latency to read or write a single byte at a random
+location in the file; read 1 MByte in a single large transfer; read
+1 MByte sequentially in page-sized units; read 1 MByte in page-sized
+units distributed at random throughout the file; repeat the 1 MByte
+transfer tests, writing instead of reading.  All caches were flushed
+before each test."
+
+Three configurations (Table 3): Inversion client/server, ULTRIX NFS
+with PRESTOserve, and single-process Inversion (the benchmark running
+inside the data manager).  Results are simulated elapsed seconds on
+the shared hardware model; the simulation is deterministic, so one run
+replaces the paper's mean-of-ten.
+
+Run ``python -m repro.bench all`` for every figure and table.
+"""
+
+from repro.bench.workload import (
+    Benchmark,
+    BenchmarkSizes,
+    InversionAdapter,
+    NfsAdapter,
+)
+from repro.bench.harness import (
+    build_inversion_cs,
+    build_inversion_sp,
+    build_nfs,
+    run_config,
+    run_all_configs,
+)
+from repro.bench.report import (
+    PAPER_TABLE3,
+    format_figure,
+    format_table3,
+    shape_ratios,
+)
+
+__all__ = [
+    "Benchmark",
+    "BenchmarkSizes",
+    "InversionAdapter",
+    "NfsAdapter",
+    "build_inversion_cs",
+    "build_inversion_sp",
+    "build_nfs",
+    "run_config",
+    "run_all_configs",
+    "PAPER_TABLE3",
+    "format_figure",
+    "format_table3",
+    "shape_ratios",
+]

@@ -1,0 +1,50 @@
+"""CLI: regenerate the paper's figures and table.
+
+Usage::
+
+    python -m repro.bench all            # everything, full size
+    python -m repro.bench fig3           # one figure
+    python -m repro.bench table3 --scale 0.2
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.harness import run_all_configs
+from repro.bench.report import FIGURES, format_figure, format_table3
+from repro.bench.workload import BenchmarkSizes
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Reproduce the Inversion paper's figures and Table 3.")
+    parser.add_argument("target",
+                        choices=["all", "table3", *FIGURES],
+                        help="which figure/table to regenerate")
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="workload scale factor (1.0 = the paper's "
+                             "25 MB file and 1 MB transfers)")
+    args = parser.parse_args(argv)
+
+    sizes = (BenchmarkSizes() if args.scale >= 1.0
+             else BenchmarkSizes.scaled(args.scale))
+    note = "" if args.scale >= 1.0 else f"scaled x{args.scale}"
+    results = run_all_configs(sizes)
+
+    if args.target in ("all", "table3"):
+        print(format_table3(results, note))
+        print()
+    if args.target == "all":
+        for fig in FIGURES:
+            print(format_figure(fig, results, note))
+            print()
+    elif args.target in FIGURES:
+        print(format_figure(args.target, results, note))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

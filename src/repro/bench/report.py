@@ -1,0 +1,129 @@
+"""Reporting: the paper's numbers next to ours.
+
+``PAPER_TABLE3`` transcribes Table 3 of the paper ("Elapsed time in
+seconds for benchmark tests in three configurations").  Figures 3–6
+are bar charts of subsets of the same nine operations, so each figure
+formatter selects its rows.
+"""
+
+from __future__ import annotations
+
+from repro.bench.workload import Benchmark
+
+# Table 3, verbatim from the paper (seconds).
+PAPER_TABLE3: dict[str, dict[str, float]] = {
+    "inversion_cs": {
+        "create": 141.5, "read_single": 3.4, "read_seq_pages": 4.8,
+        "read_random_pages": 5.5, "write_single": 4.6,
+        "write_seq_pages": 5.6, "write_random_pages": 6.0,
+        "read_byte": 0.02, "write_byte": 0.03,
+    },
+    "nfs": {
+        "create": 50.6, "read_single": 2.8, "read_seq_pages": 2.2,
+        "read_random_pages": 2.4, "write_single": 2.0,
+        "write_seq_pages": 1.7, "write_random_pages": 1.7,
+        "read_byte": 0.01, "write_byte": 0.02,
+    },
+    "inversion_sp": {
+        "create": 111.6, "read_single": 0.4, "read_seq_pages": 0.4,
+        "read_random_pages": 0.8, "write_single": 1.4,
+        "write_seq_pages": 1.4, "write_random_pages": 2.9,
+        "read_byte": 0.01, "write_byte": 0.02,
+    },
+}
+
+OP_LABELS = {
+    "create": "Create 25MByte file",
+    "read_single": "Single 1MByte read",
+    "read_seq_pages": "Page-sized sequential 1MByte read",
+    "read_random_pages": "Page-sized random 1MByte read",
+    "write_single": "Single 1MByte write",
+    "write_seq_pages": "Page-sized sequential 1MByte write",
+    "write_random_pages": "Page-sized random 1MByte write",
+    "read_byte": "Read single byte",
+    "write_byte": "Write single byte",
+}
+
+FIGURES = {
+    "fig3": ("Figure 3: 25MByte file creation times",
+             ("create",), ("inversion_cs", "nfs")),
+    "fig4": ("Figure 4: Random byte access",
+             ("read_byte", "write_byte"), ("inversion_cs", "nfs")),
+    "fig5": ("Figure 5: Read throughput",
+             ("read_single", "read_seq_pages", "read_random_pages"),
+             ("inversion_cs", "nfs")),
+    "fig6": ("Figure 6: Write throughput",
+             ("write_single", "write_seq_pages", "write_random_pages"),
+             ("inversion_cs", "nfs")),
+}
+
+CONFIG_LABELS = {
+    "inversion_cs": "Inversion client/server",
+    "nfs": "ULTRIX NFS",
+    "inversion_sp": "Inversion single process",
+}
+
+
+def shape_ratios(results: dict[str, dict[str, float]],
+                 ops: tuple[str, ...] | None = None) -> dict[str, float]:
+    """Inversion-client/server ÷ NFS elapsed-time ratios (>1 means NFS
+    is faster; the paper's "30% to 80% of the throughput" is a ratio
+    of 1.25–3.3 here)."""
+    ops = ops or tuple(Benchmark.ALL_OPS)
+    out = {}
+    for op in ops:
+        nfs = results["nfs"].get(op)
+        inv = results["inversion_cs"].get(op)
+        if nfs and inv:
+            out[op] = inv / nfs
+    return out
+
+
+def format_figure(fig: str, results: dict[str, dict[str, float]],
+                  scale_note: str = "") -> str:
+    """Render one figure's data as text bars with the paper's numbers."""
+    title, ops, configs = FIGURES[fig]
+    lines = [title + (f"   [{scale_note}]" if scale_note else ""), "=" * len(title)]
+    width = 40
+    longest = max((results[c][op] for c in configs for op in ops
+                   if op in results.get(c, {})), default=1.0)
+    for op in ops:
+        lines.append(f"\n{OP_LABELS[op]}:")
+        for config in configs:
+            ours = results.get(config, {}).get(op)
+            paper = PAPER_TABLE3[config].get(op)
+            if ours is None:
+                continue
+            bar = "#" * max(1, int(width * ours / longest)) if longest else ""
+            lines.append(f"  {CONFIG_LABELS[config]:<26} {ours:9.3f} s  {bar}")
+            lines.append(f"  {'  (paper)':<26} {paper:9.3f} s")
+    ratios = shape_ratios(results, ops)
+    if ratios:
+        lines.append("\nInversion(c/s) / NFS elapsed-time ratios "
+                     "(paper ratio in brackets):")
+        for op, ratio in ratios.items():
+            paper_ratio = (PAPER_TABLE3["inversion_cs"][op]
+                           / PAPER_TABLE3["nfs"][op])
+            lines.append(f"  {OP_LABELS[op]:<38} {ratio:5.2f}  [{paper_ratio:5.2f}]")
+    return "\n".join(lines)
+
+
+def format_table3(results: dict[str, dict[str, float]],
+                  scale_note: str = "") -> str:
+    """Render the full Table 3 comparison."""
+    header = ("Table 3: Elapsed time in seconds for benchmark tests in "
+              "three configurations")
+    if scale_note:
+        header += f"   [{scale_note}]"
+    lines = [header, "=" * 78]
+    cols = ("inversion_cs", "nfs", "inversion_sp")
+    lines.append(f"{'Operation':<38}" + "".join(
+        f"{CONFIG_LABELS[c].split()[-1][:10]:>13}" for c in cols))
+    for op in Benchmark.ALL_OPS:
+        ours = "".join(
+            f"{results.get(c, {}).get(op, float('nan')):>13.3f}" for c in cols)
+        paper = "".join(
+            f"{PAPER_TABLE3[c].get(op, float('nan')):>13.3f}" for c in cols)
+        lines.append(f"{OP_LABELS[op]:<38}{ours}")
+        lines.append(f"{'  (paper)':<38}{paper}")
+    return "\n".join(lines)

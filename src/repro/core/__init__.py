@@ -1,0 +1,50 @@
+"""The Inversion file system — the paper's primary contribution.
+
+Public surface:
+
+- :class:`InversionFS` — mount/mkfs, transactions, files, directories,
+  time travel, queries.
+- :class:`InversionClient` — the Figure 2 client library
+  (``p_open``/``p_read``/``p_write``/``p_lseek``/``p_begin``/…).
+- :class:`RemoteInversionClient` / :class:`InversionServer` — the
+  client/server configuration over the simulated network.
+- :mod:`repro.core.filetypes` / :mod:`repro.core.functions` — typed
+  files and the Table 2 file-type functions.
+- :mod:`repro.core.compression` — random access into compressed files.
+- :mod:`repro.core.migration` — rule-driven file migration between
+  devices.
+- :mod:`repro.core.blobs` — the POSTGRES "large object" face of the
+  same storage.
+"""
+
+from repro.core.constants import (
+    CHUNK_SIZE,
+    MAX_FILE_SIZE,
+    O_CREAT,
+    O_RDONLY,
+    O_RDWR,
+    O_WRONLY,
+    SEEK_CUR,
+    SEEK_END,
+    SEEK_SET,
+)
+from repro.core.filesystem import InversionFS
+from repro.core.library import InversionClient
+from repro.core.server import InversionServer
+from repro.core.client import RemoteInversionClient
+
+__all__ = [
+    "InversionFS",
+    "InversionClient",
+    "InversionServer",
+    "RemoteInversionClient",
+    "CHUNK_SIZE",
+    "MAX_FILE_SIZE",
+    "O_CREAT",
+    "O_RDONLY",
+    "O_RDWR",
+    "O_WRONLY",
+    "SEEK_SET",
+    "SEEK_CUR",
+    "SEEK_END",
+]

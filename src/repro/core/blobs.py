@@ -1,0 +1,94 @@
+"""POSTGRES large objects (BLOBs) over Inversion storage.
+
+"POSTGRES supports large object storage by creating Inversion files to
+store object data.  All of the services available to Inversion users
+are also available to users of BLOBs…  The integration of large
+database objects with Inversion means that two different clients can
+share data that they use in different ways.  The same Inversion file
+can be used by a database application and by a file system client
+simultaneously."
+
+A large object is an Inversion file *without a naming entry*: it is
+addressed by object identifier.  :meth:`LargeObjectManager.expose_path`
+adds a naming entry for an existing object — after which the same bytes
+are reachable through ``p_open`` and through ``lo_read`` — and
+:meth:`from_path` wraps an existing file as a large object handle.
+"""
+
+from __future__ import annotations
+
+from repro.core.constants import O_RDONLY, O_RDWR
+from repro.core.chunks import ChunkStore
+from repro.core.naming import basename_dirname
+from repro.db.transactions import Transaction
+from repro.errors import FileNotFoundError_
+
+
+class LargeObjectManager:
+    """lo_* entry points, in the PostgreSQL tradition that Inversion
+    started."""
+
+    def __init__(self, fs) -> None:
+        self.fs = fs
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def lo_creat(self, tx: Transaction, owner: str = "root",
+                 device: str | None = None) -> int:
+        """Create an anonymous large object; returns its oid."""
+        fileid = self.fs.db.catalog.allocate_oid()
+        self.fs.fileatt.create(tx, fileid, owner, "large_object")
+        ChunkStore.create_table(self.fs.db, tx, fileid, device)
+        return fileid
+
+    def lo_unlink(self, tx: Transaction, oid: int) -> None:
+        """Drop the object's attribute row (history remains)."""
+        self.fs.fileatt.remove(tx, oid)
+
+    # -- I/O ------------------------------------------------------------------
+
+    def lo_open(self, oid: int, mode: int = O_RDONLY,
+                tx: Transaction | None = None,
+                timestamp: float | None = None):
+        return self.fs.open_by_id(oid, mode, tx=tx, timestamp=timestamp)
+
+    def lo_write(self, tx: Transaction, oid: int, offset: int,
+                 data: bytes) -> int:
+        with self.lo_open(oid, O_RDWR, tx=tx) as handle:
+            handle.seek(offset)
+            return handle.write(data)
+
+    def lo_read(self, oid: int, offset: int, nbytes: int,
+                tx: Transaction | None = None,
+                timestamp: float | None = None) -> bytes:
+        handle = self.lo_open(oid, O_RDONLY, tx=tx, timestamp=timestamp)
+        try:
+            handle.seek(offset)
+            return handle.read(nbytes)
+        finally:
+            handle.close()
+
+    def lo_size(self, oid: int, tx: Transaction | None = None,
+                timestamp: float | None = None) -> int:
+        snapshot = self.fs._snap(tx, timestamp)
+        return self.fs.fileatt.get(oid, snapshot, tx).size
+
+    # -- dual access ----------------------------------------------------------------
+
+    def expose_path(self, tx: Transaction, oid: int, path: str) -> None:
+        """Give an anonymous object a pathname, making it reachable
+        through the file system interface as well."""
+        snapshot = self.fs.db.snapshot(tx)
+        self.fs.fileatt.get(oid, snapshot, tx)  # must exist
+        dirpath, name = basename_dirname(path)
+        parentid = self.fs.namespace.resolve(dirpath, snapshot, tx)
+        self.fs.namespace.add_entry(tx, parentid, name, oid)
+
+    def from_path(self, path: str, tx: Transaction | None = None) -> int:
+        """The large-object oid behind an existing file (the reverse
+        direction: a file system client's file used as a BLOB)."""
+        snapshot = self.fs._snap(tx)
+        fileid = self.fs.namespace.try_resolve(path, snapshot, tx)
+        if fileid is None:
+            raise FileNotFoundError_(f"no such file: {path!r}")
+        return fileid

@@ -1,0 +1,140 @@
+"""Remote client: the "special library" linked by network applications.
+
+"Client/server communication was via TCP/IP over a 10 Mbit/sec
+Ethernet" and the paper's evaluation concludes that this protocol "is
+much too heavy-weight": each 1 MB test pays 3–5 seconds of remote
+overhead.  :class:`RemoteInversionClient` reproduces that cost
+structure: every ``p_*`` call is one synchronous request/response
+exchange through a :class:`~repro.sim.network.NetworkModel`, with
+payload sizes derived from the arguments (so big reads ship big
+responses, and page-sized loops pay per-message overhead 128 times per
+megabyte).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.server import InversionServer
+from repro.sim.network import NetworkModel
+
+_REQ_BASE = 64    # RPC header + method + fixed args
+_RESP_BASE = 32   # status + fixed return
+
+
+def _arg_bytes(args: tuple, kwargs: dict) -> int:
+    total = 0
+    for value in list(args) + list(kwargs.values()):
+        if isinstance(value, (bytes, bytearray)):
+            total += len(value)
+        elif isinstance(value, str):
+            total += len(value)
+        else:
+            total += 8
+    return total
+
+
+def _result_bytes(result: object) -> int:
+    if isinstance(result, (bytes, bytearray)):
+        return len(result)
+    if isinstance(result, str):
+        return len(result)
+    if isinstance(result, (list, tuple)):
+        return sum(_result_bytes(v) for v in result)
+    return 8
+
+
+@dataclass
+class RemoteInversionClient:
+    """The p_* API, executed over the simulated network.
+
+    ``write_behind`` models the library's streaming of consecutive
+    ``p_write`` calls: while the server chews on one write, the next
+    request is already on the wire, so a sustained write sequence costs
+    ``max(network, server)`` per call instead of their sum.  Reads stay
+    fully synchronous — the client needs each reply before it can
+    continue, which is exactly the heavyweight behaviour the paper
+    complains about.
+    """
+
+    server: InversionServer
+    network: NetworkModel
+    write_behind: bool = True
+
+    def __post_init__(self) -> None:
+        self._session = self.server.connect()
+        self._last_was_write = False
+
+    def close(self) -> None:
+        self.server.disconnect(self._session)
+
+    def _call(self, method: str, *args, **kwargs):
+        request = _REQ_BASE + _arg_bytes(args, kwargs)
+        pipelined = (self.write_behind and method == "p_write"
+                     and self._last_was_write)
+        self._last_was_write = method in ("p_write", "p_lseek")
+        if not pipelined:
+            # The request travels, the server works, the response returns.
+            self.network.send(request)
+            result = self.server.dispatch(self._session, method, *args, **kwargs)
+            self.network.send(_RESP_BASE + _result_bytes(result))
+            return result
+        response = _RESP_BASE + 8
+        net_cost = self.network.cost_round_trip(request, response)
+        before = self.network.clock.now()
+        result = self.server.dispatch(self._session, method, *args, **kwargs)
+        server_elapsed = self.network.clock.now() - before
+        self.network.charge_seconds(max(0.0, net_cost - server_elapsed),
+                                    messages=2, payload=request + response)
+        return result
+
+    # -- the client API, one forwarding stub per call --------------------
+
+    def p_begin(self):
+        return self._call("p_begin")
+
+    def p_commit(self):
+        return self._call("p_commit")
+
+    def p_abort(self):
+        return self._call("p_abort")
+
+    def p_creat(self, path, mode=2, device=None, owner="root", ftype="plain"):
+        return self._call("p_creat", path, mode, device=device, owner=owner,
+                          ftype=ftype)
+
+    def p_open(self, fname, mode=0, timestamp=None):
+        return self._call("p_open", fname, mode, timestamp)
+
+    def p_close(self, fd):
+        return self._call("p_close", fd)
+
+    def p_read(self, fd, length):
+        return self._call("p_read", fd, length)
+
+    def p_write(self, fd, buf):
+        return self._call("p_write", fd, buf)
+
+    def p_lseek(self, fd, offset_high, offset_low, whence=0):
+        return self._call("p_lseek", fd, offset_high, offset_low, whence)
+
+    def p_mkdir(self, path, owner="root"):
+        return self._call("p_mkdir", path, owner=owner)
+
+    def p_unlink(self, path):
+        return self._call("p_unlink", path)
+
+    def p_rmdir(self, path):
+        return self._call("p_rmdir", path)
+
+    def p_rename(self, old, new):
+        return self._call("p_rename", old, new)
+
+    def p_stat(self, path, timestamp=None):
+        return self._call("p_stat", path, timestamp)
+
+    def p_readdir(self, path, timestamp=None):
+        return self._call("p_readdir", path, timestamp)
+
+    def p_query(self, text):
+        return self._call("p_query", text)

@@ -1,0 +1,48 @@
+"""Inversion constants.
+
+"File data are collected into chunks slightly smaller than 8 KBytes.
+The size of the chunk is calculated so that a single record will fit
+exactly on a POSTGRES data manager page."
+
+A chunk record carries: record header (16 B) + chunkno int4 (4 B) +
+selfid int8 (8 B — the reserved self-identification field) + bytea
+length prefix (4 B) + the chunk itself, and must fit in
+``PAGE_SIZE − page header (12 B) − one slot (4 B)``.  CHUNK_SIZE is
+rounded to 8 064 so exactly one full chunk occupies one page.
+"""
+
+from __future__ import annotations
+
+CHUNK_SIZE = 8064
+"""Payload bytes per chunk — "slightly smaller than 8 KBytes"."""
+
+MAX_CHUNKNO = 2 ** 31 - 1
+"""Chunk numbers are int4."""
+
+MAX_FILE_SIZE = CHUNK_SIZE * (MAX_CHUNKNO + 1)
+"""≈17.3 TB here (the paper quotes 17.6 TB with full 8 KB pages —
+"Inversion files can be 17.6 TBytes in length")."""
+
+ROOT_PARENT = 0
+"""parentid of the root directory's naming entry (Table 1)."""
+
+TYPE_DIRECTORY = "directory"
+TYPE_PLAIN = "plain"
+
+# Open modes (Figure 2's `mode` "encodes the device on which the file
+# should reside at creation time" — the device rides along separately
+# in our API; these are the access bits).
+O_RDONLY = 0
+O_WRONLY = 1
+O_RDWR = 2
+O_CREAT = 0x40
+
+#: handle-level write-coalescing: dirty chunks buffered per open file
+#: before being pushed into the table ("multiple small sequential
+#: writes during a single transaction are coalesced").
+COALESCE_CHUNK_LIMIT = 64
+
+#: seek whence values (match os.SEEK_*)
+SEEK_SET = 0
+SEEK_CUR = 1
+SEEK_END = 2

@@ -1,0 +1,119 @@
+"""File attribute management: the ``fileatt`` table.
+
+"Inversion must manage additional metadata for every file…  These
+attributes are stored in the table ``fileatt(file = object_id, owner =
+owner_id, type = type_id, size = longlong, ctime = time, mtime = time,
+atime = time)``… A simple two-way table join of naming and fileatt can
+construct all the metadata for a given Inversion file."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.db.heap import TID
+from repro.db.snapshot import Snapshot
+from repro.db.transactions import Transaction
+from repro.db.tuples import Column, Schema
+from repro.errors import FileNotFoundError_
+
+FILEATT_TABLE = "fileatt"
+FILEATT_SCHEMA = Schema([
+    Column("file", "oid"),
+    Column("owner", "text"),
+    Column("type", "text"),
+    Column("size", "int8"),
+    Column("ctime", "time"),
+    Column("mtime", "time"),
+    Column("atime", "time"),
+])
+FILEATT_INDEXES = (("file",),)
+
+
+@dataclass(frozen=True)
+class FileAtt:
+    """One file's attributes — the stat(2) of Inversion."""
+
+    file: int
+    owner: str
+    type: str
+    size: int
+    ctime: float
+    mtime: float
+    atime: float
+
+    @classmethod
+    def from_row(cls, row: tuple) -> "FileAtt":
+        return cls(*row)
+
+    def to_row(self) -> tuple:
+        return (self.file, self.owner, self.type, self.size,
+                self.ctime, self.mtime, self.atime)
+
+
+class FileAttributes:
+    """Operations on the fileatt table."""
+
+    def __init__(self, db) -> None:
+        self.db = db
+
+    @classmethod
+    def bootstrap(cls, db, tx: Transaction) -> "FileAttributes":
+        db.create_table(tx, FILEATT_TABLE, FILEATT_SCHEMA,
+                        indexes=FILEATT_INDEXES)
+        return cls(db)
+
+    def _table(self, tx: Transaction | None):
+        return self.db.table(FILEATT_TABLE, tx)
+
+    # -- access -------------------------------------------------------------
+
+    def get_entry(self, fileid: int, snapshot: Snapshot,
+                  tx: Transaction | None = None) -> tuple[TID, FileAtt] | None:
+        for tid, row in self._table(tx).index_eq(("file",), (fileid,),
+                                                 snapshot, tx):
+            return tid, FileAtt.from_row(row)
+        return None
+
+    def get(self, fileid: int, snapshot: Snapshot,
+            tx: Transaction | None = None) -> FileAtt:
+        entry = self.get_entry(fileid, snapshot, tx)
+        if entry is None:
+            raise FileNotFoundError_(f"no attributes for file {fileid}")
+        return entry[1]
+
+    # -- mutation --------------------------------------------------------------
+
+    def create(self, tx: Transaction, fileid: int, owner: str,
+               ftype: str) -> FileAtt:
+        now = self.db.clock.now()
+        att = FileAtt(fileid, owner, ftype, 0, now, now, now)
+        self._table(tx).insert(tx, att.to_row(), lock_key=fileid)
+        return att
+
+    def remove(self, tx: Transaction, fileid: int) -> None:
+        snapshot = self.db.snapshot(tx)
+        entry = self.get_entry(fileid, snapshot, tx)
+        if entry is None:
+            raise FileNotFoundError_(f"no attributes for file {fileid}")
+        self._table(tx).delete(tx, entry[0], lock_key=fileid)
+
+    def update(self, tx: Transaction, fileid: int, *, size: int | None = None,
+               owner: str | None = None, ftype: str | None = None,
+               mtime: float | None = None, atime: float | None = None) -> FileAtt:
+        snapshot = self.db.snapshot(tx)
+        entry = self.get_entry(fileid, snapshot, tx)
+        if entry is None:
+            raise FileNotFoundError_(f"no attributes for file {fileid}")
+        tid, att = entry
+        new = FileAtt(
+            file=att.file,
+            owner=owner if owner is not None else att.owner,
+            type=ftype if ftype is not None else att.type,
+            size=size if size is not None else att.size,
+            ctime=att.ctime,
+            mtime=mtime if mtime is not None else att.mtime,
+            atime=atime if atime is not None else att.atime,
+        )
+        self._table(tx).update(tx, tid, new.to_row(), lock_key=fileid)
+        return new

@@ -1,0 +1,193 @@
+"""Open-file handles: byte-stream access over chunked storage.
+
+"The Inversion file system provides a set of interface routines to
+create, open, close, read, write, and seek on files.  Byte-oriented
+operations are turned into operations on chunks by calculating the
+chunk numbers of the affected chunks."
+
+A handle opened with a ``timestamp`` is historical: it reads the file
+exactly as it was at that moment and may not be written ("Historical
+files may not be opened for writing").
+"""
+
+from __future__ import annotations
+
+from repro.core.chunks import ChunkStore
+from repro.core.constants import (
+    CHUNK_SIZE,
+    MAX_FILE_SIZE,
+    SEEK_CUR,
+    SEEK_END,
+    SEEK_SET,
+)
+from repro.db.snapshot import Snapshot
+from repro.db.transactions import Transaction
+from repro.errors import (
+    BadFileDescriptorError,
+    FileTooLargeError,
+    ReadOnlyFileError,
+)
+
+
+class FileHandle:
+    """One open Inversion file."""
+
+    def __init__(self, fs, fileid: int, tx: Transaction | None,
+                 snapshot: Snapshot, writable: bool, size: int,
+                 historical: bool = False) -> None:
+        self.fs = fs
+        self.fileid = fileid
+        self.tx = tx
+        self.snapshot = snapshot
+        self.writable = writable and not historical
+        self.historical = historical
+        self._size = size
+        self._pos = 0
+        self._open = True
+        self._wrote = False
+        #: when True, flush() pushes chunks but leaves the fileatt
+        #: size/mtime update to the caller (the client library batches
+        #: attribute maintenance across its per-call transactions;
+        #: see InversionClient._with_handle).
+        self.defer_att = False
+        self.att_dirty = False
+        #: True once flush() actually wrote fileatt — lets the library
+        #: know a pending size marker has been made durable.
+        self.att_flushed = False
+        self._atime_stamped = False
+        self.store = ChunkStore(fs.db, fileid, tx)
+
+    # -- state ------------------------------------------------------------
+
+    def _require_open(self) -> None:
+        if not self._open:
+            raise BadFileDescriptorError(f"file {self.fileid} handle is closed")
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    def tell(self) -> int:
+        return self._pos
+
+    # -- seek ---------------------------------------------------------------
+
+    def seek(self, offset: int, whence: int = SEEK_SET) -> int:
+        """Position the handle.  64-bit offsets are the point of the
+        paper's widened ``p_lseek`` ("the extra parameter … allows the
+        user to specify a wider range of byte positions")."""
+        self._require_open()
+        if whence == SEEK_SET:
+            new = offset
+        elif whence == SEEK_CUR:
+            new = self._pos + offset
+        elif whence == SEEK_END:
+            new = self._size + offset
+        else:
+            raise ValueError(f"bad whence {whence}")
+        if new < 0:
+            raise ValueError("negative seek position")
+        if new > MAX_FILE_SIZE:
+            raise FileTooLargeError(f"seek past the {MAX_FILE_SIZE}-byte limit")
+        self._pos = new
+        return new
+
+    # -- read -------------------------------------------------------------------
+
+    def read(self, nbytes: int = -1) -> bytes:
+        """Read up to ``nbytes`` from the current position (−1 = to EOF)."""
+        self._require_open()
+        if (self.fs.track_atime and self.tx is not None
+                and not self.historical and not self._atime_stamped):
+            self.fs.fileatt.update(self.tx, self.fileid,
+                                   atime=self.fs.db.clock.now())
+            self._atime_stamped = True
+        if nbytes < 0:
+            nbytes = max(0, self._size - self._pos)
+        nbytes = min(nbytes, max(0, self._size - self._pos))
+        out = bytearray()
+        remaining = nbytes
+        while remaining > 0:
+            chunkno = self._pos // CHUNK_SIZE
+            offset = self._pos % CHUNK_SIZE
+            take = min(CHUNK_SIZE - offset, remaining)
+            chunk = self.store.read_chunk(chunkno, self.snapshot, self.tx)
+            piece = chunk[offset:offset + take]
+            if len(piece) < take:
+                piece = piece + bytes(take - len(piece))  # hole → zeros
+            out += piece
+            self._pos += take
+            remaining -= take
+        return bytes(out)
+
+    # -- write -------------------------------------------------------------------
+
+    def write(self, data: bytes) -> int:
+        """Write at the current position, read-modify-writing partial
+        chunks.  Returns the byte count written."""
+        self._require_open()
+        if not self.writable:
+            raise ReadOnlyFileError(
+                "historical/read-only handles may not be written")
+        if self.tx is None:
+            raise ReadOnlyFileError("writes require an active transaction")
+        if self._pos + len(data) > MAX_FILE_SIZE:
+            raise FileTooLargeError(
+                f"write would exceed the {MAX_FILE_SIZE}-byte limit")
+        view = memoryview(data)
+        while view.nbytes > 0:
+            chunkno = self._pos // CHUNK_SIZE
+            offset = self._pos % CHUNK_SIZE
+            take = min(CHUNK_SIZE - offset, view.nbytes)
+            piece = bytes(view[:take])
+            if offset == 0 and take == CHUNK_SIZE:
+                chunk = piece
+            else:
+                existing = self.store.read_chunk(chunkno, self.snapshot, self.tx)
+                if len(existing) < offset:
+                    existing = existing + bytes(offset - len(existing))
+                chunk = existing[:offset] + piece + existing[offset + take:]
+            self.store.write_chunk(self.tx, chunkno, chunk)
+            self._pos += take
+            view = view[take:]
+        self._size = max(self._size, self._pos)
+        self._wrote = True
+        return len(data)
+
+    # -- flush / close --------------------------------------------------------------
+
+    def flush(self) -> None:
+        """Push coalesced chunks into the table and refresh the file's
+        size/mtime attributes (unless attribute maintenance is
+        deferred, in which case ``att_dirty`` tells the owner to
+        reconcile later)."""
+        self._require_open()
+        if not self._wrote:
+            return
+        self.store.flush(self.tx)
+        if self.defer_att:
+            self.att_dirty = True
+        else:
+            self.fs.fileatt.update(self.tx, self.fileid, size=self._size,
+                                   mtime=self.fs.db.clock.now())
+            self.att_flushed = True
+        self._wrote = False
+
+    def close(self) -> None:
+        if not self._open:
+            return
+        if self._wrote:
+            self.flush()
+        self._open = False
+        self.fs._forget_handle(self)
+
+    def __enter__(self) -> "FileHandle":
+        return self
+
+    def __exit__(self, exc_type, *exc: object) -> None:
+        if exc_type is None:
+            self.close()
+        else:
+            self.store.discard()
+            self._open = False
+            self.fs._forget_handle(self)

@@ -1,0 +1,247 @@
+"""The Table 2 file-type functions, and synthetic data to feed them.
+
+The paper's installation stores "documentation, Hierarchical Data
+Format files, and images from different kinds of satellites … as
+different file types", with functions per type:
+
+=====================  ==================================================
+file type              defined functions
+=====================  ==================================================
+ASCII document         linecount
+troff document         keywords, wordcount, linecount, fonts, sizes
+CZCS image             pixelavg, pixelcount, getpixel
+AVHRR image            snow, pixelcount, pixelavg, getpixel, getband
+=====================  ==================================================
+
+We add the Thematic Mapper ("tm") type for the paper's snow query
+("Inversion currently stores several hundred satellite images from the
+Thematic Mapper satellite, a device which records five spectral bands
+for each image.  A function has been written to find snow in these
+images.").
+
+Real TM/AVHRR/CZCS data is proprietary-era tape archive material we
+cannot ship, so :func:`make_satellite_image` synthesizes images in a
+simple self-describing band-major format with a controllable snow
+fraction — exercising exactly the same code paths (typed storage,
+content functions, snow/size predicates) as the originals.
+"""
+
+from __future__ import annotations
+
+import random
+import re
+import struct
+
+from repro.db.transactions import Transaction
+from repro.errors import FileTypeError
+
+SAT_MAGIC = b"SAT1"
+_SAT_HEADER = "<4sBHH"  # magic, nbands, width, height
+SAT_HEADER_SIZE = struct.calcsize(_SAT_HEADER)
+
+#: classification thresholds for :func:`snow` — bright in the visible
+#: band, dark (cold) in the last (thermal) band.
+SNOW_VISIBLE_MIN = 200
+SNOW_THERMAL_MAX = 80
+
+
+# ---------------------------------------------------------------------------
+# document functions
+# ---------------------------------------------------------------------------
+
+
+def linecount(data: bytes) -> int:
+    """Number of lines in a text document."""
+    return data.count(b"\n")
+
+
+def wordcount(data: bytes) -> int:
+    return len(data.split())
+
+
+def keywords(data: bytes) -> str:
+    """Keywords of a troff document: the arguments of ``.KW`` macros,
+    returned space-joined (so POSTQUEL's ``"RISC" in keywords(file)``
+    is a membership test)."""
+    words = []
+    for line in data.decode("utf-8", errors="replace").splitlines():
+        if line.startswith(".KW"):
+            words.extend(line.split()[1:])
+    return " ".join(words)
+
+
+def fonts(data: bytes) -> str:
+    """Fonts requested by a troff document (``.ft X`` and ``\\fX``)."""
+    text = data.decode("utf-8", errors="replace")
+    found = set(re.findall(r"^\.ft\s+(\w+)", text, flags=re.MULTILINE))
+    found.update(re.findall(r"\\f(\w)", text))
+    return " ".join(sorted(found))
+
+
+def sizes(data: bytes) -> str:
+    """Point sizes requested by a troff document (``.ps N``)."""
+    text = data.decode("utf-8", errors="replace")
+    found = sorted({int(m) for m in
+                    re.findall(r"^\.ps\s+(\d+)", text, flags=re.MULTILINE)})
+    return " ".join(str(s) for s in found)
+
+
+# ---------------------------------------------------------------------------
+# satellite image functions
+# ---------------------------------------------------------------------------
+
+
+def _parse_header(data: bytes) -> tuple[int, int, int]:
+    if len(data) < SAT_HEADER_SIZE:
+        raise FileTypeError("truncated satellite image")
+    magic, nbands, width, height = struct.unpack_from(_SAT_HEADER, data, 0)
+    if magic != SAT_MAGIC:
+        raise FileTypeError("not a satellite image (bad magic)")
+    expected = SAT_HEADER_SIZE + nbands * width * height
+    if len(data) < expected:
+        raise FileTypeError(
+            f"satellite image truncated: {len(data)} < {expected}")
+    return nbands, width, height
+
+
+def pixelcount(data: bytes) -> int:
+    """Total pixels in the image."""
+    _nbands, width, height = _parse_header(data)
+    return width * height
+
+
+def getband(data: bytes, band: int) -> bytes:
+    """One spectral band's raster."""
+    nbands, width, height = _parse_header(data)
+    if not (0 <= band < nbands):
+        raise FileTypeError(f"band {band} out of range (nbands={nbands})")
+    npix = width * height
+    start = SAT_HEADER_SIZE + band * npix
+    return data[start:start + npix]
+
+
+def pixelavg(data: bytes, band: int = 0) -> float:
+    """Mean pixel value of one band."""
+    raster = getband(data, band)
+    return sum(raster) / len(raster) if raster else 0.0
+
+
+def getpixel(data: bytes, x: int, y: int) -> int:
+    """Band-0 value at (x, y)."""
+    _nbands, width, height = _parse_header(data)
+    if not (0 <= x < width and 0 <= y < height):
+        raise FileTypeError(f"pixel ({x},{y}) outside {width}x{height}")
+    return data[SAT_HEADER_SIZE + y * width + x]
+
+
+def snow(data: bytes) -> int:
+    """Paper: "the snow function returns a count of the number of
+    pixels that contain snow in the image" — bright in the first
+    (visible) band and dark in the last (thermal) band.  Single-band
+    images classify on brightness alone."""
+    nbands, _width, _height = _parse_header(data)
+    visible = getband(data, 0)
+    if nbands == 1:
+        return sum(1 for v in visible if v >= SNOW_VISIBLE_MIN)
+    thermal = getband(data, nbands - 1)
+    return sum(1 for v, t in zip(visible, thermal)
+               if v >= SNOW_VISIBLE_MIN and t <= SNOW_THERMAL_MAX)
+
+
+# ---------------------------------------------------------------------------
+# synthetic data generators
+# ---------------------------------------------------------------------------
+
+
+def make_satellite_image(width: int = 64, height: int = 64, nbands: int = 5,
+                         snow_fraction: float = 0.0,
+                         seed: int = 0) -> bytes:
+    """A synthetic multi-band image with ~``snow_fraction`` of its
+    pixels classified as snow by :func:`snow`."""
+    rng = random.Random(seed)
+    npix = width * height
+    snowy = [rng.random() < snow_fraction for _ in range(npix)]
+    bands = []
+    for band in range(nbands):
+        raster = bytearray(npix)
+        for i in range(npix):
+            if snowy[i]:
+                if band == 0:
+                    raster[i] = rng.randint(SNOW_VISIBLE_MIN, 255)
+                elif band == nbands - 1:
+                    raster[i] = rng.randint(0, SNOW_THERMAL_MAX)
+                else:
+                    raster[i] = rng.randint(0, 255)
+            else:
+                if band == 0:
+                    raster[i] = rng.randint(0, SNOW_VISIBLE_MIN - 1)
+                elif band == nbands - 1:
+                    raster[i] = rng.randint(SNOW_THERMAL_MAX + 1, 255)
+                else:
+                    raster[i] = rng.randint(0, 255)
+        bands.append(bytes(raster))
+    header = struct.pack(_SAT_HEADER, SAT_MAGIC, nbands, width, height)
+    return header + b"".join(bands)
+
+
+def make_troff_document(title: str, kws: list[str], paragraphs: int = 5,
+                        seed: int = 0) -> bytes:
+    """A synthetic troff document carrying ``.KW`` keyword macros."""
+    rng = random.Random(seed)
+    lines = [f".TL\n{title}", ".KW " + " ".join(kws), ".ft R", ".ps 10"]
+    vocab = ["storage", "system", "database", "transaction", "index",
+             "recovery", "optical", "jukebox", "benchmark", "snapshot"]
+    for _ in range(paragraphs):
+        lines.append(".PP")
+        lines.append(" ".join(rng.choice(vocab) for _ in range(40)))
+    return ("\n".join(lines) + "\n").encode("utf-8")
+
+
+def make_ascii_document(nlines: int = 100, seed: int = 0) -> bytes:
+    rng = random.Random(seed)
+    return b"".join(b"line %d: %d\n" % (i, rng.randint(0, 10 ** 6))
+                    for i in range(nlines))
+
+
+# ---------------------------------------------------------------------------
+# registration (Table 2)
+# ---------------------------------------------------------------------------
+
+STANDARD_TYPES = {
+    "ascii_document": "plain ASCII text",
+    "troff_document": "troff/nroff source",
+    "czcs_image": "Coastal Zone Color Scanner satellite image",
+    "avhrr_image": "Advanced Very High Resolution Radiometer satellite image",
+    "tm_image": "Thematic Mapper satellite image (5 spectral bands)",
+}
+
+_IMAGE_TYPES = ("czcs_image", "avhrr_image", "tm_image")
+
+
+def register_standard_types(fs, tx: Transaction) -> None:
+    """Define the Table 2 file types and their functions on a mount."""
+    from repro.core.filetypes import FileTypeManager
+    ftm = FileTypeManager(fs)
+    for name, description in STANDARD_TYPES.items():
+        ftm.define_file_type(tx, name, description)
+    doc_types = ("ascii_document", "troff_document")
+    ftm.register_content_function(tx, "linecount", linecount, "int8", doc_types)
+    ftm.register_content_function(tx, "wordcount", wordcount, "int8",
+                                  ("troff_document",))
+    ftm.register_content_function(tx, "keywords", keywords, "text",
+                                  ("troff_document",))
+    ftm.register_content_function(tx, "fonts", fonts, "text",
+                                  ("troff_document",))
+    ftm.register_content_function(tx, "sizes", sizes, "text",
+                                  ("troff_document",))
+    ftm.register_content_function(tx, "pixelcount", pixelcount, "int8",
+                                  _IMAGE_TYPES)
+    ftm.register_content_function(tx, "pixelavg", pixelavg, "float8",
+                                  _IMAGE_TYPES, extra_argtypes=("int4",))
+    ftm.register_content_function(tx, "getpixel", getpixel, "int4",
+                                  _IMAGE_TYPES, extra_argtypes=("int4", "int4"))
+    ftm.register_content_function(tx, "getband", getband, "bytea",
+                                  ("avhrr_image", "tm_image"),
+                                  extra_argtypes=("int4",))
+    ftm.register_content_function(tx, "snow", snow, "int8",
+                                  ("avhrr_image", "tm_image"))

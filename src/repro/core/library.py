@@ -1,0 +1,262 @@
+"""The Inversion client library (Figure 2).
+
+"User files stored in Inversion may be opened, read, and written using
+calls modeled on those supported for ordinary UNIX files.  The current
+implementation requires programmers to link a special library" — this
+module is that library::
+
+    int p_creat(char *path, int mode)
+    int p_open(char *fname, int mode, int timestamp)
+    int p_close(int fd)
+    int p_read(int fd, char *buf, int len)
+    int p_write(int fd, char *buf, int len)
+    int p_lseek(int fd, long offset_high, long offset_low, int whence)
+
+plus ``p_begin()``, ``p_commit()``, ``p_abort()``.  "Neither POSTGRES
+nor Inversion supports nested transactions, so a single application
+program may only have one transaction active at any time."  Calls made
+outside an explicit transaction auto-commit, one transaction per call —
+exactly the behaviour whose cost Figure 3 exposes for file creation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.constants import O_CREAT, O_RDONLY, O_RDWR, SEEK_SET
+from repro.core.filesystem import InversionFS
+from repro.errors import BadFileDescriptorError, TransactionError
+
+
+@dataclass
+class _Descriptor:
+    fileid: int
+    path: str
+    mode: int
+    pos: int = 0
+    timestamp: float | None = None
+    handle: object = None  # live FileHandle while a transaction is open
+    device: str | None = None
+    #: largest size produced by auto-commit writes whose attribute
+    #: update is still pending (reconciled at close/stat — the library
+    #: batches attribute maintenance so each per-call transaction
+    #: forces only the chunk page, the B-tree leaf, and the status
+    #: record, matching the paper's measured per-write cost).
+    pending_size: int | None = None
+
+
+@dataclass
+class InversionClient:
+    """One application's session with the file system."""
+
+    fs: InversionFS
+    _tx: object = None
+    _fds: dict[int, _Descriptor] = field(default_factory=dict)
+    _next_fd: int = 3  # homage to stdin/stdout/stderr
+
+    # -- transactions (p_begin / p_commit / p_abort) -----------------------
+
+    def p_begin(self) -> None:
+        if self._tx is not None:
+            raise TransactionError(
+                "only one transaction may be active at any time")
+        self._tx = self.fs.begin()
+
+    def p_commit(self) -> None:
+        if self._tx is None:
+            raise TransactionError("no transaction in progress")
+        self._detach_handles()
+        self.fs.commit(self._tx)
+        self._tx = None
+
+    def p_abort(self) -> None:
+        if self._tx is None:
+            raise TransactionError("no transaction in progress")
+        self._drop_handles()
+        self.fs.abort(self._tx)
+        self._tx = None
+
+    def in_transaction(self) -> bool:
+        return self._tx is not None
+
+    def _detach_handles(self) -> None:
+        for desc in self._fds.values():
+            if desc.handle is not None:
+                desc.pos = desc.handle.tell()
+                desc.handle.close()
+                if desc.handle.att_flushed:
+                    # The transactional close wrote fileatt; nothing
+                    # remains to reconcile.
+                    desc.pending_size = None
+                desc.handle = None
+
+    def _drop_handles(self) -> None:
+        for desc in self._fds.values():
+            desc.handle = None
+
+    # -- auto-commit plumbing -------------------------------------------------
+
+    def _run(self, op):
+        """Run ``op(tx)`` inside the active transaction, or in a
+        one-shot auto-commit transaction."""
+        if self._tx is not None:
+            return op(self._tx)
+        tx = self.fs.begin()
+        try:
+            result = op(tx)
+        except BaseException:
+            self.fs.abort(tx)
+            raise
+        self.fs.commit(tx)
+        return result
+
+    def _desc(self, fd: int) -> _Descriptor:
+        desc = self._fds.get(fd)
+        if desc is None:
+            raise BadFileDescriptorError(f"bad file descriptor {fd}")
+        return desc
+
+    def _with_handle(self, fd: int, op):
+        """Run ``op(handle)`` against the descriptor's file, keeping the
+        descriptor position coherent across auto-commit boundaries."""
+        desc = self._desc(fd)
+        if self._tx is not None:
+            if desc.handle is None or not desc.handle._open:
+                desc.handle = self.fs.open(
+                    desc.path, desc.mode & ~O_CREAT, tx=self._tx,
+                    timestamp=desc.timestamp)
+                if desc.pending_size is not None:
+                    # Un-reconciled auto-commit writes: the descriptor
+                    # knows the real size even though fileatt lags.
+                    desc.handle._size = max(desc.handle._size,
+                                            desc.pending_size)
+                desc.handle.seek(desc.pos, SEEK_SET)
+            handle = desc.handle
+            result = op(handle)
+            desc.pos = handle.tell()
+            if desc.pending_size is not None and handle._wrote:
+                # The transactional flush will reconcile fileatt; the
+                # pending marker can only shrink the truth, so keep the
+                # running maximum.
+                desc.pending_size = max(desc.pending_size, handle._size)
+            return result
+
+        def run(tx):
+            handle = self.fs.open(desc.path, desc.mode & ~O_CREAT, tx=tx,
+                                  timestamp=desc.timestamp)
+            handle.defer_att = True
+            if desc.pending_size is not None:
+                handle._size = max(handle._size, desc.pending_size)
+            try:
+                handle.seek(desc.pos, SEEK_SET)
+                result = op(handle)
+                desc.pos = handle.tell()
+                if handle._wrote or handle.att_dirty:
+                    desc.pending_size = max(desc.pending_size or 0,
+                                            handle._size)
+                return result
+            finally:
+                handle.close()
+        return self._run(run)
+
+    def _reconcile_att(self, desc: _Descriptor) -> None:
+        """Apply a pending size/mtime update left by auto-commit
+        writes."""
+        if desc.pending_size is None:
+            return
+        size = desc.pending_size
+        desc.pending_size = None
+        self._run(lambda tx: self.fs.fileatt.update(
+            tx, desc.fileid, size=max(
+                size, self.fs.fileatt.get(
+                    desc.fileid, self.fs.db.snapshot(tx), tx).size),
+            mtime=self.fs.db.clock.now()))
+
+    # -- the Figure 2 interface -------------------------------------------------------
+
+    def p_creat(self, path: str, mode: int = O_RDWR,
+                device: str | None = None, owner: str = "root",
+                ftype: str = "plain") -> int:
+        """Create and open a file.  The paper's ``mode`` "encodes the
+        device on which the file should reside at creation time"; the
+        device rides in its own keyword argument here."""
+        self._run(lambda tx: self.fs.creat(tx, path, owner=owner,
+                                           ftype=ftype, device=device))
+        return self.p_open(path, mode)
+
+    def p_open(self, fname: str, mode: int = O_RDONLY,
+               timestamp: float | None = None) -> int:
+        """Open a file; ``timestamp`` requests the historical state —
+        "the p_open call includes a parameter to specify the time for
+        which the file should be viewed"."""
+        def resolve(tx):
+            return self.fs.resolve(fname, tx=tx, timestamp=timestamp)
+        fileid = self._run(resolve)
+        fd = self._next_fd
+        self._next_fd += 1
+        self._fds[fd] = _Descriptor(fileid, fname, mode, 0, timestamp)
+        return fd
+
+    def p_close(self, fd: int) -> None:
+        desc = self._desc(fd)
+        if desc.handle is not None and desc.handle._open:
+            desc.handle.close()
+        self._reconcile_att(desc)
+        del self._fds[fd]
+
+    def p_read(self, fd: int, length: int) -> bytes:
+        return self._with_handle(fd, lambda h: h.read(length))
+
+    def p_write(self, fd: int, buf: bytes) -> int:
+        return self._with_handle(fd, lambda h: h.write(buf))
+
+    def p_lseek(self, fd: int, offset_high: int, offset_low: int,
+                whence: int = SEEK_SET) -> int:
+        """64-bit seek: offset = (offset_high << 32) | offset_low — "the
+        extra parameter to p_lseek allows the user to specify a wider
+        range of byte positions"."""
+        desc = self._desc(fd)
+        offset = (offset_high << 32) | (offset_low & 0xFFFFFFFF)
+        if desc.handle is not None and desc.handle._open:
+            desc.pos = desc.handle.seek(offset, whence)
+            return desc.pos
+        if whence == SEEK_SET:
+            desc.pos = offset
+        else:
+            # CUR/END need file state: do it through a handle.
+            return self._with_handle(fd, lambda h: h.seek(offset, whence))
+        return desc.pos
+
+    # -- convenience entry points beyond Figure 2 -----------------------------------------
+
+    def p_mkdir(self, path: str, owner: str = "root") -> None:
+        self._run(lambda tx: self.fs.mkdir(tx, path, owner=owner))
+
+    def p_unlink(self, path: str) -> None:
+        self._run(lambda tx: self.fs.unlink(tx, path))
+
+    def p_rmdir(self, path: str) -> None:
+        self._run(lambda tx: self.fs.rmdir(tx, path))
+
+    def p_rename(self, old: str, new: str) -> None:
+        self._run(lambda tx: self.fs.rename(tx, old, new))
+
+    def p_stat(self, path: str, timestamp: float | None = None):
+        # Reconcile any pending attribute updates for open descriptors
+        # on this path so stat sees current sizes.
+        for desc in self._fds.values():
+            if desc.path == path and desc.pending_size is not None:
+                self._reconcile_att(desc)
+        if self._tx is not None:
+            return self.fs.stat(path, tx=self._tx, timestamp=timestamp)
+        return self.fs.stat(path, timestamp=timestamp)
+
+    def p_readdir(self, path: str, timestamp: float | None = None) -> list[str]:
+        if self._tx is not None:
+            return self.fs.readdir(path, tx=self._tx, timestamp=timestamp)
+        return self.fs.readdir(path, timestamp=timestamp)
+
+    def p_query(self, text: str) -> list[tuple]:
+        """Run a POSTQUEL query over the file system (the 'query
+        language monitor program')."""
+        return self._run(lambda tx: self.fs.query(tx, text))

@@ -1,0 +1,59 @@
+"""Server side of the client/server configuration.
+
+The paper's measurements compare two access paths to the same file
+system: a remote client speaking a TCP/IP RPC to the data manager
+("client/server Inversion"), and code dynamically loaded into the data
+manager itself ("single process"), where "the benchmark and the file
+system are running in the same address space, and no data must be
+copied between them".
+
+:class:`InversionServer` is the in-data-manager dispatcher: it owns one
+:class:`~repro.core.library.InversionClient` session per connection and
+charges per-request dispatch CPU.  The network is *not* modelled here —
+:class:`repro.core.client.RemoteInversionClient` charges the wire.
+"""
+
+from __future__ import annotations
+
+from repro.core.filesystem import InversionFS
+from repro.core.library import InversionClient
+from repro.errors import InversionError
+
+
+class InversionServer:
+    """Dispatches RPC requests into the file system."""
+
+    #: methods a remote client may invoke.
+    ALLOWED = frozenset({
+        "p_begin", "p_commit", "p_abort", "p_creat", "p_open", "p_close",
+        "p_read", "p_write", "p_lseek", "p_mkdir", "p_unlink", "p_rmdir",
+        "p_rename", "p_stat", "p_readdir", "p_query",
+    })
+
+    def __init__(self, fs: InversionFS) -> None:
+        self.fs = fs
+        self._sessions: dict[int, InversionClient] = {}
+        self._next_session = 1
+
+    def connect(self) -> int:
+        """Open a session; returns a connection id."""
+        session_id = self._next_session
+        self._next_session += 1
+        self._sessions[session_id] = InversionClient(self.fs)
+        return session_id
+
+    def disconnect(self, session_id: int) -> None:
+        session = self._sessions.pop(session_id, None)
+        if session is not None and session.in_transaction():
+            session.p_abort()
+
+    def dispatch(self, session_id: int, method: str, *args, **kwargs):
+        """Execute one request for a session, charging dispatch CPU."""
+        if method not in self.ALLOWED:
+            raise InversionError(f"unknown RPC method {method!r}")
+        session = self._sessions.get(session_id)
+        if session is None:
+            raise InversionError(f"no session {session_id}")
+        if self.fs.db.cpu is not None:
+            self.fs.db.cpu.rpc_dispatch()
+        return getattr(session, method)(*args, **kwargs)

@@ -1,0 +1,40 @@
+"""The POSTGRES-like database substrate.
+
+Inversion is "a small set of routines that are compiled into the
+POSTGRES data manager"; every service it offers (transactions, time
+travel, instant recovery, typed files, queries) is inherited from the
+data manager.  This package is a from-scratch reproduction of the
+POSTGRES 4.0.1 feature subset Inversion depends on:
+
+- :mod:`repro.db.page` — 8192-byte slotted data pages.
+- :mod:`repro.db.tuples` — record schemas and the ``(xmin, xmax)``
+  no-overwrite record header.
+- :mod:`repro.db.heap` — no-overwrite heap tables.
+- :mod:`repro.db.transactions` — the transaction manager and the status
+  file that makes recovery instantaneous.
+- :mod:`repro.db.snapshot` — visibility rules, including as-of-time-T
+  time travel.
+- :mod:`repro.db.locks` — two-phase locking with deadlock detection.
+- :mod:`repro.db.btree` — page-based B-tree indexes.
+- :mod:`repro.db.buffer` — the shared LRU buffer cache.
+- :mod:`repro.db.vacuum` — the vacuum cleaner / record archiver.
+- :mod:`repro.db.catalog` — system catalogs.
+- :mod:`repro.db.funcmgr` — extensible types and user-defined functions.
+- :mod:`repro.db.query` — the POSTQUEL-like query language.
+- :mod:`repro.db.database` — the assembled database system.
+"""
+
+from repro.db.database import Database
+from repro.db.tuples import Column, Schema
+from repro.db.transactions import Transaction, TransactionManager
+from repro.db.snapshot import CurrentSnapshot, AsOfSnapshot
+
+__all__ = [
+    "Database",
+    "Column",
+    "Schema",
+    "Transaction",
+    "TransactionManager",
+    "CurrentSnapshot",
+    "AsOfSnapshot",
+]

@@ -1,0 +1,331 @@
+"""Page-based B-tree indexes.
+
+"In order to speed up seeks on files, Inversion maintains a Btree index
+on the chunk number attribute", and "various Btree indices on the
+naming table speed up [pathname] operations".  Index pages live on the
+same devices as heap pages and go through the same buffer cache, so
+index maintenance *competes with data writes for the disk head* — the
+effect the paper blames for Figure 3's creation slowdown.
+
+Structure: a B+ tree.  Page 0 of the index relation is a meta page
+holding the root page number.  Leaf entries map a composite key to a
+heap :class:`~repro.db.heap.TID`; internal entries map separator keys
+to child pages, with each node's first entry acting as the "-infinity"
+separator.  Leaves are chained through the page header's ``special``
+field for range scans.
+
+Keys are made unique by appending the TID to the user key (both in
+order-preserving encodings), which keeps duplicate user keys — e.g.
+many historical versions of the same chunk number, which time travel
+requires ("an index on all of the file's available data, including
+both old and current blocks") — correct across page splits.
+
+Index entries are not themselves versioned: an entry inserted by a
+transaction that later aborts simply points at a record no snapshot
+will see.  The vacuum cleaner rebuilds indexes when it moves records.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterator, Sequence
+
+from repro.db.buffer import BufferCache
+from repro.db.heap import TID
+from repro.db.keycodec import encode_key
+from repro.db.page import (
+    PAGE_BTREE_INTERNAL,
+    PAGE_BTREE_LEAF,
+    PAGE_BTREE_META,
+    Page,
+)
+from repro.db.transactions import Transaction
+from repro.errors import BTreeError
+from repro.sim.cpu import CpuModel
+
+_KLEN_FMT = "<H"
+_CHILD_FMT = "<I"
+_META_FMT = "<I"
+
+_HI_SUFFIX = b"\xff" * 8
+"""Appended to a user-key encoding to form an upper bound covering any
+TID suffix."""
+
+
+def _leaf_entry(key: bytes, tid: TID) -> bytes:
+    return struct.pack(_KLEN_FMT, len(key)) + key + tid.pack()
+
+
+def _internal_entry(key: bytes, child: int) -> bytes:
+    return struct.pack(_KLEN_FMT, len(key)) + key + struct.pack(_CHILD_FMT, child)
+
+
+def _entry_key(record: bytes) -> bytes:
+    (klen,) = struct.unpack_from(_KLEN_FMT, record, 0)
+    return record[2:2 + klen]
+
+
+def _leaf_tid(record: bytes) -> TID:
+    (klen,) = struct.unpack_from(_KLEN_FMT, record, 0)
+    return TID.unpack(record, 2 + klen)
+
+
+def _internal_child(record: bytes) -> int:
+    (klen,) = struct.unpack_from(_KLEN_FMT, record, 0)
+    (child,) = struct.unpack_from(_CHILD_FMT, record, 2 + klen)
+    return child
+
+
+class BTree:
+    """A B+ tree index over (composite key → TID)."""
+
+    META_PAGE = 0
+
+    def __init__(self, buffers: BufferCache, dev_name: str, relname: str,
+                 cpu: CpuModel | None = None) -> None:
+        self.buffers = buffers
+        self.dev_name = dev_name
+        self.relname = relname
+        self.cpu = cpu
+
+    # -- creation -------------------------------------------------------
+
+    @classmethod
+    def create(cls, buffers: BufferCache, dev_name: str, relname: str,
+               cpu: CpuModel | None = None) -> "BTree":
+        """Format a freshly created (empty) index relation."""
+        metano, meta = buffers.new_page(dev_name, relname, PAGE_BTREE_META)
+        if metano != cls.META_PAGE:
+            raise BTreeError(f"meta page allocated at {metano}, expected 0")
+        rootno, _root = buffers.new_page(dev_name, relname, PAGE_BTREE_LEAF)
+        meta.add_record(struct.pack(_META_FMT, rootno))
+        buffers.mark_dirty(dev_name, relname, cls.META_PAGE)
+        return cls(buffers, dev_name, relname, cpu)
+
+    # -- page helpers -------------------------------------------------------
+
+    def _page(self, pageno: int) -> Page:
+        return self.buffers.get_page(self.dev_name, self.relname, pageno)
+
+    def _dirty(self, pageno: int) -> None:
+        self.buffers.mark_dirty(self.dev_name, self.relname, pageno)
+
+    def _root(self) -> int:
+        meta = self._page(self.META_PAGE)
+        (root,) = struct.unpack_from(_META_FMT, meta.get_record(0), 0)
+        return root
+
+    def _set_root(self, pageno: int) -> None:
+        meta = self._page(self.META_PAGE)
+        meta.overwrite_record(0, struct.pack(_META_FMT, pageno))
+        self._dirty(self.META_PAGE)
+
+    def _is_leaf(self, page: Page) -> bool:
+        return bool(page.flags & PAGE_BTREE_LEAF)
+
+    # -- search helpers --------------------------------------------------------
+
+    def _bisect(self, page: Page, key: bytes, right: bool) -> int:
+        """Slot index where ``key`` would be inserted to keep order.
+        ``right=True`` → after equal keys."""
+        lo, hi = 0, page.nslots
+        ncmp = 0
+        while lo < hi:
+            mid = (lo + hi) // 2
+            ncmp += 1
+            mid_key = _entry_key(page.get_record(mid))
+            if (mid_key <= key) if right else (mid_key < key):
+                lo = mid + 1
+            else:
+                hi = mid
+        if self.cpu is not None and ncmp:
+            self.cpu.btree_compare(ncmp)
+        return lo
+
+    def _child_for(self, page: Page, key: bytes) -> tuple[int, int]:
+        """(slot index, child pageno) of the child covering ``key`` in an
+        internal node."""
+        idx = self._bisect(page, key, right=True) - 1
+        if idx < 0:
+            idx = 0  # first entry is the -infinity separator
+        return idx, _internal_child(page.get_record(idx))
+
+    def _descend(self, key: bytes) -> tuple[int, list[tuple[int, int]]]:
+        """Find the leaf for ``key``; returns (leaf pageno, path) where
+        path is [(internal pageno, slot taken), ...] from the root."""
+        pageno = self._root()
+        path: list[tuple[int, int]] = []
+        while True:
+            page = self._page(pageno)
+            if self._is_leaf(page):
+                return pageno, path
+            idx, child = self._child_for(page, key)
+            path.append((pageno, idx))
+            pageno = child
+
+    # -- insertion -----------------------------------------------------------------
+
+    def insert(self, tx: Transaction | None, key_values: Sequence[object] | object,
+               tid: TID) -> None:
+        """Add an entry.  ``key_values`` is one value or a composite.
+        ``tx`` may be None for physical maintenance (index rebuilds)."""
+        key = encode_key(key_values) + tid.pack()
+        entry = _leaf_entry(key, tid)
+        leafno, path = self._descend(key)
+        self._insert_into(leafno, path, key, entry, is_leaf=True)
+        if tx is not None:
+            tx.wrote = True
+
+    def _insert_into(self, pageno: int, path: list[tuple[int, int]],
+                     key: bytes, entry: bytes, is_leaf: bool) -> None:
+        page = self._page(pageno)
+        if page.fits(len(entry)):
+            idx = self._bisect(page, key, right=True)
+            page.insert_record(idx, entry)
+            self._dirty(pageno)
+            return
+        # Split.
+        sep_key, right_pageno = self._split(pageno, is_leaf)
+        # Re-fetch and insert into the correct half.
+        target = pageno if key < sep_key else right_pageno
+        tpage = self._page(target)
+        idx = self._bisect(tpage, key, right=True)
+        tpage.insert_record(idx, entry)
+        self._dirty(target)
+        # Propagate the separator upward.
+        self._insert_separator(path, sep_key, right_pageno)
+
+    def _split(self, pageno: int, is_leaf: bool) -> tuple[bytes, int]:
+        """Split a full node; returns (separator key, right pageno).
+
+        Ordering note: every page is fully mutated and marked dirty
+        before the next cache call, so LRU eviction of an in-flight
+        page can never lose an update."""
+        page = self._page(pageno)
+        records = page.records()
+        old_special = page.special
+        mid = len(records) // 2
+        if mid == 0 or mid >= len(records):
+            raise BTreeError(f"cannot split node with {len(records)} entries")
+        sep_key = _entry_key(records[mid])
+        if is_leaf:
+            right_records = records[mid:]
+        else:
+            # Promote the middle key; its child becomes the right node's
+            # -infinity entry.
+            promoted_child = _internal_child(records[mid])
+            right_records = [_internal_entry(b"", promoted_child)] + records[mid + 1:]
+        flags = PAGE_BTREE_LEAF if is_leaf else PAGE_BTREE_INTERNAL
+        right_pageno, right = self.buffers.new_page(self.dev_name, self.relname, flags)
+        for rec in right_records:
+            right.add_record(rec)
+        if is_leaf:
+            right.special = old_special  # inherit the old right sibling
+        self._dirty(right_pageno)
+        # Rewrite the left node with the lower half.
+        page = self._page(pageno)  # re-fetch: new_page may have evicted it
+        page.rewrite(records[:mid])
+        if is_leaf:
+            page.special = right_pageno
+        self._dirty(pageno)
+        return sep_key, right_pageno
+
+    def _insert_separator(self, path: list[tuple[int, int]],
+                          sep_key: bytes, right_pageno: int) -> None:
+        entry = _internal_entry(sep_key, right_pageno)
+        if not path:
+            # The root split: build a new root above both halves.
+            old_root = self._root()
+            # The left half kept the old root's pageno, so the new root
+            # points at old_root and right_pageno.
+            new_rootno, new_root = self.buffers.new_page(
+                self.dev_name, self.relname, PAGE_BTREE_INTERNAL)
+            new_root.add_record(_internal_entry(b"", old_root))
+            new_root.add_record(entry)
+            self._dirty(new_rootno)
+            self._set_root(new_rootno)
+            return
+        parent_pageno, _idx = path[-1]
+        self._insert_into(parent_pageno, path[:-1], sep_key, entry, is_leaf=False)
+
+    # -- lookup ---------------------------------------------------------------------
+
+    def search(self, key_values: Sequence[object] | object) -> list[TID]:
+        """All TIDs filed under exactly this user key (every version)."""
+        key = encode_key(key_values)
+        return [tid for _k, tid in self.scan_range(key, key + _HI_SUFFIX)]
+
+    def scan_range(self, lo: bytes | None, hi: bytes | None
+                   ) -> Iterator[tuple[bytes, TID]]:
+        """Yield (encoded key, TID) for lo ≤ key ≤ hi over leaf chains.
+        ``lo``/``hi`` are encoded byte keys; None means unbounded."""
+        start_key = lo if lo is not None else b""
+        leafno, _path = self._descend(start_key)
+        while leafno:
+            page = self._page(leafno)
+            idx = self._bisect(page, start_key, right=False) if lo is not None else 0
+            for slot in range(idx, page.nslots):
+                rec = page.get_record(slot)
+                key = _entry_key(rec)
+                if hi is not None and key > hi:
+                    return
+                yield key, _leaf_tid(rec)
+            lo = None  # only bisect in the first leaf
+            leafno = page.special
+
+    def scan_values_range(self, lo_values, hi_values) -> Iterator[tuple[bytes, TID]]:
+        """Range scan by user key values (inclusive bounds; None =
+        unbounded)."""
+        lo = encode_key(lo_values) if lo_values is not None else None
+        hi = encode_key(hi_values) + _HI_SUFFIX if hi_values is not None else None
+        return self.scan_range(lo, hi)
+
+    def scan_all(self) -> Iterator[tuple[bytes, TID]]:
+        return self.scan_range(None, None)
+
+    # -- deletion ----------------------------------------------------------------------
+
+    def remove(self, key_values: Sequence[object] | object, tid: TID) -> bool:
+        """Remove the entry for (key, tid).  Nodes are not rebalanced —
+        the vacuum cleaner rebuilds indexes wholesale; this exists for
+        targeted cleanup and tests."""
+        key = encode_key(key_values) + tid.pack()
+        leafno, _path = self._descend(key)
+        while leafno:
+            page = self._page(leafno)
+            idx = self._bisect(page, key, right=False)
+            for slot in range(idx, page.nslots):
+                rec = page.get_record(slot)
+                if _entry_key(rec) != key:
+                    return False
+                if _leaf_tid(rec) == tid:
+                    page.delete_slot(slot)
+                    page.compact()
+                    self._dirty(leafno)
+                    return True
+            leafno = page.special
+        return False
+
+    # -- introspection --------------------------------------------------------------------
+
+    def depth(self) -> int:
+        """Tree height (1 = root is a leaf)."""
+        pageno = self._root()
+        depth = 1
+        while True:
+            page = self._page(pageno)
+            if self._is_leaf(page):
+                return depth
+            _idx, pageno = self._child_for(page, b"")
+            depth += 1
+
+    def entry_count(self) -> int:
+        return sum(1 for __ in self.scan_all())
+
+    def check_invariants(self) -> None:
+        """Verify key ordering within and across leaves (tests)."""
+        prev = None
+        for key, _tid in self.scan_all():
+            if prev is not None and key < prev:
+                raise BTreeError("leaf chain out of order")
+            prev = key

@@ -1,0 +1,158 @@
+"""The shared buffer cache.
+
+"POSTGRES maintains an in-memory shared cache of recently used 8 KByte
+data pages.  The size of this cache is tunable when the file system is
+installed; as shipped, the system uses 64 buffers, but the version in
+use locally uses 300.  Data pages are kicked out of this cache in LRU
+order, regardless of the device from which they came.  Dirty pages are
+written to backing store before being deleted from the cache."
+
+The cache is the only path between the storage layers (heap, B-tree)
+and the device managers.  All simulated I/O cost is charged by the
+devices, so a cache hit is (nearly) free and a miss pays real disk
+time — exactly the performance structure the benchmark measures.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.db.page import Page
+from repro.devices.switch import DeviceSwitch
+from repro.sim.cpu import CpuModel
+
+BufferKey = tuple[str, str, int]  # (device name, relation name, page number)
+
+DEFAULT_BUFFERS = 300
+"""The evaluated configuration; POSTGRES shipped with 64."""
+
+
+@dataclass
+class BufferStats:
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    dirty_writebacks: int = 0
+    forced_writes: int = 0
+
+
+@dataclass
+class _Frame:
+    page: Page
+    dirty: bool = False
+
+
+@dataclass
+class BufferCache:
+    """LRU page cache over the device manager switch."""
+
+    switch: DeviceSwitch
+    capacity: int = DEFAULT_BUFFERS
+    cpu: CpuModel | None = None
+    stats: BufferStats = field(default_factory=BufferStats)
+    _frames: "OrderedDict[BufferKey, _Frame]" = field(
+        default_factory=OrderedDict, repr=False)
+
+    # -- core operations ---------------------------------------------------
+
+    def get_page(self, dev_name: str, relname: str, pageno: int) -> Page:
+        """Return the cached page, reading it from its device on a miss."""
+        key = (dev_name, relname, pageno)
+        frame = self._frames.get(key)
+        if frame is not None:
+            self.stats.hits += 1
+            self._frames.move_to_end(key)
+            return frame.page
+        self.stats.misses += 1
+        data = self.switch.get(dev_name).read_page(relname, pageno)
+        if self.cpu is not None:
+            self.cpu.buffer_copy()
+        page = Page(data)
+        self._admit(key, _Frame(page))
+        return page
+
+    def new_page(self, dev_name: str, relname: str, flags: int = 0) -> tuple[int, Page]:
+        """Extend the relation by one page; returns (pageno, page).  The
+        new page is dirty — it reaches the device at eviction or
+        flush."""
+        dev = self.switch.get(dev_name)
+        pageno = dev.extend(relname)
+        page = Page(flags=flags)
+        self._admit((dev_name, relname, pageno), _Frame(page, dirty=True))
+        return pageno, page
+
+    def mark_dirty(self, dev_name: str, relname: str, pageno: int) -> None:
+        frame = self._frames.get((dev_name, relname, pageno))
+        if frame is None:
+            raise KeyError(f"page {(dev_name, relname, pageno)} not resident")
+        frame.dirty = True
+
+    def _admit(self, key: BufferKey, frame: _Frame) -> None:
+        while len(self._frames) >= self.capacity:
+            self._evict_one()
+        self._frames[key] = frame
+
+    def _evict_one(self) -> None:
+        key, frame = self._frames.popitem(last=False)
+        self.stats.evictions += 1
+        if frame.dirty:
+            self._writeback(key, frame)
+
+    def _writeback(self, key: BufferKey, frame: _Frame) -> None:
+        dev_name, relname, pageno = key
+        self.switch.get(dev_name).write_page(relname, pageno, frame.page.to_bytes())
+        frame.dirty = False
+        self.stats.dirty_writebacks += 1
+
+    # -- flushing ------------------------------------------------------------
+
+    def flush_all(self) -> int:
+        """Write back every dirty page (transaction commit forces its
+        writes this way — the no-overwrite manager has no WAL, so data
+        pages themselves must be durable before the commit record).
+        Returns the number of pages written."""
+        written = 0
+        # Elevator order: sorting by (device, relation, page) turns a
+        # scatter of dirty pages into ascending sweeps per relation, as
+        # the disk driver's elevator would.
+        for key in sorted(k for k, f in self._frames.items() if f.dirty):
+            self._writeback(key, self._frames[key])
+            self.stats.forced_writes += 1
+            written += 1
+        return written
+
+    def flush_relation(self, dev_name: str, relname: str) -> int:
+        written = 0
+        for key, frame in self._frames.items():
+            if key[0] == dev_name and key[1] == relname and frame.dirty:
+                self._writeback(key, frame)
+                written += 1
+        return written
+
+    # -- invalidation -----------------------------------------------------------
+
+    def invalidate_all(self, write_dirty: bool = True) -> None:
+        """Drop every frame.  With ``write_dirty=False`` this models a
+        crash (buffer contents lost); with True it is the benchmark's
+        'all caches were flushed before each test'."""
+        if write_dirty:
+            self.flush_all()
+        self._frames.clear()
+
+    def drop_relation(self, dev_name: str, relname: str) -> None:
+        """Discard frames of a dropped relation without writeback."""
+        for key in [k for k in self._frames
+                    if k[0] == dev_name and k[1] == relname]:
+            del self._frames[key]
+
+    # -- introspection -------------------------------------------------------------
+
+    def resident(self, dev_name: str, relname: str, pageno: int) -> bool:
+        return (dev_name, relname, pageno) in self._frames
+
+    def dirty_count(self) -> int:
+        return sum(1 for f in self._frames.values() if f.dirty)
+
+    def __len__(self) -> int:
+        return len(self._frames)

@@ -1,0 +1,124 @@
+"""Extensible types and user-defined functions.
+
+"POSTGRES allows users to define new types for use in the database
+system.  In addition, users may write functions in C or in POSTQUEL…
+These functions may be registered with the database system, and will be
+dynamically loaded by the data manager when they are invoked."
+
+The reproduction maps "C functions dynamically loaded into the data
+manager" to Python callables held in a process-level registry keyed by
+the catalog row's ``src`` column; ``POSTQUEL``-language functions store
+their expression text in ``src`` and are evaluated by the query engine.
+Because function definitions are catalog *records*, redefining a
+function leaves its old version visible to time travel — "users can
+even run old versions of these functions".
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.db.catalog import ProcInfo
+from repro.db.snapshot import Snapshot
+from repro.db.transactions import Transaction
+from repro.errors import FileTypeError, FunctionError
+
+LANG_PYTHON = "python"
+LANG_POSTQUEL = "postquel"
+
+#: the "dynamic loader": registry key -> callable.  Process-wide, like
+#: a directory of shared objects.
+_PYTHON_REGISTRY: dict[str, Callable] = {}
+
+
+def load_function(registry_key: str) -> Callable:
+    """Resolve a registry key, as the data manager dynamically loading
+    a shared object would."""
+    try:
+        return _PYTHON_REGISTRY[registry_key]
+    except KeyError:
+        raise FunctionError(
+            f"no loadable function registered under {registry_key!r}") from None
+
+
+def snapshot_aware(fn: Callable) -> Callable:
+    """Mark a callable as wanting the active snapshot: it is invoked as
+    ``fn(*args, snapshot=snapshot)``.  Inversion's metadata and
+    file-content functions need this so that calling them under a
+    time-travel snapshot returns *historical* answers."""
+    fn._wants_snapshot = True
+    return fn
+
+
+def register_callable(registry_key: str, fn: Callable) -> None:
+    """Install a callable in the loader registry (idempotent for the
+    same object; replacing is allowed — it models recompiling a .so)."""
+    _PYTHON_REGISTRY[registry_key] = fn
+
+
+def registry_keys() -> list[str]:
+    return sorted(_PYTHON_REGISTRY)
+
+
+class FunctionManager:
+    """Catalog-backed function definition and invocation."""
+
+    def __init__(self, db) -> None:
+        self.db = db
+
+    # -- definition ------------------------------------------------------
+
+    def define_python(self, tx: Transaction, name: str, fn: Callable,
+                      argtypes: Sequence[str], rettype: str,
+                      registry_key: str | None = None,
+                      typrestrict: str = "") -> ProcInfo:
+        """Register a Python ("C") function: install the callable in the
+        loader registry and record it in pg_proc."""
+        key = registry_key or f"lib:{name}"
+        register_callable(key, fn)
+        return self.db.catalog.define_function(
+            tx, name, LANG_PYTHON, list(argtypes), rettype, key, typrestrict)
+
+    def define_postquel(self, tx: Transaction, name: str, expression: str,
+                        argtypes: Sequence[str], rettype: str,
+                        typrestrict: str = "") -> ProcInfo:
+        """Register a POSTQUEL-language function: the expression text is
+        the stored source; arguments are referenced as $1, $2, …"""
+        return self.db.catalog.define_function(
+            tx, name, LANG_POSTQUEL, list(argtypes), rettype, expression,
+            typrestrict)
+
+    # -- lookup/invocation ---------------------------------------------------
+
+    def lookup(self, name: str, snapshot: Snapshot) -> ProcInfo | None:
+        return self.db.catalog.lookup_function(name, snapshot)
+
+    def call(self, name: str, args: Sequence[object],
+             snapshot: Snapshot) -> object:
+        """Invoke a registered function under ``snapshot`` — a
+        historical snapshot invokes the *historical* definition."""
+        proc = self.lookup(name, snapshot)
+        if proc is None:
+            raise FunctionError(f"no function named {name!r}")
+        return self.call_proc(proc, args, snapshot)
+
+    def call_proc(self, proc: ProcInfo, args: Sequence[object],
+                  snapshot: Snapshot) -> object:
+        if self.db.cpu is not None:
+            self.db.cpu.udf_call()
+        if proc.lang == LANG_PYTHON:
+            fn = load_function(proc.src)
+            try:
+                if getattr(fn, "_wants_snapshot", False):
+                    return fn(*args, snapshot=snapshot)
+                return fn(*args)
+            except (FunctionError, FileTypeError):
+                raise
+            except Exception as exc:
+                raise FunctionError(
+                    f"function {proc.name!r} raised: {exc}") from exc
+        if proc.lang == LANG_POSTQUEL:
+            from repro.db.query.engine import evaluate_expression_text
+            return evaluate_expression_text(self.db, proc.src, list(args),
+                                            snapshot)
+        raise FunctionError(f"unknown function language {proc.lang!r}")

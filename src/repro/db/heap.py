@@ -1,0 +1,175 @@
+"""No-overwrite heap tables.
+
+"When a record is updated or deleted, the original record is marked
+invalid, but remains in place.  For updates, a new record containing
+the new values is added to the database."  A heap file is a sequence of
+slotted pages; inserts append (with ``xmin`` = inserting xid), deletes
+stamp ``xmax`` in place, updates are delete+insert.  Every version of
+every record remains until the vacuum cleaner archives it, which is
+what makes time travel a pure visibility computation.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.db.buffer import BufferCache
+from repro.db.page import PAGE_HEAP
+from repro.db.snapshot import Snapshot
+from repro.db.transactions import Transaction
+from repro.db.tuples import (
+    INVALID_XID,
+    Schema,
+    pack_record,
+    pack_xmax_patch,
+    record_payload,
+    unpack_header,
+)
+from repro.errors import TableError
+from repro.sim.cpu import CpuModel
+
+TID_FMT = "<IH"
+TID_SIZE = struct.calcsize(TID_FMT)  # 6
+
+
+@dataclass(frozen=True, order=True)
+class TID:
+    """A record's physical address: (page number, slot)."""
+
+    pageno: int
+    slot: int
+
+    def pack(self) -> bytes:
+        return struct.pack(TID_FMT, self.pageno, self.slot)
+
+    @classmethod
+    def unpack(cls, data: bytes, offset: int = 0) -> "TID":
+        pageno, slot = struct.unpack_from(TID_FMT, data, offset)
+        return cls(pageno, slot)
+
+
+class HeapFile:
+    """A schema-carrying no-overwrite heap."""
+
+    def __init__(self, buffers: BufferCache, dev_name: str, relname: str,
+                 schema: Schema, cpu: CpuModel | None = None) -> None:
+        self.buffers = buffers
+        self.dev_name = dev_name
+        self.relname = relname
+        self.schema = schema
+        self.cpu = cpu
+
+    # -- helpers ----------------------------------------------------------
+
+    def npages(self) -> int:
+        return self.buffers.switch.get(self.dev_name).nblocks(self.relname)
+
+    def _page(self, pageno: int):
+        return self.buffers.get_page(self.dev_name, self.relname, pageno)
+
+    # -- write path ---------------------------------------------------------
+
+    def insert(self, tx: Transaction, values: tuple | list) -> TID:
+        """Append a new record stamped with ``tx``'s xid."""
+        tx.require_active()
+        tid = self.insert_raw(tx.xid, INVALID_XID, values)
+        tx.wrote = True
+        return tid
+
+    def insert_raw(self, xmin: int, xmax: int, values: tuple | list) -> TID:
+        """Append a record with an explicit header — used by the vacuum
+        cleaner to move historical versions into the archive with their
+        original transaction stamps intact."""
+        if self.cpu is not None:
+            self.cpu.tuple_pack()
+        record = pack_record(xmin, xmax, self.schema.pack(values))
+        npages = self.npages()
+        if npages > 0:
+            pageno = npages - 1
+            page = self._page(pageno)
+            if page.fits(len(record)):
+                slot = page.add_record(record)
+                self.buffers.mark_dirty(self.dev_name, self.relname, pageno)
+                return TID(pageno, slot)
+        pageno, page = self.buffers.new_page(self.dev_name, self.relname, PAGE_HEAP)
+        slot = page.add_record(record)
+        self.buffers.mark_dirty(self.dev_name, self.relname, pageno)
+        return TID(pageno, slot)
+
+    def delete(self, tx: Transaction, tid: TID) -> None:
+        """Mark the record at ``tid`` deleted by ``tx`` (stamp xmax).
+        The record bytes stay in place — no-overwrite."""
+        tx.require_active()
+        page = self._page(tid.pageno)
+        record = page.get_record(tid.slot)
+        xmin, xmax = unpack_header(record)
+        if xmax not in (INVALID_XID, tx.xid):
+            # Under 2PL a conflicting committed deleter cannot coexist,
+            # but an aborted deleter may have left its stamp: overwrite.
+            pass
+        offset, patch = pack_xmax_patch(tx.xid)
+        page.patch_record(tid.slot, offset, patch)
+        self.buffers.mark_dirty(self.dev_name, self.relname, tid.pageno)
+        tx.wrote = True
+
+    def update(self, tx: Transaction, tid: TID, values: tuple | list) -> TID:
+        """Delete the old version and append the new one: "the old
+        record is marked as deleted by the current transaction, and the
+        new record is marked as inserted by the current transaction"."""
+        self.delete(tx, tid)
+        return self.insert(tx, values)
+
+    # -- read path --------------------------------------------------------------
+
+    def fetch(self, tid: TID, snapshot: Snapshot) -> tuple | None:
+        """The record at ``tid`` if visible under ``snapshot``."""
+        page = self._page(tid.pageno)
+        if tid.slot >= page.nslots:
+            return None
+        record = page.get_record(tid.slot)
+        xmin, xmax = unpack_header(record)
+        if not snapshot.is_visible(xmin, xmax):
+            return None
+        if self.cpu is not None:
+            self.cpu.tuple_unpack()
+        return self.schema.unpack(record_payload(record))
+
+    def fetch_raw(self, tid: TID) -> tuple[int, int, tuple]:
+        """(xmin, xmax, values) regardless of visibility — vacuum and
+        tests use this."""
+        page = self._page(tid.pageno)
+        record = page.get_record(tid.slot)
+        xmin, xmax = unpack_header(record)
+        return xmin, xmax, self.schema.unpack(record_payload(record))
+
+    def scan(self, snapshot: Snapshot) -> Iterator[tuple[TID, tuple]]:
+        """Yield every visible record in physical order."""
+        for pageno in range(self.npages()):
+            page = self._page(pageno)
+            for slot in range(page.nslots):
+                record = page.get_record(slot)
+                xmin, xmax = unpack_header(record)
+                if snapshot.is_visible(xmin, xmax):
+                    if self.cpu is not None:
+                        self.cpu.tuple_unpack()
+                    yield TID(pageno, slot), self.schema.unpack(record_payload(record))
+
+    def scan_all_versions(self) -> Iterator[tuple[TID, int, int, tuple]]:
+        """Yield every record version: (tid, xmin, xmax, values)."""
+        for pageno in range(self.npages()):
+            page = self._page(pageno)
+            for slot in range(page.nslots):
+                record = page.get_record(slot)
+                xmin, xmax = unpack_header(record)
+                yield TID(pageno, slot), xmin, xmax, \
+                    self.schema.unpack(record_payload(record))
+
+    def record_count_physical(self) -> int:
+        """Total stored record versions (visible or not)."""
+        return sum(self._page(p).nslots for p in range(self.npages()))
+
+    def verify_same_schema(self, other: Schema) -> None:
+        if self.schema != other:
+            raise TableError(f"schema mismatch on {self.relname}")

@@ -1,0 +1,119 @@
+"""Order-preserving binary key encoding for B-tree indexes.
+
+B-tree nodes store keys as opaque byte strings and compare them with
+plain ``bytes`` comparison, so every indexable type needs an encoding
+whose byte order matches its value order.  Composite keys concatenate
+the encodings of their parts with self-delimiting string encoding.
+
+Encodings:
+
+- integers: 8-byte big-endian with the sign bit flipped (bias), so
+  negative < positive and byte order == numeric order;
+- floats: IEEE-754 big-endian with sign-dependent bit flipping (the
+  standard total-order trick);
+- text: UTF-8 with ``0x00`` escaped as ``0x00 0xFF`` and terminated by
+  ``0x00 0x00`` so that prefixes sort first and concatenation stays
+  unambiguous;
+- bytes: same escaping as text.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterable, Sequence
+
+_INT_BIAS = 1 << 63
+_TERMINATOR = b"\x00\x00"
+_ESCAPED_ZERO = b"\x00\xff"
+
+
+def encode_int(value: int) -> bytes:
+    """Order-preserving encoding of a signed 64-bit integer."""
+    if not (-_INT_BIAS <= value < _INT_BIAS):
+        raise ValueError(f"integer out of 64-bit range: {value}")
+    return struct.pack(">Q", value + _INT_BIAS)
+
+
+def decode_int(data: bytes) -> int:
+    return struct.unpack(">Q", data[:8])[0] - _INT_BIAS
+
+
+def encode_float(value: float) -> bytes:
+    """Order-preserving encoding of an IEEE-754 double."""
+    bits = struct.unpack(">Q", struct.pack(">d", value))[0]
+    if bits & (1 << 63):
+        bits = ~bits & 0xFFFFFFFFFFFFFFFF  # negative: flip all bits
+    else:
+        bits |= 1 << 63  # non-negative: flip sign bit
+    return struct.pack(">Q", bits)
+
+
+def decode_float(data: bytes) -> float:
+    bits = struct.unpack(">Q", data[:8])[0]
+    if bits & (1 << 63):
+        bits &= ~(1 << 63) & 0xFFFFFFFFFFFFFFFF
+    else:
+        bits = ~bits & 0xFFFFFFFFFFFFFFFF
+    return struct.unpack(">d", struct.pack(">Q", bits))[0]
+
+
+def encode_bytes(value: bytes) -> bytes:
+    """Self-delimiting, order-preserving encoding of a byte string."""
+    return value.replace(b"\x00", _ESCAPED_ZERO) + _TERMINATOR
+
+
+def decode_bytes(data: bytes, offset: int = 0) -> tuple[bytes, int]:
+    """Decode a string encoded by :func:`encode_bytes` starting at
+    ``offset``.  Returns ``(value, next_offset)``."""
+    out = bytearray()
+    i = offset
+    while True:
+        b = data[i]
+        if b == 0:
+            nxt = data[i + 1]
+            if nxt == 0:
+                return bytes(out), i + 2
+            if nxt == 0xFF:
+                out.append(0)
+                i += 2
+                continue
+            raise ValueError("malformed escaped string key")
+        out.append(b)
+        i += 1
+
+
+def encode_text(value: str) -> bytes:
+    return encode_bytes(value.encode("utf-8"))
+
+
+def encode_value(value: object) -> bytes:
+    """Encode a single Python value by runtime type."""
+    if isinstance(value, bool):
+        return encode_int(int(value))
+    if isinstance(value, int):
+        return encode_int(value)
+    if isinstance(value, float):
+        return encode_float(value)
+    if isinstance(value, str):
+        return encode_text(value)
+    if isinstance(value, (bytes, bytearray)):
+        return encode_bytes(bytes(value))
+    if value is None:
+        # Columns are typed, so None is only ever compared against
+        # values of one type.  0x00 0x01 sorts before every text/bytes
+        # encoding (those escape 0x00 as 0x00 0xFF); ordering relative
+        # to numerics is unspecified and unused.
+        return b"\x00\x01"
+    raise TypeError(f"cannot encode key component of type {type(value)!r}")
+
+
+def encode_key(values: Sequence[object] | object) -> bytes:
+    """Encode one value or a composite of values into a single key."""
+    if isinstance(values, (list, tuple)):
+        return b"".join(encode_value(v) for v in values)
+    return encode_value(values)
+
+
+def encode_prefix(values: Iterable[object]) -> bytes:
+    """Encode a key prefix (for range scans over composite keys)."""
+    return b"".join(encode_value(v) for v in values)

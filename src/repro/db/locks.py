@@ -1,0 +1,150 @@
+"""Two-phase locking with deadlock detection.
+
+"A standard database two-phase locking protocol [GRAY76] allows
+concurrent access to files while preventing simultaneous changes from
+interfering with one another."  Locks are table-granularity (POSTGRES
+4.0.1 locked relations), shared or exclusive, held until commit or
+abort.  Waiters are tracked in a waits-for graph; when acquiring a lock
+would close a cycle, the requester is chosen as the deadlock victim and
+its transaction raises :class:`DeadlockError`.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Hashable
+
+from repro.db.transactions import Transaction
+from repro.errors import DeadlockError, LockTimeoutError
+
+SHARED = "S"
+EXCLUSIVE = "X"
+
+
+@dataclass
+class _LockState:
+    """Per-resource lock bookkeeping."""
+
+    holders: dict[int, str] = field(default_factory=dict)  # xid -> mode
+    waiters: list[tuple[int, str]] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class LockHandle:
+    """Recorded on the transaction for release at commit/abort."""
+
+    resource: Hashable
+    mode: str
+
+
+def _compatible(held: str, requested: str) -> bool:
+    return held == SHARED and requested == SHARED
+
+
+class LockManager:
+    """Table-level S/X lock manager with waits-for deadlock detection."""
+
+    def __init__(self, timeout_s: float = 10.0) -> None:
+        self._mutex = threading.Lock()
+        self._cond = threading.Condition(self._mutex)
+        self._locks: dict[Hashable, _LockState] = {}
+        # waits-for edges: xid -> set of xids it waits on
+        self._waits_for: dict[int, set[int]] = {}
+        self.timeout_s = timeout_s
+
+    # -- acquisition -------------------------------------------------------
+
+    def acquire(self, tx: Transaction, resource: Hashable,
+                mode: str = SHARED) -> None:
+        """Acquire ``mode`` on ``resource`` for ``tx``, blocking as
+        needed.  Re-acquisition and S→X upgrade are supported."""
+        if mode not in (SHARED, EXCLUSIVE):
+            raise ValueError(f"bad lock mode {mode!r}")
+        with self._cond:
+            state = self._locks.setdefault(resource, _LockState())
+            held = state.holders.get(tx.xid)
+            if held == EXCLUSIVE or held == mode:
+                return  # already strong enough
+            deadline = None
+            while True:
+                blockers = self._blockers(state, tx.xid, mode)
+                if not blockers:
+                    break
+                # Would waiting close a cycle in the waits-for graph?
+                self._waits_for[tx.xid] = blockers
+                if self._cycle_from(tx.xid):
+                    del self._waits_for[tx.xid]
+                    raise DeadlockError(
+                        f"transaction {tx.xid} chosen as deadlock victim "
+                        f"waiting for {sorted(blockers)} on {resource!r}")
+                if deadline is None:
+                    import time as _time
+                    deadline = _time.monotonic() + self.timeout_s
+                state.waiters.append((tx.xid, mode))
+                try:
+                    import time as _time
+                    remaining = deadline - _time.monotonic()
+                    if remaining <= 0 or not self._cond.wait(timeout=remaining):
+                        raise LockTimeoutError(
+                            f"transaction {tx.xid} timed out waiting for "
+                            f"{mode} on {resource!r}")
+                finally:
+                    try:
+                        state.waiters.remove((tx.xid, mode))
+                    except ValueError:
+                        pass
+                    self._waits_for.pop(tx.xid, None)
+            if mode == EXCLUSIVE:
+                state.holders[tx.xid] = EXCLUSIVE
+            else:
+                state.holders.setdefault(tx.xid, SHARED)
+            tx.held_locks.append(LockHandle(resource, state.holders[tx.xid]))
+
+    def _blockers(self, state: _LockState, xid: int, mode: str) -> set[int]:
+        """Other transactions whose held locks conflict with ``mode``."""
+        blockers = set()
+        for holder, held_mode in state.holders.items():
+            if holder == xid:
+                continue
+            if mode == EXCLUSIVE or held_mode == EXCLUSIVE:
+                blockers.add(holder)
+        return blockers
+
+    def _cycle_from(self, start: int) -> bool:
+        """DFS over the waits-for graph looking for a cycle through
+        ``start``."""
+        stack = list(self._waits_for.get(start, ()))
+        seen = set()
+        while stack:
+            node = stack.pop()
+            if node == start:
+                return True
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(self._waits_for.get(node, ()))
+        return False
+
+    # -- release -------------------------------------------------------------
+
+    def release_all(self, tx: Transaction) -> None:
+        """Release every lock ``tx`` holds — the shrink phase of 2PL,
+        run only at commit/abort."""
+        with self._cond:
+            for handle in tx.held_locks:
+                state = self._locks.get(handle.resource)
+                if state is not None:
+                    state.holders.pop(tx.xid, None)
+                    if not state.holders and not state.waiters:
+                        del self._locks[handle.resource]
+            tx.held_locks.clear()
+            self._waits_for.pop(tx.xid, None)
+            self._cond.notify_all()
+
+    # -- introspection ----------------------------------------------------------
+
+    def holders(self, resource: Hashable) -> dict[int, str]:
+        with self._mutex:
+            state = self._locks.get(resource)
+            return dict(state.holders) if state else {}

@@ -1,0 +1,210 @@
+"""8192-byte slotted data pages.
+
+The POSTGRES data manager page "was chosen early in the design of
+POSTGRES, and was intended to make magnetic disk transfers fast"; the
+paper notes Inversion inherits it.  The layout here is the classic
+slotted page: a fixed header, a slot directory growing downward-in-
+address/upward-in-count from the header, and record data growing up
+from the end of the page.
+
+Header (12 bytes, little-endian):
+
+== ======= ==========================================================
+#  field   meaning
+== ======= ==========================================================
+H  nslots  number of slot directory entries
+H  lower   byte offset of the first free byte after the slot directory
+H  upper   byte offset of the start of record data
+H  flags   page-kind flags (heap / B-tree leaf / B-tree internal)
+I  special page-kind-specific value (B-tree right-sibling pointer)
+== ======= ==========================================================
+
+Each slot is 4 bytes: ``(offset: H, length: H)``.  Slot order is the
+*logical* record order; B-tree nodes keep slots sorted by key, heap
+pages append.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.errors import PageError, PageOverflowError
+
+PAGE_SIZE = 8192
+HEADER_FMT = "<HHHHI"
+HEADER_SIZE = struct.calcsize(HEADER_FMT)  # 12
+SLOT_FMT = "<HH"
+SLOT_SIZE = struct.calcsize(SLOT_FMT)  # 4
+
+# Page-kind flags.
+PAGE_HEAP = 0x0001
+PAGE_BTREE_LEAF = 0x0002
+PAGE_BTREE_INTERNAL = 0x0004
+PAGE_BTREE_META = 0x0008
+
+MAX_RECORD_SIZE = PAGE_SIZE - HEADER_SIZE - SLOT_SIZE
+"""Largest record payload that fits on an otherwise empty page."""
+
+
+class Page:
+    """A mutable slotted page over a ``bytearray`` buffer."""
+
+    __slots__ = ("buf",)
+
+    def __init__(self, buf: bytes | bytearray | None = None, flags: int = 0) -> None:
+        if buf is None:
+            self.buf = bytearray(PAGE_SIZE)
+            self._write_header(0, HEADER_SIZE, PAGE_SIZE, flags, 0)
+        else:
+            if len(buf) != PAGE_SIZE:
+                raise PageError(f"page buffer must be {PAGE_SIZE} bytes, got {len(buf)}")
+            self.buf = bytearray(buf)
+            nslots, lower, upper, _flags, _special = self._read_header()
+            if lower == 0 and upper == 0 and nslots == 0:
+                # All-zero (freshly extended) page: initialize.
+                self._write_header(0, HEADER_SIZE, PAGE_SIZE, flags, 0)
+
+    # -- header access ------------------------------------------------
+
+    def _read_header(self) -> tuple[int, int, int, int, int]:
+        return struct.unpack_from(HEADER_FMT, self.buf, 0)
+
+    def _write_header(self, nslots: int, lower: int, upper: int,
+                      flags: int, special: int) -> None:
+        struct.pack_into(HEADER_FMT, self.buf, 0, nslots, lower, upper, flags, special)
+
+    @property
+    def nslots(self) -> int:
+        return self._read_header()[0]
+
+    @property
+    def flags(self) -> int:
+        return self._read_header()[3]
+
+    @flags.setter
+    def flags(self, value: int) -> None:
+        n, lo, up, _f, sp = self._read_header()
+        self._write_header(n, lo, up, value, sp)
+
+    @property
+    def special(self) -> int:
+        return self._read_header()[4]
+
+    @special.setter
+    def special(self, value: int) -> None:
+        n, lo, up, f, _sp = self._read_header()
+        self._write_header(n, lo, up, f, value)
+
+    @property
+    def free_space(self) -> int:
+        """Bytes available for one more record *including* its slot."""
+        _n, lower, upper, _f, _sp = self._read_header()
+        return max(0, upper - lower)
+
+    def fits(self, record_len: int) -> bool:
+        return self.free_space >= record_len + SLOT_SIZE
+
+    # -- slot directory -----------------------------------------------
+
+    def _slot(self, idx: int) -> tuple[int, int]:
+        nslots = self.nslots
+        if not (0 <= idx < nslots):
+            raise PageError(f"slot {idx} out of range (nslots={nslots})")
+        return struct.unpack_from(SLOT_FMT, self.buf, HEADER_SIZE + idx * SLOT_SIZE)
+
+    def _set_slot(self, idx: int, offset: int, length: int) -> None:
+        struct.pack_into(SLOT_FMT, self.buf, HEADER_SIZE + idx * SLOT_SIZE, offset, length)
+
+    # -- record operations ----------------------------------------------
+
+    def add_record(self, data: bytes) -> int:
+        """Append ``data`` as a new record; returns its slot index."""
+        return self.insert_record(self.nslots, data)
+
+    def insert_record(self, idx: int, data: bytes) -> int:
+        """Insert ``data`` so it becomes slot ``idx``, shifting later
+        slots up.  B-tree nodes use this to keep slots key-ordered."""
+        n = len(data)
+        if n > MAX_RECORD_SIZE:
+            raise PageOverflowError(f"record of {n} bytes exceeds page capacity")
+        if not self.fits(n):
+            raise PageOverflowError(
+                f"record of {n} bytes does not fit (free={self.free_space})")
+        nslots, lower, upper, flags, special = self._read_header()
+        if not (0 <= idx <= nslots):
+            raise PageError(f"insert position {idx} out of range (nslots={nslots})")
+        # Shift the slot directory entries at and after idx.
+        src = HEADER_SIZE + idx * SLOT_SIZE
+        end = HEADER_SIZE + nslots * SLOT_SIZE
+        self.buf[src + SLOT_SIZE:end + SLOT_SIZE] = self.buf[src:end]
+        new_upper = upper - n
+        self.buf[new_upper:new_upper + n] = data
+        self._write_header(nslots + 1, lower + SLOT_SIZE, new_upper, flags, special)
+        self._set_slot(idx, new_upper, n)
+        return idx
+
+    def get_record(self, idx: int) -> bytes:
+        offset, length = self._slot(idx)
+        if offset == 0:
+            raise PageError(f"slot {idx} is dead")
+        return bytes(self.buf[offset:offset + length])
+
+    def overwrite_record(self, idx: int, data: bytes) -> None:
+        """Replace a record in place.  Only same-length replacement is
+        allowed — used solely for stamping ``xmax`` into an existing
+        record header (the no-overwrite manager never changes record
+        *contents*)."""
+        offset, length = self._slot(idx)
+        if len(data) != length:
+            raise PageError(
+                f"in-place overwrite must preserve length ({len(data)} != {length})")
+        self.buf[offset:offset + length] = data
+
+    def patch_record(self, idx: int, rel_offset: int, patch: bytes) -> None:
+        """Patch ``patch`` bytes into the record at slot ``idx`` starting
+        ``rel_offset`` bytes into the record."""
+        offset, length = self._slot(idx)
+        if rel_offset + len(patch) > length:
+            raise PageError("patch extends past end of record")
+        start = offset + rel_offset
+        self.buf[start:start + len(patch)] = patch
+
+    def delete_slot(self, idx: int) -> None:
+        """Remove slot ``idx`` from the directory (B-tree node
+        reorganization; heap pages never delete, they stamp ``xmax``).
+        The record bytes become a hole reclaimed by :meth:`compact`."""
+        nslots, lower, upper, flags, special = self._read_header()
+        if not (0 <= idx < nslots):
+            raise PageError(f"slot {idx} out of range (nslots={nslots})")
+        src = HEADER_SIZE + (idx + 1) * SLOT_SIZE
+        end = HEADER_SIZE + nslots * SLOT_SIZE
+        self.buf[src - SLOT_SIZE:end - SLOT_SIZE] = self.buf[src:end]
+        self._write_header(nslots - 1, lower - SLOT_SIZE, upper, flags, special)
+
+    def compact(self) -> None:
+        """Rewrite the data region to squeeze out holes left by
+        :meth:`delete_slot`."""
+        nslots, _lower, _upper, flags, special = self._read_header()
+        records = [self.get_record(i) for i in range(nslots)]
+        self.buf[:] = bytes(PAGE_SIZE)
+        self._write_header(0, HEADER_SIZE, PAGE_SIZE, flags, special)
+        for rec in records:
+            self.add_record(rec)
+
+    def rewrite(self, records: list[bytes]) -> None:
+        """Replace all records, preserving flags and special."""
+        _n, _lo, _up, flags, special = self._read_header()
+        self.buf[:] = bytes(PAGE_SIZE)
+        self._write_header(0, HEADER_SIZE, PAGE_SIZE, flags, special)
+        for rec in records:
+            self.add_record(rec)
+
+    def records(self) -> list[bytes]:
+        """All records in slot order."""
+        return [self.get_record(i) for i in range(self.nslots)]
+
+    def to_bytes(self) -> bytes:
+        return bytes(self.buf)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Page(nslots={self.nslots}, free={self.free_space}, flags={self.flags:#x})"

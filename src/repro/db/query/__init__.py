@@ -1,0 +1,26 @@
+"""A POSTQUEL-like query language.
+
+"Instead of mastering the use of many different programs, the user may
+examine the file system's structure and contents by formulating simple
+POSTQUEL queries."  This package implements the subset the paper's
+examples exercise, plus the DDL Inversion needs:
+
+- ``retrieve (targets) [from v in rel[, …]] [where qual] [sort by col]``
+  with per-range-variable time travel (``rel[T]``);
+- ``append rel (col = expr, …)``;
+- ``delete v [from v in rel] [where qual]``;
+- ``replace v (col = expr, …) [from …] [where qual]``;
+- ``define type name``;
+- ``define function name (argtype, …) returns type [for filetype]
+  language "python"|"postquel" as "src"``;
+- ``remove table name``.
+
+Function calls in target lists and qualifications dispatch through the
+catalog (:mod:`repro.db.funcmgr`), so user-defined functions — the
+paper's ``keywords``, ``snow``, ``month_of`` — compose with queries
+exactly as in the examples.
+"""
+
+from repro.db.query.engine import QueryEngine
+
+__all__ = ["QueryEngine"]

@@ -1,0 +1,147 @@
+"""AST node definitions for the POSTQUEL subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class Expr:
+    """Base class for expressions."""
+
+
+@dataclass(frozen=True)
+class Literal(Expr):
+    value: object
+
+
+@dataclass(frozen=True)
+class Param(Expr):
+    """$N — positional argument of a POSTQUEL-language function."""
+
+    index: int  # 1-based
+
+
+@dataclass(frozen=True)
+class Var(Expr):
+    """A column reference, optionally qualified by a range variable."""
+
+    qualifier: str | None
+    name: str
+
+
+@dataclass(frozen=True)
+class FuncCall(Expr):
+    name: str
+    args: tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    op: str  # 'or','and','=','!=','<','<=','>','>=','in','+','-','*','/'
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expr):
+    op: str  # 'not', '-'
+    operand: Expr
+
+
+class Statement:
+    """Base class for statements."""
+
+
+@dataclass(frozen=True)
+class RangeVar:
+    """``v in relation``, optionally time-travelled: ``relation[T]``
+    (the state as of T) or ``relation[T1, T2]`` (every version live at
+    some instant in the interval)."""
+
+    name: str
+    relation: str
+    asof: Expr | None = None
+    asof_end: Expr | None = None
+
+
+@dataclass(frozen=True)
+class Target:
+    """One target-list entry, optionally labelled (``label = expr``)."""
+
+    expr: Expr
+    label: str | None = None
+
+
+@dataclass(frozen=True)
+class Retrieve(Statement):
+    targets: tuple[Target, ...]
+    froms: tuple[RangeVar, ...] = ()
+    where: Expr | None = None
+    sort_by: str | None = None
+    sort_desc: bool = False
+    unique: bool = False
+    #: ``retrieve into t (...)`` — materialize the result as a new
+    #: table (POSTQUEL's result-table form; this is how function
+    #: results get indexed for fast lookup later).
+    into: str | None = None
+
+
+@dataclass(frozen=True)
+class Append(Statement):
+    relation: str
+    assigns: tuple[tuple[str, Expr], ...]
+
+
+@dataclass(frozen=True)
+class Delete(Statement):
+    var: str
+    froms: tuple[RangeVar, ...] = ()
+    where: Expr | None = None
+
+
+@dataclass(frozen=True)
+class Replace(Statement):
+    var: str
+    assigns: tuple[tuple[str, Expr], ...]
+    froms: tuple[RangeVar, ...] = ()
+    where: Expr | None = None
+
+
+@dataclass(frozen=True)
+class DefineType(Statement):
+    name: str
+
+
+@dataclass(frozen=True)
+class DefineFunction(Statement):
+    name: str
+    argtypes: tuple[str, ...]
+    rettype: str
+    lang: str
+    src: str
+    typrestrict: str = ""
+
+
+@dataclass(frozen=True)
+class DefineIndex(Statement):
+    table: str
+    keycols: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class DefineRule(Statement):
+    name: str
+    event: str
+    table: str
+    qualification: str   # stored as source text, re-parsed at firing
+    action: str          # 'reject' or 'do <registry key>'
+
+
+@dataclass(frozen=True)
+class RemoveRule(Statement):
+    name: str
+
+
+@dataclass(frozen=True)
+class RemoveTable(Statement):
+    name: str

@@ -1,0 +1,527 @@
+"""POSTQUEL planner and executor.
+
+The executor runs nested-loop joins over the statement's range
+variables.  The planner is deliberately simple but real: for each range
+variable it extracts top-level equality conjuncts of the qualification
+and, when the referenced table has a B-tree index whose key columns are
+exactly covered by constant equalities, uses an index scan instead of a
+sequential scan ("indices may be defined to make file system operations
+run faster, at the user's discretion").
+
+Time travel composes per range variable: ``from f in naming[t0]`` scans
+``naming`` under an as-of snapshot for ``t0`` while other variables see
+the present.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from repro.db.query import ast
+from repro.db.query.parser import parse, parse_expression
+from repro.db.snapshot import Snapshot
+from repro.db.table import Table
+from repro.db.transactions import Transaction
+from repro.errors import QueryError
+
+
+class _Scope:
+    """One range variable bound to a table and snapshot."""
+
+    def __init__(self, name: str, table: Table, snapshot: Snapshot) -> None:
+        self.name = name
+        self.table = table
+        self.snapshot = snapshot
+        self.colnames = table.schema.column_names()
+
+
+class Evaluator:
+    """Evaluates expressions over an environment of bound rows."""
+
+    def __init__(self, db, scopes: Sequence[_Scope], snapshot: Snapshot,
+                 params: Sequence[object] = ()) -> None:
+        self.db = db
+        self.scopes = {s.name: s for s in scopes}
+        self.snapshot = snapshot
+        self.params = params
+        self.env: dict[str, tuple] = {}
+
+    # -- variable resolution ------------------------------------------------
+
+    def _resolve_var(self, expr: ast.Var) -> object:
+        if expr.qualifier is not None:
+            scope = self.scopes.get(expr.qualifier)
+            if scope is None:
+                raise QueryError(f"unknown range variable {expr.qualifier!r}")
+            row = self.env.get(expr.qualifier)
+            if row is None:
+                raise QueryError(f"range variable {expr.qualifier!r} not bound")
+            return row[scope.table.schema.column_index(expr.name)]
+        matches = [s for s in self.scopes.values() if expr.name in s.colnames]
+        if not matches:
+            raise QueryError(f"unknown column {expr.name!r}")
+        if len(matches) > 1:
+            raise QueryError(f"ambiguous column {expr.name!r}")
+        scope = matches[0]
+        row = self.env.get(scope.name)
+        if row is None:
+            raise QueryError(f"range variable {scope.name!r} not bound")
+        return row[scope.table.schema.column_index(expr.name)]
+
+    # -- evaluation -------------------------------------------------------------
+
+    def eval(self, expr: ast.Expr) -> object:
+        if isinstance(expr, ast.Literal):
+            return expr.value
+        if isinstance(expr, ast.Param):
+            if not (1 <= expr.index <= len(self.params)):
+                raise QueryError(f"no argument ${expr.index}")
+            return self.params[expr.index - 1]
+        if isinstance(expr, ast.Var):
+            return self._resolve_var(expr)
+        if isinstance(expr, ast.FuncCall):
+            args = [self.eval(a) for a in expr.args]
+            return self.db.funcs.call(expr.name, args, self.snapshot)
+        if isinstance(expr, ast.UnaryOp):
+            value = self.eval(expr.operand)
+            if expr.op == "not":
+                return not value
+            if expr.op == "-":
+                return -value
+            raise QueryError(f"unknown unary operator {expr.op!r}")
+        if isinstance(expr, ast.BinOp):
+            return self._eval_binop(expr)
+        raise QueryError(f"cannot evaluate {expr!r}")
+
+    def _eval_binop(self, expr: ast.BinOp) -> object:
+        op = expr.op
+        if op == "and":
+            return bool(self.eval(expr.left)) and bool(self.eval(expr.right))
+        if op == "or":
+            return bool(self.eval(expr.left)) or bool(self.eval(expr.right))
+        left = self.eval(expr.left)
+        right = self.eval(expr.right)
+        try:
+            if op == "=":
+                return left == right
+            if op == "!=":
+                return left != right
+            if op == "<":
+                return left < right
+            if op == "<=":
+                return left <= right
+            if op == ">":
+                return left > right
+            if op == ">=":
+                return left >= right
+            if op == "in":
+                return left in right
+            if op == "+":
+                return left + right
+            if op == "-":
+                return left - right
+            if op == "*":
+                return left * right
+            if op == "/":
+                return left / right
+        except TypeError as exc:
+            raise QueryError(f"type error in {op!r}: {exc}") from None
+        raise QueryError(f"unknown operator {op!r}")
+
+    def is_const(self, expr: ast.Expr) -> bool:
+        """True if the expression references no range variables."""
+        if isinstance(expr, (ast.Literal, ast.Param)):
+            return True
+        if isinstance(expr, ast.Var):
+            return False
+        if isinstance(expr, ast.FuncCall):
+            return all(self.is_const(a) for a in expr.args)
+        if isinstance(expr, ast.UnaryOp):
+            return self.is_const(expr.operand)
+        if isinstance(expr, ast.BinOp):
+            return self.is_const(expr.left) and self.is_const(expr.right)
+        return False
+
+
+#: POSTQUEL aggregate functions, computed over the qualification's
+#: matching rows.  An aggregate name shadows any user-defined function
+#: of the same name inside a target list.
+AGGREGATES = frozenset({"count", "sum", "avg", "min", "max"})
+
+
+class _Aggregate:
+    """One running aggregate over the result stream."""
+
+    def __init__(self, kind: str, argument: ast.Expr) -> None:
+        self.kind = kind
+        self.argument = argument
+        self.count = 0
+        self.total = 0
+        self.best = None
+
+    def feed(self, value: object) -> None:
+        if value is None:
+            return
+        self.count += 1
+        if self.kind in ("sum", "avg"):
+            self.total += value
+        elif self.kind == "min":
+            self.best = value if self.best is None else min(self.best, value)
+        elif self.kind == "max":
+            self.best = value if self.best is None else max(self.best, value)
+
+    def result(self) -> object:
+        if self.kind == "count":
+            return self.count
+        if self.kind == "sum":
+            return self.total
+        if self.kind == "avg":
+            return self.total / self.count if self.count else None
+        return self.best
+
+
+def _aggregate_of(expr: ast.Expr) -> tuple[str, ast.Expr] | None:
+    """(kind, argument) when the expression is an aggregate call."""
+    if isinstance(expr, ast.FuncCall) and expr.name.lower() in AGGREGATES:
+        if len(expr.args) != 1:
+            raise QueryError(f"{expr.name} takes exactly one argument")
+        return expr.name.lower(), expr.args[0]
+    return None
+
+
+def _conjuncts(expr: ast.Expr | None) -> list[ast.Expr]:
+    if expr is None:
+        return []
+    if isinstance(expr, ast.BinOp) and expr.op == "and":
+        return _conjuncts(expr.left) + _conjuncts(expr.right)
+    return [expr]
+
+
+class QueryEngine:
+    """Entry point: parse and execute one statement."""
+
+    def __init__(self, db) -> None:
+        self.db = db
+
+    # -- public API ---------------------------------------------------------
+
+    def execute(self, tx: Transaction, text: str,
+                default_relation: str | None = None) -> list[tuple]:
+        stmt = parse(text)
+        snapshot = self.db.snapshot(tx)
+        if isinstance(stmt, ast.Retrieve):
+            return self._retrieve(tx, stmt, snapshot, default_relation)
+        if isinstance(stmt, ast.Append):
+            return self._append(tx, stmt, snapshot)
+        if isinstance(stmt, ast.Delete):
+            return self._delete(tx, stmt, snapshot, default_relation)
+        if isinstance(stmt, ast.Replace):
+            return self._replace(tx, stmt, snapshot, default_relation)
+        if isinstance(stmt, ast.DefineType):
+            self.db.catalog.define_type(tx, stmt.name)
+            return []
+        if isinstance(stmt, ast.DefineFunction):
+            if stmt.lang not in ("python", "postquel", "c"):
+                raise QueryError(f"unsupported language {stmt.lang!r}")
+            lang = "python" if stmt.lang == "c" else stmt.lang
+            self.db.catalog.define_function(
+                tx, stmt.name, lang, list(stmt.argtypes), stmt.rettype,
+                stmt.src, stmt.typrestrict)
+            return []
+        if isinstance(stmt, ast.DefineIndex):
+            self.db.create_index(tx, stmt.table, list(stmt.keycols))
+            return []
+        if isinstance(stmt, ast.DefineRule):
+            self.db.rules.define_rule(tx, stmt.name, stmt.table, stmt.event,
+                                      stmt.qualification, stmt.action)
+            return []
+        if isinstance(stmt, ast.RemoveRule):
+            self.db.rules.drop_rule(tx, stmt.name)
+            return []
+        if isinstance(stmt, ast.RemoveTable):
+            self.db.drop_table(tx, stmt.name)
+            return []
+        raise QueryError(f"unsupported statement {stmt!r}")
+
+    # -- scopes ------------------------------------------------------------------
+
+    def _scopes_for(self, tx: Transaction, froms: Sequence[ast.RangeVar],
+                    snapshot: Snapshot,
+                    default_relation: str | None) -> list[_Scope]:
+        if not froms and default_relation is not None:
+            froms = [ast.RangeVar(default_relation, default_relation, None)]
+        scopes = []
+        for rv in froms:
+            table = self.db.table(rv.relation, tx)
+            var_snapshot = snapshot
+            if rv.asof is not None:
+                const_eval = Evaluator(self.db, [], snapshot)
+                when = const_eval.eval(rv.asof)
+                if rv.asof_end is not None:
+                    from repro.db.snapshot import IntervalSnapshot
+                    until = const_eval.eval(rv.asof_end)
+                    var_snapshot = IntervalSnapshot(self.db.tm,
+                                                    float(when), float(until))
+                else:
+                    var_snapshot = self.db.asof(float(when))
+            scopes.append(_Scope(rv.name, table, var_snapshot))
+        return scopes
+
+    # -- row sources (the planner) ---------------------------------------------------
+
+    def _row_source(self, scope: _Scope, where: ast.Expr | None,
+                    evaluator: Evaluator,
+                    tx: Transaction | None) -> Iterator[tuple]:
+        """Rows of one range variable: index scan when a usable index
+        is fully covered by constant equality conjuncts, else a
+        sequential scan."""
+        eq: dict[str, object] = {}
+        for conj in _conjuncts(where):
+            if not (isinstance(conj, ast.BinOp) and conj.op == "="):
+                continue
+            for lhs, rhs in ((conj.left, conj.right), (conj.right, conj.left)):
+                if (isinstance(lhs, ast.Var)
+                        and (lhs.qualifier == scope.name
+                             or (lhs.qualifier is None
+                                 and lhs.name in scope.colnames))
+                        and evaluator.is_const(rhs)):
+                    eq[lhs.name] = evaluator.eval(rhs)
+        for index_info in scope.table.info.indexes:
+            if all(col in eq for col in index_info.keycols):
+                key = tuple(eq[col] for col in index_info.keycols)
+                return (row for _tid, row in scope.table.index_eq(
+                    index_info.keycols, key, scope.snapshot, tx))
+        return (row for _tid, row in scope.table.scan(scope.snapshot, tx))
+
+    # -- retrieve ------------------------------------------------------------------------
+
+    def _retrieve(self, tx: Transaction, stmt: ast.Retrieve,
+                  snapshot: Snapshot,
+                  default_relation: str | None) -> list[tuple]:
+        scopes = self._scopes_for(tx, stmt.froms, snapshot, default_relation)
+        evaluator = Evaluator(self.db, scopes, snapshot)
+        results: list[tuple] = []
+
+        aggregates = [_aggregate_of(t.expr) for t in stmt.targets]
+        agg_mode = any(a is not None for a in aggregates)
+        if agg_mode and not all(a is not None for a in aggregates):
+            raise QueryError(
+                "aggregate and plain targets cannot mix (no grouping)")
+        accumulators = [_Aggregate(kind, arg) for kind, arg in aggregates] \
+            if agg_mode else []
+
+        def emit() -> None:
+            if self.db.cpu is not None:
+                self.db.cpu.query_row()
+            if stmt.where is not None and not evaluator.eval(stmt.where):
+                return
+            if agg_mode:
+                for acc in accumulators:
+                    acc.feed(evaluator.eval(acc.argument))
+                return
+            results.append(tuple(evaluator.eval(t.expr) for t in stmt.targets))
+
+        def recurse(depth: int) -> None:
+            if depth == len(scopes):
+                emit()
+                return
+            scope = scopes[depth]
+            for row in self._row_source(scope, stmt.where, evaluator, tx):
+                evaluator.env[scope.name] = row
+                recurse(depth + 1)
+            evaluator.env.pop(scope.name, None)
+
+        if scopes:
+            recurse(0)
+        else:
+            emit()  # constant query, e.g. retrieve (1+2)
+
+        if agg_mode:
+            results = [tuple(acc.result() for acc in accumulators)]
+
+        if stmt.unique:
+            seen = set()
+            deduped = []
+            for row in results:
+                if row not in seen:
+                    seen.add(row)
+                    deduped.append(row)
+            results = deduped
+        if stmt.sort_by is not None:
+            idx = self._sort_index(stmt)
+            results.sort(key=lambda r: r[idx], reverse=stmt.sort_desc)
+        if stmt.into is not None:
+            self._materialize(tx, stmt, scopes, results)
+            return []
+        return results
+
+    # -- retrieve into: materialized result tables --------------------------
+
+    def _materialize(self, tx: Transaction, stmt: ast.Retrieve,
+                     scopes: list[_Scope], results: list[tuple]) -> None:
+        """Create ``stmt.into`` from the result set.  This is how
+        expensive function results (SFS would call them transducer
+        outputs) become a table that ``define index`` can make fast."""
+        from repro.db.tuples import Column, Schema
+        columns = []
+        for i, target in enumerate(stmt.targets):
+            name = target.label
+            if name is None and isinstance(target.expr, ast.Var):
+                name = target.expr.name
+            if name is None and isinstance(target.expr, ast.FuncCall):
+                name = target.expr.name
+            columns.append(Column(name or f"column{i + 1}",
+                                  self._infer_type(target.expr, scopes)))
+        schema = Schema(columns)
+        table = self.db.create_table(tx, stmt.into, schema)
+        for row in results:
+            table.insert(tx, row)
+
+    def _infer_type(self, expr: ast.Expr, scopes: list[_Scope]) -> str:
+        """Best-effort static typing of a target expression."""
+        if isinstance(expr, ast.Literal):
+            if isinstance(expr.value, bool):
+                return "bool"
+            if isinstance(expr.value, int):
+                return "int8"
+            if isinstance(expr.value, float):
+                return "float8"
+            if isinstance(expr.value, (bytes, bytearray)):
+                return "bytea"
+            return "text"
+        if isinstance(expr, ast.Var):
+            for scope in scopes:
+                if (expr.qualifier in (None, scope.name)
+                        and expr.name in scope.colnames):
+                    idx = scope.table.schema.column_index(expr.name)
+                    return scope.table.schema.columns[idx].typ
+            return "text"
+        if isinstance(expr, ast.FuncCall):
+            proc = self.db.catalog.lookup_function(
+                expr.name, self.db._read_snapshot(None))
+            if proc is not None and proc.rettype in (
+                    "int4", "int8", "oid", "float8", "bool", "time",
+                    "text", "bytea"):
+                return proc.rettype
+            return "text"
+        if isinstance(expr, ast.UnaryOp):
+            if expr.op == "not":
+                return "bool"
+            return self._infer_type(expr.operand, scopes)
+        if isinstance(expr, ast.BinOp):
+            if expr.op in ("and", "or", "=", "!=", "<", "<=", ">", ">=", "in"):
+                return "bool"
+            left = self._infer_type(expr.left, scopes)
+            right = self._infer_type(expr.right, scopes)
+            if expr.op == "/" or "float8" in (left, right):
+                return "float8"
+            if left == right:
+                return left
+            return "int8" if {left, right} <= {"int4", "int8", "oid"} \
+                else "text"
+        return "text"
+
+    def _sort_index(self, stmt: ast.Retrieve) -> int:
+        for i, target in enumerate(stmt.targets):
+            if target.label == stmt.sort_by:
+                return i
+            if isinstance(target.expr, ast.Var) and target.expr.name == stmt.sort_by:
+                return i
+        raise QueryError(f"sort column {stmt.sort_by!r} not in target list")
+
+    # -- DML --------------------------------------------------------------------------------
+
+    def _append(self, tx: Transaction, stmt: ast.Append,
+                snapshot: Snapshot) -> list[tuple]:
+        table = self.db.table(stmt.relation, tx)
+        evaluator = Evaluator(self.db, [], snapshot)
+        assigns = {name: evaluator.eval(expr) for name, expr in stmt.assigns}
+        row = []
+        for col in table.schema.columns:
+            if col.name not in assigns:
+                raise QueryError(
+                    f"append to {stmt.relation!r} missing column {col.name!r}")
+            row.append(assigns.pop(col.name))
+        if assigns:
+            raise QueryError(f"unknown columns in append: {sorted(assigns)}")
+        table.insert(tx, tuple(row))
+        return []
+
+    def _delete(self, tx: Transaction, stmt: ast.Delete, snapshot: Snapshot,
+                default_relation: str | None) -> list[tuple]:
+        froms = stmt.froms or (ast.RangeVar(stmt.var, stmt.var, None),)
+        scopes = self._scopes_for(tx, froms, snapshot, default_relation)
+        target = next((s for s in scopes if s.name == stmt.var), None)
+        if target is None:
+            raise QueryError(f"delete target {stmt.var!r} not in from clause")
+        evaluator = Evaluator(self.db, scopes, snapshot)
+        victims = self._matching_tids(stmt.where, scopes, target, evaluator, tx)
+        for tid in victims:
+            target.table.delete(tx, tid)
+        return []
+
+    def _replace(self, tx: Transaction, stmt: ast.Replace, snapshot: Snapshot,
+                 default_relation: str | None) -> list[tuple]:
+        froms = stmt.froms or (ast.RangeVar(stmt.var, stmt.var, None),)
+        scopes = self._scopes_for(tx, froms, snapshot, default_relation)
+        target = next((s for s in scopes if s.name == stmt.var), None)
+        if target is None:
+            raise QueryError(f"replace target {stmt.var!r} not in from clause")
+        evaluator = Evaluator(self.db, scopes, snapshot)
+        updates: list[tuple] = []
+        for tid, row in self._matching_rows(stmt.where, scopes, target,
+                                            evaluator, tx):
+            evaluator.env[target.name] = row
+            new_row = list(row)
+            for name, expr in stmt.assigns:
+                new_row[target.table.schema.column_index(name)] = \
+                    evaluator.eval(expr)
+            updates.append((tid, tuple(new_row)))
+        for tid, new_row in updates:
+            target.table.update(tx, tid, new_row)
+        return []
+
+    def _matching_rows(self, where: ast.Expr | None, scopes: list[_Scope],
+                       target: _Scope, evaluator: Evaluator,
+                       tx: Transaction) -> list[tuple]:
+        """(tid, row) pairs of the target scope matching the
+        qualification, materialized before mutation."""
+        matches: list[tuple] = []
+
+        others = [s for s in scopes if s is not target]
+
+        def qual_ok() -> bool:
+            if self.db.cpu is not None:
+                self.db.cpu.query_row()
+            return where is None or bool(evaluator.eval(where))
+
+        def recurse(depth: int, tid, row) -> bool:
+            if depth == len(others):
+                return qual_ok()
+            scope = others[depth]
+            for other_row in self._row_source(scope, where, evaluator, tx):
+                evaluator.env[scope.name] = other_row
+                if recurse(depth + 1, tid, row):
+                    evaluator.env.pop(scope.name, None)
+                    return True
+            evaluator.env.pop(scope.name, None)
+            return False
+
+        for tid, row in list(target.table.scan(target.snapshot, tx)):
+            evaluator.env[target.name] = row
+            if recurse(0, tid, row):
+                matches.append((tid, row))
+        evaluator.env.pop(target.name, None)
+        return matches
+
+    def _matching_tids(self, where, scopes, target, evaluator, tx) -> list:
+        return [tid for tid, _row in
+                self._matching_rows(where, scopes, target, evaluator, tx)]
+
+
+def evaluate_expression_text(db, text: str, args: list[object],
+                             snapshot: Snapshot) -> object:
+    """Evaluate a POSTQUEL-language function body: a bare expression
+    with $N bound to ``args``."""
+    expr = parse_expression(text)
+    return Evaluator(db, [], snapshot, params=args).eval(expr)

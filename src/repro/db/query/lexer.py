@@ -1,0 +1,114 @@
+"""Tokenizer for the POSTQUEL subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import QuerySyntaxError
+
+KEYWORDS = frozenset({
+    "retrieve", "unique", "into", "from", "in", "where", "sort", "by", "asc",
+    "desc", "append", "delete", "replace", "define", "remove", "type",
+    "function", "returns", "language", "as", "for", "table", "index",
+    "on", "and", "or", "not", "rule", "to", "do", "reject",
+})
+
+# Token kinds
+IDENT = "IDENT"
+KEYWORD = "KEYWORD"
+NUMBER = "NUMBER"
+STRING = "STRING"
+OP = "OP"
+PUNCT = "PUNCT"
+PARAM = "PARAM"   # $1, $2, ... inside POSTQUEL function bodies
+EOF = "EOF"
+
+_TWO_CHAR_OPS = ("<=", ">=", "!=")
+_ONE_CHAR_OPS = "=<>+-*/"
+_PUNCT = "(),[].[]"
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    value: object
+    pos: int
+
+    def is_kw(self, word: str) -> bool:
+        return self.kind == KEYWORD and self.value == word
+
+
+def tokenize(text: str) -> list[Token]:
+    tokens: list[Token] = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c.isspace():
+            i += 1
+            continue
+        start = i
+        if c == "$" and i + 1 < n and text[i + 1].isdigit():
+            j = i + 1
+            while j < n and text[j].isdigit():
+                j += 1
+            tokens.append(Token(PARAM, int(text[i + 1:j]), start))
+            i = j
+            continue
+        if c.isalpha() or c == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            lower = word.lower()
+            if lower in KEYWORDS:
+                tokens.append(Token(KEYWORD, lower, start))
+            else:
+                tokens.append(Token(IDENT, word, start))
+            i = j
+            continue
+        if c.isdigit() or (c == "." and i + 1 < n and text[i + 1].isdigit()):
+            j = i
+            seen_dot = False
+            while j < n and (text[j].isdigit() or (text[j] == "." and not seen_dot)):
+                if text[j] == ".":
+                    # A dot followed by a non-digit is attribute access.
+                    if j + 1 >= n or not text[j + 1].isdigit():
+                        break
+                    seen_dot = True
+                j += 1
+            raw = text[i:j]
+            tokens.append(Token(NUMBER, float(raw) if "." in raw else int(raw), start))
+            i = j
+            continue
+        if c in "\"'":
+            quote = c
+            j = i + 1
+            out = []
+            while j < n and text[j] != quote:
+                if text[j] == "\\" and j + 1 < n:
+                    out.append(text[j + 1])
+                    j += 2
+                else:
+                    out.append(text[j])
+                    j += 1
+            if j >= n:
+                raise QuerySyntaxError(f"unterminated string at {i}")
+            tokens.append(Token(STRING, "".join(out), start))
+            i = j + 1
+            continue
+        two = text[i:i + 2]
+        if two in _TWO_CHAR_OPS:
+            tokens.append(Token(OP, two, start))
+            i += 2
+            continue
+        if c in _ONE_CHAR_OPS:
+            tokens.append(Token(OP, c, start))
+            i += 1
+            continue
+        if c in "()[],.":
+            tokens.append(Token(PUNCT, c, start))
+            i += 1
+            continue
+        raise QuerySyntaxError(f"unexpected character {c!r} at {i}")
+    tokens.append(Token(EOF, None, n))
+    return tokens

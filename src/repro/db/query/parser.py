@@ -1,0 +1,392 @@
+"""Recursive-descent parser for the POSTQUEL subset.
+
+Operator precedence, loosest first: ``or`` < ``and`` < ``not`` <
+comparisons/``in`` < ``+ -`` < ``* /`` < unary minus < postfix.
+"""
+
+from __future__ import annotations
+
+from repro.db.query import ast
+from repro.db.query.lexer import (
+    EOF,
+    IDENT,
+    KEYWORD,
+    NUMBER,
+    OP,
+    PARAM,
+    PUNCT,
+    STRING,
+    Token,
+    tokenize,
+)
+from repro.errors import QuerySyntaxError
+
+_COMPARISONS = ("=", "!=", "<", "<=", ">", ">=")
+
+
+class Parser:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.tokens = tokenize(text)
+        self.pos = 0
+
+    # -- token plumbing ---------------------------------------------------
+
+    def _peek(self) -> Token:
+        return self.tokens[self.pos]
+
+    def _next(self) -> Token:
+        tok = self.tokens[self.pos]
+        self.pos += 1
+        return tok
+
+    def _error(self, message: str) -> QuerySyntaxError:
+        tok = self._peek()
+        return QuerySyntaxError(f"{message} (at {tok.kind} {tok.value!r}, "
+                                f"position {tok.pos} in {self.text!r})")
+
+    def _expect_kw(self, word: str) -> None:
+        if not self._peek().is_kw(word):
+            raise self._error(f"expected {word!r}")
+        self._next()
+
+    def _accept_kw(self, word: str) -> bool:
+        if self._peek().is_kw(word):
+            self._next()
+            return True
+        return False
+
+    def _expect_punct(self, ch: str) -> None:
+        tok = self._peek()
+        if tok.kind != PUNCT or tok.value != ch:
+            raise self._error(f"expected {ch!r}")
+        self._next()
+
+    def _accept_punct(self, ch: str) -> bool:
+        tok = self._peek()
+        if tok.kind == PUNCT and tok.value == ch:
+            self._next()
+            return True
+        return False
+
+    def _accept_op(self, *ops: str) -> str | None:
+        tok = self._peek()
+        if tok.kind == OP and tok.value in ops:
+            self._next()
+            return tok.value
+        return None
+
+    def _expect_ident(self) -> str:
+        tok = self._peek()
+        if tok.kind != IDENT:
+            raise self._error("expected identifier")
+        self._next()
+        return tok.value
+
+    def _expect_string(self) -> str:
+        tok = self._peek()
+        if tok.kind != STRING:
+            raise self._error("expected string literal")
+        self._next()
+        return tok.value
+
+    # -- statements ----------------------------------------------------------
+
+    def parse_statement(self) -> ast.Statement:
+        tok = self._peek()
+        if tok.kind != KEYWORD:
+            raise self._error("expected a statement keyword")
+        if tok.value == "retrieve":
+            stmt = self._retrieve()
+        elif tok.value == "append":
+            stmt = self._append()
+        elif tok.value == "delete":
+            stmt = self._delete()
+        elif tok.value == "replace":
+            stmt = self._replace()
+        elif tok.value == "define":
+            stmt = self._define()
+        elif tok.value == "remove":
+            stmt = self._remove()
+        else:
+            raise self._error(f"unsupported statement {tok.value!r}")
+        if self._peek().kind != EOF:
+            raise self._error("trailing tokens after statement")
+        return stmt
+
+    def _retrieve(self) -> ast.Retrieve:
+        self._expect_kw("retrieve")
+        unique = self._accept_kw("unique")
+        into = None
+        if self._accept_kw("into"):
+            into = self._expect_ident()
+        self._expect_punct("(")
+        targets = [self._target()]
+        while self._accept_punct(","):
+            targets.append(self._target())
+        self._expect_punct(")")
+        froms = self._from_clause()
+        where = self._where_clause()
+        sort_by, sort_desc = None, False
+        if self._accept_kw("sort"):
+            self._expect_kw("by")
+            sort_by = self._expect_ident()
+            if self._accept_kw("desc"):
+                sort_desc = True
+            else:
+                self._accept_kw("asc")
+        return ast.Retrieve(tuple(targets), tuple(froms), where,
+                            sort_by, sort_desc, unique, into)
+
+    def _target(self) -> ast.Target:
+        # Lookahead for "label = expr": IDENT OP(=) not followed by
+        # comparison context is ambiguous; POSTQUEL uses "name = expr" in
+        # target lists, and bare expressions otherwise.  We treat
+        # IDENT '=' as a label exactly when the IDENT is immediately
+        # followed by '=' and the expression parse of the remainder
+        # succeeds — the common, unambiguous case.
+        tok = self._peek()
+        if tok.kind == IDENT:
+            nxt = self.tokens[self.pos + 1]
+            if nxt.kind == OP and nxt.value == "=":
+                label = tok.value
+                self._next()
+                self._next()
+                return ast.Target(self._expr(), label)
+        return ast.Target(self._expr(), None)
+
+    def _from_clause(self) -> list[ast.RangeVar]:
+        froms: list[ast.RangeVar] = []
+        if self._accept_kw("from"):
+            froms.append(self._range_var())
+            while self._accept_punct(","):
+                froms.append(self._range_var())
+        return froms
+
+    def _range_var(self) -> ast.RangeVar:
+        name = self._expect_ident()
+        self._expect_kw("in")
+        rel = self._expect_ident()
+        asof = None
+        asof_end = None
+        if self._accept_punct("["):
+            asof = self._expr()
+            if self._accept_punct(","):
+                asof_end = self._expr()
+            self._expect_punct("]")
+        return ast.RangeVar(name, rel, asof, asof_end)
+
+    def _where_clause(self) -> ast.Expr | None:
+        if self._accept_kw("where"):
+            return self._expr()
+        return None
+
+    def _assign_list(self) -> list[tuple[str, ast.Expr]]:
+        self._expect_punct("(")
+        assigns = [self._assign()]
+        while self._accept_punct(","):
+            assigns.append(self._assign())
+        self._expect_punct(")")
+        return assigns
+
+    def _assign(self) -> tuple[str, ast.Expr]:
+        name = self._expect_ident()
+        if self._accept_op("=") is None:
+            raise self._error("expected '=' in assignment")
+        return name, self._expr()
+
+    def _append(self) -> ast.Append:
+        self._expect_kw("append")
+        rel = self._expect_ident()
+        return ast.Append(rel, tuple(self._assign_list()))
+
+    def _delete(self) -> ast.Delete:
+        self._expect_kw("delete")
+        var = self._expect_ident()
+        froms = self._from_clause()
+        where = self._where_clause()
+        return ast.Delete(var, tuple(froms), where)
+
+    def _replace(self) -> ast.Replace:
+        self._expect_kw("replace")
+        var = self._expect_ident()
+        assigns = self._assign_list()
+        froms = self._from_clause()
+        where = self._where_clause()
+        return ast.Replace(var, tuple(assigns), tuple(froms), where)
+
+    def _define(self) -> ast.Statement:
+        self._expect_kw("define")
+        if self._accept_kw("type"):
+            return ast.DefineType(self._expect_ident())
+        if self._accept_kw("rule"):
+            return self._define_rule()
+        if self._accept_kw("index"):
+            self._expect_kw("on")
+            table = self._expect_ident()
+            self._expect_punct("(")
+            cols = [self._expect_ident()]
+            while self._accept_punct(","):
+                cols.append(self._expect_ident())
+            self._expect_punct(")")
+            return ast.DefineIndex(table, tuple(cols))
+        self._expect_kw("function")
+        name = self._expect_ident()
+        self._expect_punct("(")
+        argtypes: list[str] = []
+        if not self._accept_punct(")"):
+            argtypes.append(self._expect_ident())
+            while self._accept_punct(","):
+                argtypes.append(self._expect_ident())
+            self._expect_punct(")")
+        self._expect_kw("returns")
+        rettype = self._expect_ident()
+        typrestrict = ""
+        if self._accept_kw("for"):
+            typrestrict = self._expect_ident()
+        self._expect_kw("language")
+        lang = self._expect_string()
+        self._expect_kw("as")
+        src = self._expect_string()
+        return ast.DefineFunction(name, tuple(argtypes), rettype, lang, src,
+                                  typrestrict)
+
+    def _define_rule(self) -> ast.DefineRule:
+        """define rule NAME on EVENT to TABLE where QUAL do ACTION
+
+        EVENT is append|replace|delete; ACTION is `reject` or a string
+        naming a registered callback.  The qualification is stored as
+        source text (re-parsed when the rule fires)."""
+        name = self._expect_ident()
+        self._expect_kw("on")
+        event_tok = self._peek()
+        if event_tok.kind == KEYWORD and event_tok.value in ("append",
+                                                             "replace",
+                                                             "delete"):
+            self._next()
+            event = event_tok.value
+        else:
+            raise self._error("expected append, replace, or delete")
+        self._expect_kw("to")
+        table = self._expect_ident()
+        self._expect_kw("where")
+        qual_start = self._peek().pos
+        self._expr()  # validates; text slice is the stored form
+        qual_end = self._peek().pos
+        qualification = self.text[qual_start:qual_end].strip()
+        self._expect_kw("do")
+        tok = self._peek()
+        if tok.is_kw("reject"):
+            self._next()
+            action = "reject"
+        elif tok.kind == STRING:
+            self._next()
+            action = f"do {tok.value}"
+        else:
+            raise self._error("expected reject or a callback string")
+        return ast.DefineRule(name, event, table, qualification, action)
+
+    def _remove(self) -> ast.Statement:
+        self._expect_kw("remove")
+        if self._accept_kw("rule"):
+            return ast.RemoveRule(self._expect_ident())
+        self._expect_kw("table")
+        return ast.RemoveTable(self._expect_ident())
+
+    # -- expressions --------------------------------------------------------------
+
+    def _expr(self) -> ast.Expr:
+        return self._or()
+
+    def _or(self) -> ast.Expr:
+        left = self._and()
+        while self._accept_kw("or"):
+            left = ast.BinOp("or", left, self._and())
+        return left
+
+    def _and(self) -> ast.Expr:
+        left = self._not()
+        while self._accept_kw("and"):
+            left = ast.BinOp("and", left, self._not())
+        return left
+
+    def _not(self) -> ast.Expr:
+        if self._accept_kw("not"):
+            return ast.UnaryOp("not", self._not())
+        return self._comparison()
+
+    def _comparison(self) -> ast.Expr:
+        left = self._additive()
+        op = self._accept_op(*_COMPARISONS)
+        if op is not None:
+            return ast.BinOp(op, left, self._additive())
+        if self._accept_kw("in"):
+            return ast.BinOp("in", left, self._additive())
+        return left
+
+    def _additive(self) -> ast.Expr:
+        left = self._multiplicative()
+        while True:
+            op = self._accept_op("+", "-")
+            if op is None:
+                return left
+            left = ast.BinOp(op, left, self._multiplicative())
+
+    def _multiplicative(self) -> ast.Expr:
+        left = self._unary()
+        while True:
+            op = self._accept_op("*", "/")
+            if op is None:
+                return left
+            left = ast.BinOp(op, left, self._unary())
+
+    def _unary(self) -> ast.Expr:
+        if self._accept_op("-"):
+            return ast.UnaryOp("-", self._unary())
+        return self._postfix()
+
+    def _postfix(self) -> ast.Expr:
+        tok = self._peek()
+        if tok.kind == NUMBER:
+            self._next()
+            return ast.Literal(tok.value)
+        if tok.kind == STRING:
+            self._next()
+            return ast.Literal(tok.value)
+        if tok.kind == PARAM:
+            self._next()
+            return ast.Param(tok.value)
+        if tok.kind == PUNCT and tok.value == "(":
+            self._next()
+            inner = self._expr()
+            self._expect_punct(")")
+            return inner
+        if tok.kind == IDENT:
+            name = tok.value
+            self._next()
+            if self._accept_punct("("):
+                args: list[ast.Expr] = []
+                if not self._accept_punct(")"):
+                    args.append(self._expr())
+                    while self._accept_punct(","):
+                        args.append(self._expr())
+                    self._expect_punct(")")
+                return ast.FuncCall(name, tuple(args))
+            if self._accept_punct("."):
+                attr = self._expect_ident()
+                return ast.Var(name, attr)
+            return ast.Var(None, name)
+        raise self._error("expected an expression")
+
+
+def parse(text: str) -> ast.Statement:
+    return Parser(text).parse_statement()
+
+
+def parse_expression(text: str) -> ast.Expr:
+    """Parse a bare expression (POSTQUEL-language function bodies)."""
+    parser = Parser(text)
+    expr = parser._expr()
+    if parser._peek().kind != EOF:
+        raise parser._error("trailing tokens after expression")
+    return expr

@@ -1,0 +1,202 @@
+"""The transaction manager and the status file.
+
+The POSTGRES no-overwrite manager "obviates the need for a conventional
+write-ahead log, speeding recovery": committing a transaction requires
+only that its commit state be recorded durably in "a special status
+file".  Crash recovery is then *reading that file* — "no special log
+processing is required at crash recovery time"; records stamped by
+transactions with no commit record are simply invisible.
+
+The status file here is an append-only log of commit/abort records,
+persisted through the root device's metadata region (so every commit
+charges one forced block write near the front of the disk — the head
+movement real POSTGRES paid).  Transaction ids are never reused; a
+high-water mark is forced periodically so a crash cannot resurrect an
+old xid.
+
+Neither POSTGRES 4.0.1 nor Inversion supports nested transactions: "a
+single application program may only have one transaction active at any
+time" — :class:`TransactionManager` enforces one active transaction per
+session object, and :class:`repro.core.library.InversionClient` exposes
+exactly the paper's ``p_begin``/``p_commit``/``p_abort``.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.devices.base import DeviceManager
+from repro.errors import RecoveryError, TransactionError
+from repro.sim.clock import SimClock
+
+IN_PROGRESS = "in_progress"
+COMMITTED = "committed"
+ABORTED = "aborted"
+
+STATUS_TAG = "pg_status"
+XID_HWM_TAG = "pg_xid_hwm"
+XID_HWM_STRIDE = 64
+
+FIRST_NORMAL_XID = 2
+BOOTSTRAP_XID = 1
+"""xid stamped on catalog bootstrap rows; always considered committed
+at time 0."""
+
+
+@dataclass
+class _TxRecord:
+    state: str
+    start_time: float
+    commit_time: float | None = None
+
+
+@dataclass
+class Transaction:
+    """A client-visible transaction handle."""
+
+    xid: int
+    start_time: float
+    state: str = IN_PROGRESS
+    #: lock handles released at commit/abort (two-phase locking).
+    held_locks: list = field(default_factory=list)
+    #: callbacks run on abort (catalog cache invalidation, etc.).
+    abort_hooks: list[Callable[[], None]] = field(default_factory=list)
+    #: True once the transaction wrote anything (read-only commits skip
+    #: the page force and the status write).
+    wrote: bool = False
+
+    def require_active(self) -> None:
+        if self.state != IN_PROGRESS:
+            raise TransactionError(f"transaction {self.xid} is {self.state}")
+
+
+class TransactionManager:
+    """Allocates xids, records commit state, answers visibility calls."""
+
+    def __init__(self, device: DeviceManager, clock: SimClock) -> None:
+        self._device = device
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._records: dict[int, _TxRecord] = {
+            BOOTSTRAP_XID: _TxRecord(COMMITTED, 0.0, 0.0),
+        }
+        self._next_xid = FIRST_NORMAL_XID
+        self._recovered_in_progress = 0
+        self._load()
+
+    # -- persistence ----------------------------------------------------
+
+    def _load(self) -> None:
+        raw = self._device.read_meta(STATUS_TAG)
+        max_seen = BOOTSTRAP_XID
+        if raw:
+            for line in raw.decode("ascii").splitlines():
+                if not line:
+                    continue
+                parts = line.split()
+                try:
+                    kind = parts[0]
+                    xid = int(parts[1])
+                except (IndexError, ValueError) as exc:
+                    raise RecoveryError(f"corrupt status record {line!r}") from exc
+                if kind == "C":
+                    start, commit = float(parts[2]), float(parts[3])
+                    self._records[xid] = _TxRecord(COMMITTED, start, commit)
+                elif kind == "A":
+                    self._records[xid] = _TxRecord(ABORTED, float(parts[2]))
+                else:
+                    raise RecoveryError(f"corrupt status record kind {kind!r}")
+                max_seen = max(max_seen, xid)
+        hwm_raw = self._device.read_meta(XID_HWM_TAG)
+        hwm = int(hwm_raw.decode("ascii")) if hwm_raw else FIRST_NORMAL_XID
+        self._next_xid = max(max_seen + 1, hwm)
+
+    def _force_hwm(self) -> None:
+        hwm = self._next_xid + XID_HWM_STRIDE
+        self._device.sync_write_meta(XID_HWM_TAG, str(hwm).encode("ascii"))
+
+    # -- transaction lifecycle --------------------------------------------
+
+    def begin(self) -> Transaction:
+        with self._lock:
+            xid = self._next_xid
+            self._next_xid += 1
+            if xid % XID_HWM_STRIDE == 0 or xid == FIRST_NORMAL_XID:
+                self._force_hwm()
+            start = self._clock.now()
+            self._records[xid] = _TxRecord(IN_PROGRESS, start)
+            return Transaction(xid=xid, start_time=start)
+
+    def commit(self, tx: Transaction) -> None:
+        """Record the commit durably.  The caller (the database) must
+        have forced the transaction's dirty pages first — commit order
+        is data-then-status."""
+        tx.require_active()
+        with self._lock:
+            rec = self._records[tx.xid]
+            rec.state = COMMITTED
+            rec.commit_time = self._clock.now()
+            if tx.wrote:
+                line = f"C {tx.xid} {rec.start_time!r} {rec.commit_time!r}\n"
+                self._device.sync_append_meta(STATUS_TAG, line.encode("ascii"))
+            tx.state = COMMITTED
+
+    def abort(self, tx: Transaction) -> None:
+        tx.require_active()
+        with self._lock:
+            rec = self._records[tx.xid]
+            rec.state = ABORTED
+            if tx.wrote:
+                line = f"A {tx.xid} {rec.start_time!r}\n"
+                self._device.sync_append_meta(STATUS_TAG, line.encode("ascii"))
+            tx.state = ABORTED
+        for hook in tx.abort_hooks:
+            hook()
+
+    # -- visibility queries ---------------------------------------------------
+
+    def state(self, xid: int) -> str:
+        rec = self._records.get(xid)
+        if rec is None:
+            # An xid we have no record of: it was in progress at a crash
+            # and never committed — treated as aborted ("any changes
+            # that were not committed before a system crash are
+            # automatically detected and ignored").
+            return ABORTED
+        return rec.state
+
+    def is_committed(self, xid: int) -> bool:
+        return self.state(xid) == COMMITTED
+
+    def commit_time(self, xid: int) -> float | None:
+        rec = self._records.get(xid)
+        if rec is None or rec.state != COMMITTED:
+            return None
+        return rec.commit_time
+
+    def start_time(self, xid: int) -> float | None:
+        rec = self._records.get(xid)
+        return None if rec is None else rec.start_time
+
+    # -- recovery ----------------------------------------------------------------
+
+    def max_recorded_time(self) -> float:
+        """The latest start/commit instant in the status file — a
+        reopened database must resume its clock beyond this so new
+        commits sort after all recorded history."""
+        latest = 0.0
+        for rec in self._records.values():
+            latest = max(latest, rec.start_time, rec.commit_time or 0.0)
+        return latest
+
+    def recovery_report(self) -> dict[str, int]:
+        """Statistics from the last load — how many transactions in the
+        status file were committed/aborted.  Recovery itself already
+        happened inside :meth:`_load`; it is 'essentially
+        instantaneous' because it is only this file read."""
+        committed = sum(1 for r in self._records.values() if r.state == COMMITTED)
+        aborted = sum(1 for r in self._records.values() if r.state == ABORTED)
+        return {"committed": committed, "aborted": aborted,
+                "next_xid": self._next_xid}

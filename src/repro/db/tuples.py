@@ -1,0 +1,168 @@
+"""Record schemas, serialization, and the no-overwrite record header.
+
+Every stored record carries a 16-byte header ``(xmin, xmax)``: the ids
+of the transactions that inserted and (if any) deleted it.  "When a
+record is updated or deleted, the original record is marked invalid,
+but remains in place" — marking invalid means stamping ``xmax``; the
+record bytes are otherwise immutable.  Visibility of a record under a
+given snapshot is decided entirely from this header plus the
+transaction status file (:mod:`repro.db.snapshot`).
+
+Value serialization is schema-driven via :class:`Schema`.  Supported
+column types (a POSTGRES-flavoured set):
+
+========  =======================================
+type      representation
+========  =======================================
+int4      4-byte signed little-endian
+int8      8-byte signed little-endian ("longlong" in the paper's
+          ``fileatt.size``)
+oid       8-byte unsigned object identifier
+float8    IEEE-754 double
+bool      1 byte
+time      float8 seconds (simulated clock time)
+text      u32 length + UTF-8 bytes
+bytea     u32 length + raw bytes
+========  =======================================
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import TupleError
+
+TUPLE_HEADER_FMT = "<QQ"
+TUPLE_HEADER_SIZE = struct.calcsize(TUPLE_HEADER_FMT)  # 16
+INVALID_XID = 0
+
+_FIXED_FMT = {
+    "int4": "<i",
+    "int8": "<q",
+    "oid": "<Q",
+    "float8": "<d",
+    "time": "<d",
+    "bool": "<B",
+}
+
+VARLEN_TYPES = ("text", "bytea")
+TYPE_NAMES = tuple(_FIXED_FMT) + VARLEN_TYPES
+
+
+@dataclass(frozen=True)
+class Column:
+    """A named, typed column."""
+
+    name: str
+    typ: str
+
+    def __post_init__(self) -> None:
+        if self.typ not in TYPE_NAMES:
+            raise TupleError(f"unknown column type {self.typ!r} for {self.name!r}")
+
+
+class Schema:
+    """An ordered set of columns with pack/unpack support."""
+
+    def __init__(self, columns: Sequence[Column]) -> None:
+        self.columns = tuple(columns)
+        self._index = {c.name: i for i, c in enumerate(self.columns)}
+        if len(self._index) != len(self.columns):
+            raise TupleError("duplicate column names in schema")
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Schema) and self.columns == other.columns
+
+    def __hash__(self) -> int:
+        return hash(self.columns)
+
+    def column_index(self, name: str) -> int:
+        try:
+            return self._index[name]
+        except KeyError:
+            raise TupleError(f"no column {name!r} in schema") from None
+
+    def column_names(self) -> tuple[str, ...]:
+        return tuple(c.name for c in self.columns)
+
+    def pack(self, values: Sequence[object]) -> bytes:
+        """Serialize one row of ``values`` (no record header)."""
+        if len(values) != len(self.columns):
+            raise TupleError(
+                f"row has {len(values)} values, schema has {len(self.columns)} columns")
+        parts: list[bytes] = []
+        for col, value in zip(self.columns, values):
+            try:
+                if col.typ in _FIXED_FMT:
+                    if col.typ == "bool":
+                        parts.append(struct.pack("<B", 1 if value else 0))
+                    else:
+                        parts.append(struct.pack(_FIXED_FMT[col.typ], value))
+                elif col.typ == "text":
+                    raw = str(value).encode("utf-8")
+                    parts.append(struct.pack("<I", len(raw)) + raw)
+                else:  # bytea
+                    raw = bytes(value)
+                    parts.append(struct.pack("<I", len(raw)) + raw)
+            except (struct.error, TypeError, ValueError) as exc:
+                raise TupleError(
+                    f"cannot pack {value!r} as {col.typ} for column {col.name!r}: {exc}"
+                ) from None
+        return b"".join(parts)
+
+    def unpack(self, data: bytes, offset: int = 0) -> tuple:
+        """Deserialize one row starting at ``offset``."""
+        values: list[object] = []
+        pos = offset
+        for col in self.columns:
+            if col.typ in _FIXED_FMT:
+                fmt = _FIXED_FMT[col.typ]
+                size = struct.calcsize(fmt)
+                (raw,) = struct.unpack_from(fmt, data, pos)
+                values.append(bool(raw) if col.typ == "bool" else raw)
+                pos += size
+            else:
+                (n,) = struct.unpack_from("<I", data, pos)
+                pos += 4
+                raw = bytes(data[pos:pos + n])
+                pos += n
+                values.append(raw.decode("utf-8") if col.typ == "text" else raw)
+        return tuple(values)
+
+    def to_dict(self) -> list[dict[str, str]]:
+        """JSON-friendly description (for catalog storage)."""
+        return [{"name": c.name, "typ": c.typ} for c in self.columns]
+
+    @classmethod
+    def from_dict(cls, desc: Sequence[dict[str, str]]) -> "Schema":
+        return cls([Column(d["name"], d["typ"]) for d in desc])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        cols = ", ".join(f"{c.name} {c.typ}" for c in self.columns)
+        return f"Schema({cols})"
+
+
+def pack_record(xmin: int, xmax: int, payload: bytes) -> bytes:
+    """Prefix ``payload`` with the (xmin, xmax) record header."""
+    return struct.pack(TUPLE_HEADER_FMT, xmin, xmax) + payload
+
+
+def unpack_header(record: bytes) -> tuple[int, int]:
+    """Extract ``(xmin, xmax)`` from a stored record."""
+    return struct.unpack_from(TUPLE_HEADER_FMT, record, 0)
+
+
+def pack_xmax_patch(xmax: int) -> tuple[int, bytes]:
+    """The (record-relative offset, bytes) patch that stamps ``xmax``
+    into an existing record header — the "mark invalid" of the
+    no-overwrite manager."""
+    return 8, struct.pack("<Q", xmax)
+
+
+def record_payload(record: bytes) -> bytes:
+    return record[TUPLE_HEADER_SIZE:]

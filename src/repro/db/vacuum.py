@@ -1,0 +1,201 @@
+"""The vacuum cleaner: record archiving.
+
+"Periodically, obsolete records must be garbage-collected from the
+database, and either moved elsewhere or physically deleted…  If time
+travel is desired, the records must be saved forever somewhere.  This
+process is referred to as record archiving.  POSTGRES includes a
+special-purpose process, called the vacuum cleaner, that archives
+records.  Obsolete records are physically removed from the table in
+which they originally appeared, and are moved to an archive."
+
+For a table ``t`` the cleaner maintains an archive relation ``a_t``
+(optionally on a slower/cheaper device — the natural home for the
+optical jukebox) holding superseded record versions *with their
+original transaction stamps*, plus archive copies of ``t``'s B-tree
+indexes so historical index lookups stay fast.  After moving records
+out, the live heap is compacted and its indexes rebuilt.
+
+Time-travel reads (:class:`~repro.db.snapshot.AsOfSnapshot`) through
+:class:`~repro.db.table.Table` transparently merge heap and archive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.db.btree import BTree
+from repro.db.catalog import TableInfo
+from repro.db.heap import HeapFile
+from repro.db.locks import EXCLUSIVE
+from repro.db.snapshot import BootstrapSnapshot
+from repro.db.transactions import ABORTED
+from repro.db.tuples import INVALID_XID
+from repro.errors import TableError
+
+
+@dataclass
+class VacuumStats:
+    """What one vacuum pass did."""
+
+    table: str
+    scanned: int = 0
+    archived: int = 0
+    expunged: int = 0        # aborted-insert garbage physically deleted
+    kept: int = 0
+    pages_before: int = 0
+    pages_after: int = 0
+
+
+class VacuumCleaner:
+    """Archives obsolete record versions out of live tables.
+
+    With ``keep_history=False`` obsolete records are physically
+    discarded instead of archived — "if the records are not saved
+    elsewhere, some historical state of the database is lost … For
+    files in which the user has no interest in maintaining history,
+    POSTGRES can be instructed not to save old versions."
+    """
+
+    def __init__(self, db, archive_device: str | None = None,
+                 keep_history: bool = True) -> None:
+        self.db = db
+        self.archive_device = archive_device
+        self.keep_history = keep_history
+
+    # -- classification ----------------------------------------------------
+
+    def _classify(self, xmin: int, xmax: int) -> str:
+        """'keep' (live or in-flight), 'archive' (superseded by a
+        committed delete), or 'expunge' (inserted by an aborted
+        transaction — never visible to anyone, ever)."""
+        tm = self.db.tm
+        if tm.state(xmin) == ABORTED:
+            return "expunge"
+        if xmax != INVALID_XID and tm.is_committed(xmax):
+            return "archive"
+        return "keep"
+
+    # -- archive DDL -----------------------------------------------------------
+
+    def _ensure_archive(self, tx, info: TableInfo) -> tuple[HeapFile, list[tuple[tuple[str, ...], BTree]]]:
+        """Create (if needed) and return the archive heap and its
+        indexes, mirroring the live table's indexes."""
+        name = f"a_{info.name}"
+        snapshot = self.db.snapshot(tx)
+        archive_info = self.db.catalog.lookup_table(name, snapshot, use_cache=False)
+        devname = self.archive_device or info.devname
+        if archive_info is None:
+            dev = self.db.switch.get(devname)
+            oid = self.db.catalog.allocate_oid()
+            dev.create_relation(name)
+            self.db.catalog.add_table_row(tx, oid, name, dev.name, "a", info.schema)
+            for ix in info.indexes:
+                idxname = f"a_{ix.name}"
+                dev.create_relation(idxname)
+                BTree.create(self.db.buffers, dev.name, idxname, cpu=self.db.cpu)
+                self.db.catalog.add_index_row(
+                    tx, self.db.catalog.allocate_oid(), idxname, oid,
+                    list(ix.keycols))
+            archive_info = self.db.catalog.lookup_table(name, snapshot,
+                                                        use_cache=False)
+        heap = HeapFile(self.db.buffers, archive_info.devname,
+                        archive_info.name, archive_info.schema, cpu=self.db.cpu)
+        btrees = [(ix.keycols,
+                   BTree(self.db.buffers, archive_info.devname, ix.name,
+                         cpu=self.db.cpu))
+                  for ix in archive_info.indexes]
+        return heap, btrees
+
+    # -- the pass ------------------------------------------------------------------
+
+    def vacuum_table(self, table_name: str) -> VacuumStats:
+        """Archive obsolete versions of one table and compact it."""
+        info = self.db.catalog.lookup_table(table_name,
+                                            BootstrapSnapshot(self.db.tm),
+                                            use_cache=False)
+        if info is None:
+            raise TableError(f"no table named {table_name!r}")
+        if info.relkind != "h":
+            raise TableError(f"cannot vacuum relation of kind {info.relkind!r}")
+
+        tx = self.db.begin()
+        self.db.locks.acquire(tx, ("rel", info.oid), EXCLUSIVE)
+        stats = VacuumStats(table=table_name)
+        try:
+            heap = HeapFile(self.db.buffers, info.devname, info.name,
+                            info.schema, cpu=self.db.cpu)
+            stats.pages_before = heap.npages()
+            if self.keep_history:
+                archive_heap, archive_btrees = self._ensure_archive(tx, info)
+            else:
+                archive_heap, archive_btrees = None, []
+            schema = info.schema
+            keycol_idx = {
+                ix.keycols: [schema.column_index(c) for c in ix.keycols]
+                for ix in info.indexes
+            }
+
+            keep: list[tuple[int, int, tuple]] = []
+            for _tid, xmin, xmax, values in heap.scan_all_versions():
+                stats.scanned += 1
+                verdict = self._classify(xmin, xmax)
+                if verdict == "archive":
+                    if archive_heap is None:
+                        # History discarded by request: the version is
+                        # simply expunged.
+                        stats.expunged += 1
+                        continue
+                    atid = archive_heap.insert_raw(xmin, xmax, values)
+                    for keycols, btree in archive_btrees:
+                        key = tuple(values[i] for i in keycol_idx[keycols])
+                        btree.insert(tx, key, atid)
+                    stats.archived += 1
+                elif verdict == "expunge":
+                    stats.expunged += 1
+                else:
+                    # Clear an xmax stamp left by an aborted deleter so
+                    # the rewritten record is unambiguous.
+                    if xmax != INVALID_XID and not self.db.tm.is_committed(xmax):
+                        xmax = INVALID_XID
+                    keep.append((xmin, xmax, values))
+                    stats.kept += 1
+
+            # Make the archive durable before destroying the originals.
+            self.db.buffers.flush_all()
+
+            # Rewrite the live heap compacted, then rebuild its indexes.
+            self._rewrite_heap(info, keep)
+            stats.pages_after = HeapFile(self.db.buffers, info.devname,
+                                         info.name, schema).npages()
+            tx.wrote = True
+            self.db.commit(tx)
+            return stats
+        except BaseException:
+            self.db.abort(tx)
+            raise
+
+    def _rewrite_heap(self, info: TableInfo,
+                      keep: list[tuple[int, int, tuple]]) -> None:
+        """Replace the heap (and index) relations with compacted
+        rebuilds.  TIDs change, so indexes are rebuilt from scratch."""
+        dev = self.db.switch.get(info.devname)
+        buffers = self.db.buffers
+        buffers.flush_relation(info.devname, info.name)
+        buffers.drop_relation(info.devname, info.name)
+        dev.drop_relation(info.name)
+        dev.create_relation(info.name)
+        heap = HeapFile(buffers, info.devname, info.name, info.schema,
+                        cpu=self.db.cpu)
+        new_tids = [heap.insert_raw(xmin, xmax, values)
+                    for xmin, xmax, values in keep]
+        schema = info.schema
+        for ix in info.indexes:
+            buffers.drop_relation(info.devname, ix.name)
+            dev.drop_relation(ix.name)
+            dev.create_relation(ix.name)
+            btree = BTree.create(buffers, info.devname, ix.name, cpu=self.db.cpu)
+            col_idx = [schema.column_index(c) for c in ix.keycols]
+            for tid, (_xmin, _xmax, values) in zip(new_tids, keep):
+                key = tuple(values[i] for i in col_idx)
+                btree.insert(None, key, tid)
+        buffers.flush_all()

@@ -1,0 +1,138 @@
+"""The device manager interface — the routines every device registers
+with the switch.
+
+"For each device, the required interface routines are listed.  These
+routines are specific to the database system, and include, for example,
+code to create new tables and to commit transactions."  Our interface
+is page-oriented: relations (tables, indexes) are named sequences of
+8 KB pages; the buffer cache above calls ``read_page``/``write_page``,
+and the transaction manager calls ``sync_write_meta`` to force its
+status file to stable storage at commit.
+
+Simulated I/O costs are charged inside the device managers, so the
+layers above stay cost-model-free.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterable
+
+
+class DeviceManager(ABC):
+    """Abstract device manager.
+
+    Concrete managers must be safe for single-threaded use under the
+    database's two-phase locking; they need no internal locking of
+    their own beyond what Python provides.
+    """
+
+    #: switch-registered device name, e.g. ``"magnetic0"``.
+    name: str
+
+    #: True if the medium retains data across a simulated crash without
+    #: an explicit flush (NVRAM, burned WORM blocks).
+    nonvolatile: bool = False
+
+    # -- relation lifecycle -------------------------------------------
+
+    @abstractmethod
+    def create_relation(self, relname: str) -> None:
+        """Create an empty relation.  Idempotence is an error — the
+        catalog guarantees uniqueness."""
+
+    @abstractmethod
+    def drop_relation(self, relname: str) -> None:
+        """Remove a relation and free its storage (on WORM media the
+        blocks are orphaned, not reclaimed)."""
+
+    @abstractmethod
+    def relation_exists(self, relname: str) -> bool: ...
+
+    @abstractmethod
+    def list_relations(self) -> list[str]: ...
+
+    @abstractmethod
+    def nblocks(self, relname: str) -> int:
+        """Number of pages currently allocated to the relation."""
+
+    # -- page I/O -------------------------------------------------------
+
+    @abstractmethod
+    def extend(self, relname: str) -> int:
+        """Allocate one new zeroed page at the end of the relation and
+        return its page number.  Allocation is a metadata operation; no
+        data transfer is charged until the page is written."""
+
+    @abstractmethod
+    def read_page(self, relname: str, pageno: int) -> bytes:
+        """Read one page, charging simulated I/O cost."""
+
+    @abstractmethod
+    def write_page(self, relname: str, pageno: int, data: bytes) -> None:
+        """Write one page durably-on-medium, charging simulated cost."""
+
+    # -- durability ------------------------------------------------------
+
+    @abstractmethod
+    def flush(self) -> None:
+        """Force any device-private caches to stable storage."""
+
+    @abstractmethod
+    def sync_write_meta(self, tag: str, data: bytes) -> None:
+        """Durably write a small metadata blob (the transaction status
+        file lives here on the root device).  Must be crash-safe."""
+
+    @abstractmethod
+    def read_meta(self, tag: str) -> bytes | None:
+        """Read back a metadata blob, or None if absent."""
+
+    def sync_append_meta(self, tag: str, data: bytes) -> None:
+        """Durably append to a metadata blob (the transaction status
+        file is append-only).  Default implementation read-modify-writes;
+        managers with real backing files override with a true append."""
+        current = self.read_meta(tag) or b""
+        self.sync_write_meta(tag, current + data)
+
+    # -- lifecycle -------------------------------------------------------
+
+    @abstractmethod
+    def close(self) -> None: ...
+
+    def simulate_crash(self) -> None:
+        """Discard volatile device state, as a power failure would.
+        Default: nothing is volatile."""
+
+    def rebind_clock(self, clock) -> None:
+        """Attach the device to a new simulated clock.  Non-volatile
+        devices (NVRAM, WORM, tape) outlive the database session that
+        created them; when a database is reopened, its surviving device
+        instances charge their costs to the new session's clock."""
+        self.clock = clock
+        for attr in ("disk", "staging_disk"):
+            model = getattr(self, attr, None)
+            if model is not None:
+                model.clock = clock
+
+    # -- helpers ---------------------------------------------------------
+
+    def describe(self) -> dict[str, object]:
+        """Human-readable description for the switch listing."""
+        return {"name": self.name, "type": type(self).__name__,
+                "nonvolatile": self.nonvolatile}
+
+    @staticmethod
+    def _check_page(data: bytes) -> None:
+        from repro.db.page import PAGE_SIZE
+        if len(data) != PAGE_SIZE:
+            raise ValueError(f"page write must be {PAGE_SIZE} bytes, got {len(data)}")
+
+    @staticmethod
+    def _validate_relname(relname: str) -> None:
+        if not relname or any(c in relname for c in "/\\\0"):
+            raise ValueError(f"bad relation name {relname!r}")
+
+
+def total_pages(dev: DeviceManager, relnames: Iterable[str]) -> int:
+    """Sum of allocated pages across ``relnames`` (admin helper)."""
+    return sum(dev.nblocks(r) for r in relnames)

@@ -1,0 +1,178 @@
+"""Metrum VHS-form-factor tape jukebox device manager.
+
+"In the near future, a 9 TByte Metrum VHS-form factor tape jukebox will
+also be supported."  The paper's migration discussion wants files moved
+"from fast, expensive storage like magnetic disk to slower, cheaper
+storage, such as magnetic tape", so this manager exists as the cold
+tier for :mod:`repro.core.migration` and as a second exercise of the
+device-manager switch.
+
+Model: a library of cartridges, one drive, serpentine linear media.
+Touching an unloaded cartridge charges a load; every access charges a
+wind to the target position (cost proportional to distance) plus
+streaming transfer.  Tape is rewriteable (unlike the WORM jukebox) but
+brutally slow for random access — which is the point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.db.page import PAGE_SIZE
+from repro.devices.base import DeviceManager
+from repro.errors import DeviceError, DeviceFullError
+from repro.sim.clock import SimClock
+
+
+@dataclass(frozen=True)
+class TapeParams:
+    n_cartridges: int = 600
+    cartridge_capacity_bytes: int = 15_000_000_000  # ≈ 9 TB / 600
+    cartridge_load_s: float = 25.0
+    wind_rate_bps: float = 80_000_000.0  # high-speed search
+    transfer_rate_bps: float = 1_000_000.0
+
+    @property
+    def cartridge_blocks(self) -> int:
+        return self.cartridge_capacity_bytes // PAGE_SIZE
+
+
+@dataclass
+class TapeStats:
+    loads: int = 0
+    reads: int = 0
+    writes: int = 0
+    wind_seconds: float = 0.0
+
+
+@dataclass
+class _RelState:
+    npages: int = 0
+    # page number -> (cartridge, block)
+    location: dict[int, tuple[int, int]] = field(default_factory=dict)
+
+
+class TapeJukebox(DeviceManager):
+    """Sequential-media tape library."""
+
+    nonvolatile = True
+
+    def __init__(self, name: str, clock: SimClock,
+                 params: TapeParams | None = None) -> None:
+        self.name = name
+        self.clock = clock
+        self.params = params or TapeParams()
+        self.stats = TapeStats()
+        self._cartridges: list[dict[int, bytes]] = [
+            {} for _ in range(self.params.n_cartridges)]
+        self._next_free: list[int] = [0] * self.params.n_cartridges
+        self._loaded: int | None = None
+        self._head_block = 0
+        self._rels: dict[str, _RelState] = {}
+        self._meta: dict[str, bytes] = {}
+        self._alloc_cartridge = 0
+
+    # -- cost helpers -----------------------------------------------------
+
+    def _position(self, cartridge: int, block: int) -> None:
+        if self._loaded != cartridge:
+            self._loaded = cartridge
+            self._head_block = 0
+            self.stats.loads += 1
+            self.clock.advance(self.params.cartridge_load_s)
+        distance_bytes = abs(block - self._head_block) * PAGE_SIZE
+        wind = distance_bytes / self.params.wind_rate_bps
+        self.stats.wind_seconds += wind
+        self.clock.advance(wind)
+        self._head_block = block
+
+    def _transfer(self, nbytes: int) -> None:
+        self.clock.advance(nbytes / self.params.transfer_rate_bps)
+        self._head_block += max(1, nbytes // PAGE_SIZE)
+
+    def _allocate(self) -> tuple[int, int]:
+        p = self.params
+        while self._alloc_cartridge < p.n_cartridges:
+            c = self._alloc_cartridge
+            if self._next_free[c] < p.cartridge_blocks:
+                block = self._next_free[c]
+                self._next_free[c] += 1
+                return c, block
+            self._alloc_cartridge += 1
+        raise DeviceFullError(f"tape library {self.name} is full")
+
+    # -- DeviceManager interface ---------------------------------------------
+
+    def create_relation(self, relname: str) -> None:
+        self._validate_relname(relname)
+        if relname in self._rels:
+            raise DeviceError(f"relation {relname!r} already exists on {self.name}")
+        self._rels[relname] = _RelState()
+
+    def drop_relation(self, relname: str) -> None:
+        st = self._rels.pop(relname, None)
+        if st is None:
+            raise DeviceError(f"no relation {relname!r} on {self.name}")
+        for cartridge, block in st.location.values():
+            self._cartridges[cartridge].pop(block, None)
+
+    def relation_exists(self, relname: str) -> bool:
+        return relname in self._rels
+
+    def list_relations(self) -> list[str]:
+        return list(self._rels)
+
+    def _state(self, relname: str) -> _RelState:
+        try:
+            return self._rels[relname]
+        except KeyError:
+            raise DeviceError(f"no relation {relname!r} on {self.name}") from None
+
+    def nblocks(self, relname: str) -> int:
+        return self._state(relname).npages
+
+    def extend(self, relname: str) -> int:
+        st = self._state(relname)
+        pageno = st.npages
+        st.npages += 1
+        return pageno
+
+    def read_page(self, relname: str, pageno: int) -> bytes:
+        st = self._state(relname)
+        if not (0 <= pageno < st.npages):
+            raise DeviceError(f"{relname!r} page {pageno} out of range")
+        loc = st.location.get(pageno)
+        if loc is None:
+            return bytes(PAGE_SIZE)
+        cartridge, block = loc
+        self._position(cartridge, block)
+        self._transfer(PAGE_SIZE)
+        self.stats.reads += 1
+        return self._cartridges[cartridge][block]
+
+    def write_page(self, relname: str, pageno: int, data: bytes) -> None:
+        self._check_page(data)
+        st = self._state(relname)
+        if not (0 <= pageno < st.npages):
+            raise DeviceError(f"{relname!r} page {pageno} out of range")
+        loc = st.location.get(pageno)
+        if loc is None:
+            loc = self._allocate()
+            st.location[pageno] = loc
+        cartridge, block = loc
+        self._position(cartridge, block)
+        self._transfer(PAGE_SIZE)
+        self.stats.writes += 1
+        self._cartridges[cartridge][block] = bytes(data)
+
+    def flush(self) -> None:
+        """Streaming writes land on medium immediately."""
+
+    def sync_write_meta(self, tag: str, data: bytes) -> None:
+        self._meta[tag] = bytes(data)
+
+    def read_meta(self, tag: str) -> bytes | None:
+        return self._meta.get(tag)
+
+    def close(self) -> None:
+        """Nothing to release."""

@@ -1,0 +1,187 @@
+"""Exception hierarchy for the Inversion reproduction.
+
+Every error raised by the library derives from :class:`ReproError`, split
+into three families mirroring the system layers: the database substrate
+(``Db*``), the Inversion file system (``Inv*``), and the simulated
+hardware / baseline stacks (``Sim*``, ``Nfs*``).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+# ---------------------------------------------------------------------------
+# Database substrate errors
+# ---------------------------------------------------------------------------
+
+
+class DbError(ReproError):
+    """Base class for storage-manager and query errors."""
+
+
+class PageError(DbError):
+    """A slotted page was asked to do something impossible (overflow,
+    bad slot number, corrupt header)."""
+
+
+class PageOverflowError(PageError):
+    """Record does not fit on an 8 KB page."""
+
+
+class TupleError(DbError):
+    """Schema/serialization mismatch when packing or unpacking a record."""
+
+
+class TableError(DbError):
+    """Bad table operation (unknown table, duplicate creation, dropped)."""
+
+
+class TransactionError(DbError):
+    """Transaction misuse: commit/abort without begin, nested begin
+    (neither POSTGRES 4.0.1 nor Inversion supports nested transactions),
+    or writing outside a transaction."""
+
+
+class TransactionAborted(TransactionError):
+    """The current transaction was aborted (e.g. chosen as a deadlock
+    victim) and must be rolled back by the client."""
+
+
+class DeadlockError(TransactionAborted):
+    """The lock manager's waits-for graph found a cycle and chose this
+    transaction as the victim."""
+
+
+class LockTimeoutError(TransactionError):
+    """A lock could not be acquired within the configured timeout."""
+
+
+class BTreeError(DbError):
+    """Internal B-tree invariant violation."""
+
+
+class CatalogError(DbError):
+    """System-catalog inconsistency or unknown catalog object."""
+
+
+class TypeError_(DbError):
+    """Database type-system error (unknown type, bad coercion).
+
+    Named with a trailing underscore to avoid shadowing the builtin.
+    """
+
+
+class FunctionError(DbError):
+    """User-defined function registration or invocation failure."""
+
+
+class QueryError(DbError):
+    """POSTQUEL parse or execution error."""
+
+
+class QuerySyntaxError(QueryError):
+    """The query text could not be parsed."""
+
+
+class RecoveryError(DbError):
+    """The database could not be brought to a consistent state on open."""
+
+
+# ---------------------------------------------------------------------------
+# Device manager errors
+# ---------------------------------------------------------------------------
+
+
+class DeviceError(ReproError):
+    """Base class for device-manager errors."""
+
+
+class UnknownDeviceError(DeviceError):
+    """The device manager switch has no entry for the requested device."""
+
+
+class WormViolationError(DeviceError):
+    """An overwrite was attempted on write-once (WORM) media."""
+
+
+class DeviceFullError(DeviceError):
+    """The device has no free space/extents left."""
+
+
+# ---------------------------------------------------------------------------
+# Inversion file system errors
+# ---------------------------------------------------------------------------
+
+
+class InversionError(ReproError):
+    """Base class for file-system-level errors."""
+
+
+class FileNotFoundError_(InversionError):
+    """No such file or directory.  Trailing underscore avoids shadowing
+    the builtin ``FileNotFoundError`` (which it also subclasses so that
+    idiomatic ``except FileNotFoundError`` works)."""
+
+
+class FileExistsError_(InversionError):
+    """Path already exists."""
+
+
+class NotADirectoryError_(InversionError):
+    """A path component is not a directory."""
+
+
+class IsADirectoryError_(InversionError):
+    """Directory used where a plain file is required."""
+
+
+class DirectoryNotEmptyError(InversionError):
+    """rmdir on a non-empty directory."""
+
+
+class BadFileDescriptorError(InversionError):
+    """Operation on a closed or invalid file descriptor."""
+
+
+class ReadOnlyFileError(InversionError):
+    """Write attempted on a historical (time-travel) file handle, which
+    the paper forbids: 'Historical files may not be opened for
+    writing.'"""
+
+
+class FileTooLargeError(InversionError):
+    """Write would exceed the 17.6 TB Inversion file-size limit."""
+
+
+class FileTypeError(InversionError):
+    """Unknown file type, or a function was applied to a file whose type
+    does not define it."""
+
+
+class MigrationError(InversionError):
+    """A migration rule is malformed or a migration failed."""
+
+
+# ---------------------------------------------------------------------------
+# Simulation / baseline errors
+# ---------------------------------------------------------------------------
+
+
+class SimError(ReproError):
+    """Base class for simulated-hardware errors."""
+
+
+class NfsError(ReproError):
+    """Base class for the NFS/FFS baseline errors."""
+
+
+class FfsError(NfsError):
+    """Fast File System simulator error."""
+
+
+class FfsFileTooLargeError(FfsError):
+    """Write would exceed the FFS 4 GB practical file-size limit that the
+    paper contrasts with Inversion's 17.6 TB."""

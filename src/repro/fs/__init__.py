@@ -1,0 +1,6 @@
+"""Command-line access to Inversion databases.
+
+``python -m repro.fs <dbdir> <command> …`` gives shell-level access to
+an Inversion file system — the reproduction's analogue of the paper's
+"query language monitor program" plus everyday ls/cat/put tooling.
+"""

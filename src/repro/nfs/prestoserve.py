@@ -1,0 +1,49 @@
+"""The PRESTOserve board, as the NFS server sees it.
+
+"PRESTOserve consists of a board containing 1 MByte of battery-backed
+RAM and driver software to cache NFS writes in non-volatile memory."
+This module adapts the generic :class:`~repro.sim.nvram.NvramCache` to
+the NFS server's needs: stable per-block writes, read hits on freshly
+written blocks, and inode-update absorption (metadata writes are tiny
+and the board soaks them up too).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.nfs.ffs import FastFileSystem, Inode
+from repro.sim.disk import BLOCK_SIZE
+from repro.sim.nvram import NvramCache
+
+
+@dataclass
+class PrestoServe:
+    """NVRAM write acceleration for one FFS volume."""
+
+    nvram: NvramCache
+    ffs: FastFileSystem
+
+    @classmethod
+    def attach(cls, ffs: FastFileSystem,
+               capacity_bytes: int = 1_000_000) -> "PrestoServe":
+        return cls(NvramCache(clock=ffs.clock, disk=ffs.disk,
+                              capacity_bytes=capacity_bytes), ffs)
+
+    def stable_write(self, block_addr: int, nbytes: int = BLOCK_SIZE) -> None:
+        """A write is 'stable' once it reaches the board — the NFS
+        server may reply without touching the disk."""
+        self.nvram.write(block_addr, nbytes)
+
+    def stable_inode_update(self, inode: Inode) -> None:
+        """Inode updates (size, block map) are also absorbed; they are
+        small, so charge a 512-byte board write."""
+        self.nvram.write(self.ffs._cg_inode_block(inode.cylinder_group), 512)
+
+    def covers(self, block_addr: int) -> bool:
+        return self.nvram.read_hit(block_addr)
+
+    def drain(self) -> float:
+        """Destage everything (the board's background syncer catching
+        up, or an orderly shutdown)."""
+        return self.nvram.flush()

@@ -1,0 +1,31 @@
+"""Simulated hardware substrate.
+
+The paper's evaluation ran on a DECsystem 5900 with a DEC RZ58 disk,
+talking to a DECstation 3100 client over 10 Mbit Ethernet, with the NFS
+baseline accelerated by a PRESTOserve battery-backed RAM board.  None of
+that hardware is available, so this package provides deterministic cost
+models for it: a virtual clock (:class:`SimClock`), a seek/rotate/transfer
+disk model (:class:`DiskModel`), an Ethernet+TCP/IP message model
+(:class:`NetworkModel`), and an NVRAM cache model (:class:`NvramCache`).
+
+Both the Inversion stack and the NFS baseline charge their I/O to the
+same models, so relative results (the benchmark *shapes* the paper
+reports) are an artefact of the two systems' structure, not of the
+models.
+"""
+
+from repro.sim.clock import SimClock
+from repro.sim.disk import DiskModel, DiskGeometry, RZ58
+from repro.sim.network import NetworkModel, EthernetParams, ETHERNET_10MBIT
+from repro.sim.nvram import NvramCache
+
+__all__ = [
+    "SimClock",
+    "DiskModel",
+    "DiskGeometry",
+    "RZ58",
+    "NetworkModel",
+    "EthernetParams",
+    "ETHERNET_10MBIT",
+    "NvramCache",
+]

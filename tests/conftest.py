@@ -1,0 +1,42 @@
+"""Shared fixtures: fresh databases, mounted file systems, clients."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.filesystem import InversionFS
+from repro.core.library import InversionClient
+from repro.db.database import Database
+from repro.sim.clock import SimClock
+
+
+@pytest.fixture
+def clock() -> SimClock:
+    return SimClock()
+
+
+@pytest.fixture
+def db(tmp_path, clock) -> Database:
+    database = Database.create(str(tmp_path / "db"), clock=clock)
+    yield database
+    database.close()
+
+
+@pytest.fixture
+def fs(db) -> InversionFS:
+    return InversionFS.mkfs(db)
+
+
+@pytest.fixture
+def client(fs) -> InversionClient:
+    return InversionClient(fs)
+
+
+@pytest.fixture
+def small_db(tmp_path, clock) -> Database:
+    """A database with a deliberately tiny buffer cache, to exercise
+    eviction paths."""
+    database = Database.create(str(tmp_path / "smalldb"), clock=clock,
+                               buffer_pages=16)
+    yield database
+    database.close()

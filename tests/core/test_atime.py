@@ -1,0 +1,65 @@
+"""Optional atime tracking."""
+
+import pytest
+
+from repro.core.constants import O_RDONLY, O_RDWR
+
+
+def test_atime_off_by_default(fs, client, clock):
+    fd = client.p_creat("/f")
+    client.p_write(fd, b"x")
+    client.p_close(fd)
+    before = fs.stat("/f").atime
+    clock.advance(5.0)
+    tx = fs.begin()
+    with fs.open("/f", O_RDONLY, tx=tx) as f:
+        f.read()
+    fs.commit(tx)
+    assert fs.stat("/f").atime == before
+
+
+def test_atime_stamped_when_enabled(fs, client, clock):
+    fs.track_atime = True
+    fd = client.p_creat("/f")
+    client.p_write(fd, b"x")
+    client.p_close(fd)
+    before = fs.stat("/f").atime
+    clock.advance(5.0)
+    tx = fs.begin()
+    with fs.open("/f", O_RDONLY, tx=tx) as f:
+        f.read()
+        f.seek(0)
+        f.read()  # stamped once per handle, not per read
+    fs.commit(tx)
+    after = fs.stat("/f").atime
+    assert after > before
+
+
+def test_atime_never_stamped_on_historical_handles(fs, client, clock):
+    fs.track_atime = True
+    fd = client.p_creat("/f")
+    client.p_write(fd, b"x")
+    client.p_close(fd)
+    t0 = clock.now()
+    clock.advance(1.0)
+    handle = fs.open("/f", O_RDONLY, timestamp=t0)
+    handle.read()
+    handle.close()
+    # The past is immutable; nothing was written.
+    assert fs.stat("/f").atime <= t0
+
+
+def test_atime_visible_to_queries(fs, client, clock):
+    fs.track_atime = True
+    fd = client.p_creat("/f")
+    client.p_write(fd, b"data")
+    client.p_close(fd)
+    clock.advance(10.0)
+    tx = fs.begin()
+    with fs.open("/f", O_RDWR, tx=tx) as f:
+        f.read()
+    fs.commit(tx)
+    tx = fs.begin()
+    rows = fs.query(tx, 'retrieve (filename) where mtime_of(file) >= 0')
+    fs.commit(tx)
+    assert ("f",) in rows

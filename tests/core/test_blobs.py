@@ -1,0 +1,87 @@
+"""Large objects: the database face of Inversion storage."""
+
+import pytest
+
+from repro.core.blobs import LargeObjectManager
+from repro.core.constants import O_RDWR
+from repro.errors import FileNotFoundError_
+
+
+@pytest.fixture
+def lom(fs):
+    return LargeObjectManager(fs)
+
+
+def test_anonymous_object_lifecycle(fs, lom):
+    tx = fs.begin()
+    oid = lom.lo_creat(tx)
+    lom.lo_write(tx, oid, 0, b"blob data")
+    fs.commit(tx)
+    assert lom.lo_read(oid, 0, 100) == b"blob data"
+    assert lom.lo_size(oid) == 9
+
+
+def test_object_has_no_pathname(fs, lom):
+    tx = fs.begin()
+    oid = lom.lo_creat(tx)
+    fs.commit(tx)
+    with pytest.raises(FileNotFoundError_):
+        fs.path_of(oid)
+
+
+def test_expose_path_gives_dual_access(fs, lom, client):
+    """Paper: "the same Inversion file can be used by a database
+    application and by a file system client simultaneously"."""
+    tx = fs.begin()
+    oid = lom.lo_creat(tx)
+    lom.lo_write(tx, oid, 0, b"shared bytes")
+    lom.expose_path(tx, oid, "/shared.blob")
+    fs.commit(tx)
+    # File system view:
+    assert fs.read_file("/shared.blob") == b"shared bytes"
+    # Database view, after a file system write:
+    fd = client.p_open("/shared.blob", O_RDWR)
+    client.p_write(fd, b"SHARED")
+    client.p_close(fd)
+    assert lom.lo_read(oid, 0, 100) == b"SHARED bytes"
+
+
+def test_from_path_wraps_existing_file(fs, lom, client):
+    fd = client.p_creat("/existing")
+    client.p_write(fd, b"file-side data")
+    client.p_close(fd)
+    oid = lom.from_path("/existing")
+    assert lom.lo_read(oid, 5, 4) == b"side"
+    with pytest.raises(FileNotFoundError_):
+        lom.from_path("/missing")
+
+
+def test_lo_time_travel(fs, lom, clock):
+    tx = fs.begin()
+    oid = lom.lo_creat(tx)
+    lom.lo_write(tx, oid, 0, b"v1")
+    fs.commit(tx)
+    t0 = clock.now()
+    tx2 = fs.begin()
+    lom.lo_write(tx2, oid, 0, b"v2")
+    fs.commit(tx2)
+    assert lom.lo_read(oid, 0, 2) == b"v2"
+    assert lom.lo_read(oid, 0, 2, timestamp=t0) == b"v1"
+
+
+def test_lo_unlink(fs, lom):
+    tx = fs.begin()
+    oid = lom.lo_creat(tx)
+    lom.lo_unlink(tx, oid)
+    fs.commit(tx)
+    with pytest.raises(FileNotFoundError_):
+        lom.lo_size(oid)
+
+
+def test_lo_sparse_write(fs, lom):
+    tx = fs.begin()
+    oid = lom.lo_creat(tx)
+    lom.lo_write(tx, oid, 10_000, b"tail")
+    fs.commit(tx)
+    assert lom.lo_size(oid) == 10_004
+    assert lom.lo_read(oid, 0, 4) == bytes(4)

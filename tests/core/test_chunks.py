@@ -1,0 +1,113 @@
+"""Decomposition of files into tables (Figure 1)."""
+
+import pytest
+
+from repro.core.chunks import CHUNK_SCHEMA, ChunkStore, chunk_table_name
+from repro.core.constants import CHUNK_SIZE
+from repro.db.page import PAGE_SIZE
+from repro.errors import FileTooLargeError, TableError
+
+
+def test_table_name_computed_from_fileid():
+    """Paper: "the name of the POSTGRES table storing data chunks for
+    /etc/passwd would be inv23114"."""
+    assert chunk_table_name(23114) == "inv23114"
+
+
+def test_full_chunk_record_fits_one_per_page():
+    """The chunk size is calculated so that a single record fits
+    exactly on a data manager page."""
+    from repro.db.tuples import TUPLE_HEADER_SIZE
+    payload = CHUNK_SCHEMA.pack((0, 1, b"x" * CHUNK_SIZE))
+    record = TUPLE_HEADER_SIZE + len(payload)
+    from repro.db.page import HEADER_SIZE, SLOT_SIZE
+    assert record + SLOT_SIZE <= PAGE_SIZE - HEADER_SIZE
+    assert 2 * (record + SLOT_SIZE) > PAGE_SIZE - HEADER_SIZE
+
+
+@pytest.fixture
+def store(fs, client):
+    fd = client.p_creat("/f")
+    client.p_close(fd)
+    tx = fs.begin()
+    s = ChunkStore(fs.db, fs.resolve("/f", tx), tx)
+    yield fs, tx, s
+    fs.commit(tx)
+
+
+def test_write_flush_read(store):
+    fs, tx, s = store
+    s.write_chunk(tx, 0, b"hello")
+    s.flush(tx)
+    assert s.read_chunk(0, fs.db.snapshot(tx), tx) == b"hello"
+
+
+def test_dirty_buffer_shadows_table(store):
+    fs, tx, s = store
+    s.write_chunk(tx, 3, b"buffered")
+    assert s.read_chunk(3, fs.db.snapshot(tx), tx) == b"buffered"
+    assert s.visible_chunk_count(fs.db.snapshot(tx), tx) == 0  # not flushed
+
+
+def test_missing_chunk_is_empty(store):
+    fs, tx, s = store
+    assert s.read_chunk(42, fs.db.snapshot(tx), tx) == b""
+
+
+def test_rewrite_keeps_old_version(store):
+    fs, tx, s = store
+    s.write_chunk(tx, 0, b"v1")
+    s.flush(tx)
+    s.write_chunk(tx, 0, b"v2")
+    s.flush(tx)
+    assert s.read_chunk(0, fs.db.snapshot(tx), tx) == b"v2"
+    assert s.version_count() == 2  # no-overwrite: both versions stored
+
+
+def test_selfid_column_reserved_for_self_identification(store):
+    """Paper: "space has been reserved in the tables storing file
+    data" — every chunk record carries its file id."""
+    fs, tx, s = store
+    s.write_chunk(tx, 0, b"data")
+    s.flush(tx)
+    rows = [r for _t, r in s.table.scan(fs.db.snapshot(tx), tx)]
+    assert rows == [(0, s.fileid, b"data")]
+
+
+def test_coalescing_auto_flush(store):
+    """"Multiple small sequential writes during a single transaction
+    are coalesced": the buffer flushes itself at the limit."""
+    from repro.core.constants import COALESCE_CHUNK_LIMIT
+    fs, tx, s = store
+    for i in range(COALESCE_CHUNK_LIMIT):
+        s.write_chunk(tx, i, b"c%d" % i)
+    assert len(s._dirty) == 0  # hit the limit → flushed
+    assert s.visible_chunk_count(fs.db.snapshot(tx), tx) \
+        == COALESCE_CHUNK_LIMIT
+
+
+def test_oversize_chunk_rejected(store):
+    fs, tx, s = store
+    with pytest.raises(TableError):
+        s.write_chunk(tx, 0, b"x" * (CHUNK_SIZE + 1))
+
+
+def test_chunkno_over_limit_rejected(store):
+    fs, tx, s = store
+    with pytest.raises(FileTooLargeError):
+        s.write_chunk(tx, 2 ** 31, b"far")
+
+
+def test_discard_drops_buffered_writes(store):
+    fs, tx, s = store
+    s.write_chunk(tx, 0, b"nope")
+    s.discard()
+    assert s.read_chunk(0, fs.db.snapshot(tx), tx) == b""
+
+
+def test_flush_returns_count_and_is_idempotent(store):
+    fs, tx, s = store
+    s.write_chunk(tx, 0, b"a")
+    s.write_chunk(tx, 1, b"b")
+    assert s.flush(tx) == 2
+    assert s.flush(tx) == 0

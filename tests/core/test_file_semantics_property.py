@@ -1,0 +1,113 @@
+"""Property-based file semantics: Inversion vs an in-memory reference.
+
+Random sequences of write/seek/read/truncating operations are applied
+both to an Inversion file and to a plain ``bytearray`` model; the two
+must never disagree.  This is the strongest guard on the chunking,
+coalescing, and RMW logic.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core import InversionClient, InversionFS
+from repro.core.constants import CHUNK_SIZE, O_RDWR
+from repro.db.database import Database
+
+MAX_OFFSET = 3 * CHUNK_SIZE
+
+
+class ReferenceFile:
+    """The executable specification of a byte-stream file."""
+
+    def __init__(self) -> None:
+        self.data = bytearray()
+
+    def write(self, offset: int, payload: bytes) -> None:
+        if offset > len(self.data):
+            self.data.extend(bytes(offset - len(self.data)))
+        end = offset + len(payload)
+        self.data[offset:end] = payload
+
+    def read(self, offset: int, n: int) -> bytes:
+        return bytes(self.data[offset:offset + n])
+
+    @property
+    def size(self) -> int:
+        return len(self.data)
+
+
+op_strategy = st.one_of(
+    st.tuples(st.just("write"),
+              st.integers(min_value=0, max_value=MAX_OFFSET),
+              st.binary(min_size=1, max_size=CHUNK_SIZE + 100)),
+    st.tuples(st.just("read"),
+              st.integers(min_value=0, max_value=MAX_OFFSET),
+              st.integers(min_value=1, max_value=2 * CHUNK_SIZE)),
+)
+
+
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(ops=st.lists(op_strategy, min_size=1, max_size=20),
+       commit_every=st.integers(min_value=1, max_value=7))
+def test_file_matches_reference_model(tmp_path_factory, ops, commit_every):
+    workdir = tmp_path_factory.mktemp("propfs")
+    db = Database.create(str(workdir / "db"))
+    try:
+        fs = InversionFS.mkfs(db)
+        client = InversionClient(fs)
+        fd = client.p_creat("/model")
+        reference = ReferenceFile()
+        client.p_begin()
+        for i, op in enumerate(ops):
+            if op[0] == "write":
+                _kind, offset, payload = op
+                client.p_lseek(fd, 0, offset, 0)
+                client.p_write(fd, payload)
+                reference.write(offset, payload)
+            else:
+                _kind, offset, n = op
+                client.p_lseek(fd, 0, offset, 0)
+                assert client.p_read(fd, n) == reference.read(offset, n)
+            if (i + 1) % commit_every == 0:
+                client.p_commit()
+                client.p_begin()
+        client.p_commit()
+        client.p_close(fd)
+        # Whole-file comparison, through a fresh read path.
+        assert fs.read_file("/model") == bytes(reference.data)
+        assert fs.stat("/model").size == reference.size
+    finally:
+        db.close()
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(writes=st.lists(
+    st.tuples(st.integers(min_value=0, max_value=MAX_OFFSET),
+              st.binary(min_size=1, max_size=CHUNK_SIZE)),
+    min_size=1, max_size=10))
+def test_history_is_append_only(tmp_path_factory, writes):
+    """Every committed state remains readable at its own instant, in
+    order — i.e. history is an append-only sequence of snapshots."""
+    workdir = tmp_path_factory.mktemp("prophist")
+    db = Database.create(str(workdir / "db"))
+    try:
+        fs = InversionFS.mkfs(db)
+        client = InversionClient(fs)
+        fd = client.p_creat("/h")
+        reference = ReferenceFile()
+        states = []
+        for offset, payload in writes:
+            client.p_begin()
+            client.p_lseek(fd, 0, offset, 0)
+            client.p_write(fd, payload)
+            client.p_commit()
+            reference.write(offset, payload)
+            client.p_stat("/h")  # reconcile size for historical stats
+            states.append((db.clock.now(), bytes(reference.data)))
+        client.p_close(fd)
+        for when, expected in states:
+            assert fs.read_file("/h", timestamp=when) == expected
+    finally:
+        db.close()

@@ -1,0 +1,90 @@
+"""File attribute table semantics."""
+
+import pytest
+
+from repro.core.fileatt import FileAtt
+from repro.errors import FileNotFoundError_
+
+
+def test_create_sets_all_timestamps_equal(fs, clock):
+    tx = fs.begin()
+    att = fs.fileatt.create(tx, 4242, "mao", "plain")
+    fs.commit(tx)
+    assert att.ctime == att.mtime == att.atime
+    assert att.size == 0
+    assert att.owner == "mao"
+
+
+def test_partial_update_preserves_other_fields(fs, clock):
+    tx = fs.begin()
+    fs.fileatt.create(tx, 4242, "mao", "plain")
+    fs.commit(tx)
+    clock.advance(3.0)
+    tx = fs.begin()
+    updated = fs.fileatt.update(tx, 4242, size=99)
+    fs.commit(tx)
+    assert updated.size == 99
+    assert updated.owner == "mao"
+    assert updated.type == "plain"
+    assert updated.mtime < clock.now()  # untouched
+
+
+def test_owner_change(fs):
+    tx = fs.begin()
+    fs.fileatt.create(tx, 7, "alice", "plain")
+    fs.fileatt.update(tx, 7, owner="bob")
+    fs.commit(tx)
+    tx = fs.begin()
+    assert fs.fileatt.get(7, fs.db.snapshot(tx), tx).owner == "bob"
+    fs.commit(tx)
+
+
+def test_missing_file_raises(fs):
+    tx = fs.begin()
+    with pytest.raises(FileNotFoundError_):
+        fs.fileatt.get(999999, fs.db.snapshot(tx), tx)
+    with pytest.raises(FileNotFoundError_):
+        fs.fileatt.update(tx, 999999, size=1)
+    with pytest.raises(FileNotFoundError_):
+        fs.fileatt.remove(tx, 999999)
+    fs.abort(tx)
+
+
+def test_attribute_history_is_versioned(fs, clock):
+    tx = fs.begin()
+    fs.fileatt.create(tx, 11, "root", "plain")
+    fs.commit(tx)
+    t0 = clock.now()
+    tx = fs.begin()
+    fs.fileatt.update(tx, 11, size=500)
+    fs.commit(tx)
+    then = fs.fileatt.get(11, fs.db.asof(t0))
+    now = fs.fileatt.get(11, fs.db.asof(clock.now()))
+    assert then.size == 0
+    assert now.size == 500
+
+
+def test_row_roundtrip():
+    att = FileAtt(5, "o", "t", 10, 1.0, 2.0, 3.0)
+    assert FileAtt.from_row(att.to_row()) == att
+
+
+def test_deep_directory_nesting(fs, client):
+    path = ""
+    for depth in range(20):
+        path += f"/d{depth}"
+        client.p_mkdir(path)
+    fd = client.p_creat(path + "/leaf")
+    client.p_close(fd)
+    assert fs.read_file(path + "/leaf") == b""
+    fileid = fs.resolve(path + "/leaf")
+    assert fs.path_of(fileid) == path + "/leaf"
+
+
+def test_large_directory_listing(fs, client):
+    client.p_mkdir("/big")
+    names = [f"entry{i:03d}" for i in range(150)]
+    for name in names:
+        fd = client.p_creat(f"/big/{name}")
+        client.p_close(fd)
+    assert fs.readdir("/big") == sorted(names)

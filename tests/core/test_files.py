@@ -1,0 +1,170 @@
+"""File handles: byte-stream semantics over chunks."""
+
+import pytest
+
+from repro.core.constants import (
+    CHUNK_SIZE,
+    MAX_FILE_SIZE,
+    O_RDONLY,
+    O_RDWR,
+    SEEK_CUR,
+    SEEK_END,
+    SEEK_SET,
+)
+from repro.errors import (
+    BadFileDescriptorError,
+    FileTooLargeError,
+    ReadOnlyFileError,
+)
+
+
+@pytest.fixture
+def open_rw(fs, client):
+    fd = client.p_creat("/f")
+    client.p_close(fd)
+
+    def factory(tx):
+        return fs.open("/f", O_RDWR, tx=tx)
+    return fs, factory
+
+
+def test_write_read_roundtrip(open_rw):
+    fs, factory = open_rw
+    tx = fs.begin()
+    with factory(tx) as f:
+        f.write(b"hello world")
+        f.seek(0)
+        assert f.read() == b"hello world"
+    fs.commit(tx)
+
+
+def test_cross_chunk_write_and_read(open_rw):
+    fs, factory = open_rw
+    data = bytes(range(256)) * ((3 * CHUNK_SIZE) // 256 + 1)
+    data = data[:3 * CHUNK_SIZE - 100]
+    tx = fs.begin()
+    with factory(tx) as f:
+        f.write(data)
+    fs.commit(tx)
+    assert fs.read_file("/f") == data
+
+
+def test_partial_chunk_rmw(open_rw):
+    fs, factory = open_rw
+    tx = fs.begin()
+    with factory(tx) as f:
+        f.write(b"a" * 100)
+        f.seek(50)
+        f.write(b"B" * 10)
+        f.seek(0)
+        assert f.read() == b"a" * 50 + b"B" * 10 + b"a" * 40
+    fs.commit(tx)
+
+
+def test_sparse_write_reads_zero_holes(open_rw):
+    fs, factory = open_rw
+    tx = fs.begin()
+    with factory(tx) as f:
+        f.seek(2 * CHUNK_SIZE + 5)
+        f.write(b"end")
+        f.seek(0)
+        head = f.read(10)
+    fs.commit(tx)
+    assert head == bytes(10)
+    att = fs.stat("/f")
+    assert att.size == 2 * CHUNK_SIZE + 8
+
+
+def test_seek_whences(open_rw):
+    fs, factory = open_rw
+    tx = fs.begin()
+    with factory(tx) as f:
+        f.write(b"0123456789")
+        assert f.seek(2, SEEK_SET) == 2
+        assert f.seek(3, SEEK_CUR) == 5
+        assert f.seek(-1, SEEK_END) == 9
+        assert f.read() == b"9"
+        with pytest.raises(ValueError):
+            f.seek(-20, SEEK_SET)
+        with pytest.raises(ValueError):
+            f.seek(0, 99)
+    fs.commit(tx)
+
+
+def test_read_past_eof_truncated(open_rw):
+    fs, factory = open_rw
+    tx = fs.begin()
+    with factory(tx) as f:
+        f.write(b"abc")
+        f.seek(1)
+        assert f.read(100) == b"bc"
+        f.seek(10)
+        assert f.read(5) == b""
+    fs.commit(tx)
+
+
+def test_write_without_tx_rejected(fs, client):
+    fd = client.p_creat("/g")
+    client.p_close(fd)
+    handle = fs.open("/g", O_RDONLY)
+    with pytest.raises(ReadOnlyFileError):
+        handle.write(b"x")
+    handle.close()
+
+
+def test_historical_handle_refuses_write(fs, client, clock):
+    fd = client.p_creat("/h")
+    client.p_write(fd, b"v1")
+    client.p_close(fd)
+    t0 = clock.now()
+    with pytest.raises(ReadOnlyFileError):
+        fs.open("/h", O_RDWR, timestamp=t0)
+
+
+def test_max_file_size_enforced(open_rw):
+    fs, factory = open_rw
+    tx = fs.begin()
+    with factory(tx) as f:
+        with pytest.raises(FileTooLargeError):
+            f.seek(MAX_FILE_SIZE + 1)
+        f.seek(MAX_FILE_SIZE - 1)
+        with pytest.raises(FileTooLargeError):
+            f.write(b"xx")
+    fs.abort(tx)
+
+
+def test_closed_handle_rejected(open_rw):
+    fs, factory = open_rw
+    tx = fs.begin()
+    f = factory(tx)
+    f.close()
+    with pytest.raises(BadFileDescriptorError):
+        f.read(1)
+    with pytest.raises(BadFileDescriptorError):
+        f.write(b"x")
+    fs.commit(tx)
+
+
+def test_size_and_mtime_updated_on_flush(open_rw, clock):
+    fs, factory = open_rw
+    before = fs.stat("/f")
+    tx = fs.begin()
+    clock.advance(1.0)
+    with factory(tx) as f:
+        f.write(b"grow" * 100)
+    fs.commit(tx)
+    after = fs.stat("/f")
+    assert after.size == 400
+    assert after.mtime > before.mtime
+    assert after.ctime == before.ctime
+
+
+def test_exception_in_with_block_discards_buffer(open_rw):
+    fs, factory = open_rw
+    tx = fs.begin()
+    with pytest.raises(RuntimeError):
+        with factory(tx) as f:
+            f.write(b"doomed")
+            raise RuntimeError("boom")
+    fs.abort(tx)
+    assert fs.read_file("/f") == b""

@@ -1,0 +1,120 @@
+"""Typed files: declaration, assignment, enforced function typing."""
+
+import pytest
+
+from repro.core.filetypes import FileTypeManager
+from repro.core.functions import (
+    make_satellite_image,
+    make_troff_document,
+    register_standard_types,
+    snow,
+)
+from repro.errors import FileTypeError, FunctionError
+
+
+@pytest.fixture
+def typed_fs(fs, client):
+    tx = fs.begin()
+    register_standard_types(fs, tx)
+    fs.commit(tx)
+    return fs, client
+
+
+def _store(client, fs, path, data, ftype):
+    fd = client.p_creat(path, ftype="plain")
+    client.p_write(fd, data)
+    client.p_close(fd)
+    tx = fs.begin()
+    fs.set_file_type(tx, path, ftype)
+    fs.commit(tx)
+
+
+def test_function_runs_on_right_type(typed_fs, clock):
+    fs, client = typed_fs
+    img = make_satellite_image(16, 16, 5, snow_fraction=1.0)
+    _store(client, fs, "/img.tm", img, "tm_image")
+    fileid = fs.resolve("/img.tm")
+    result = fs.db.funcs.call("snow", [fileid], fs.db.asof(clock.now()))
+    assert result == snow(img)
+
+
+def test_type_checking_enforced(typed_fs, clock):
+    """Paper: "POSTGRES will automatically enforce type checking
+    when … functions are called that operate on the file"."""
+    fs, client = typed_fs
+    _store(client, fs, "/doc.t", make_troff_document("T", ["x"]),
+           "troff_document")
+    fileid = fs.resolve("/doc.t")
+    snap = fs.db.asof(clock.now())
+    with pytest.raises((FileTypeError, FunctionError)):
+        fs.db.funcs.call("snow", [fileid], snap)
+    # But the document functions work.
+    assert fs.db.funcs.call("linecount", [fileid], snap) > 0
+
+
+def test_function_with_extra_args(typed_fs, clock):
+    fs, client = typed_fs
+    img = make_satellite_image(8, 8, 5, snow_fraction=0.0)
+    _store(client, fs, "/i", img, "avhrr_image")
+    fileid = fs.resolve("/i")
+    snap = fs.db.asof(clock.now())
+    avg = fs.db.funcs.call("pixelavg", [fileid, 1], snap)
+    assert 0.0 <= avg <= 255.0
+
+
+def test_functions_honour_time_travel(typed_fs, clock):
+    """Functions applied under a historical snapshot analyse the
+    historical bytes."""
+    fs, client = typed_fs
+    doc_v1 = make_troff_document("v1", ["alpha"], paragraphs=1)
+    _store(client, fs, "/d", doc_v1, "troff_document")
+    t0 = clock.now()
+    from repro.core.constants import O_RDWR
+    fd = client.p_open("/d", O_RDWR)
+    client.p_write(fd, make_troff_document("v2", ["beta"], paragraphs=1))
+    client.p_close(fd)
+    fileid = fs.resolve("/d")
+    then = fs.db.funcs.call("keywords", [fileid], fs.db.asof(t0))
+    now = fs.db.funcs.call("keywords", [fileid], fs.db.asof(clock.now()))
+    assert "alpha" in then
+    assert "beta" in now
+
+
+def test_functions_for_type_lists_table2_column(typed_fs):
+    fs, _client = typed_fs
+    tx = fs.begin()
+    ftm = FileTypeManager(fs)
+    troff_funcs = ftm.functions_for_type("troff_document", tx)
+    fs.commit(tx)
+    assert set(troff_funcs) >= {"keywords", "wordcount", "fonts", "sizes"}
+
+
+def test_custom_type_and_function_registration(fs, client, clock):
+    ftm = FileTypeManager(fs)
+    tx = fs.begin()
+    ftm.define_file_type(tx, "csv_table", "comma separated values")
+    ftm.register_content_function(
+        tx, "colcount", lambda data: data.split(b"\n")[0].count(b",") + 1,
+        "int4", ["csv_table"])
+    fs.commit(tx)
+    _store(client, fs, "/t.csv", b"a,b,c\n1,2,3\n", "csv_table")
+    fileid = fs.resolve("/t.csv")
+    assert fs.db.funcs.call("colcount", [fileid],
+                            fs.db.asof(clock.now())) == 3
+
+
+def test_fileid_function_gets_fs_context(fs, client, clock):
+    ftm = FileTypeManager(fs)
+    tx = fs.begin()
+    ftm.register_fileid_function(
+        tx, "depth",
+        lambda f, fileid, snapshot: f.namespace.construct_path(
+            fileid, snapshot).count("/"),
+        "int4")
+    fs.commit(tx)
+    client.p_mkdir("/a")
+    fd = client.p_creat("/a/b")
+    client.p_close(fd)
+    fileid = fs.resolve("/a/b")
+    assert fs.db.funcs.call("depth", [fileid],
+                            fs.db.asof(clock.now())) == 2

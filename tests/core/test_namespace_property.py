@@ -1,0 +1,111 @@
+"""Property-based namespace semantics vs a reference tree model."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core import InversionClient, InversionFS
+from repro.db.database import Database
+from repro.errors import InversionError
+
+NAMES = st.sampled_from(["a", "b", "c", "dir1", "dir2", "file.txt"])
+DEPTH = st.integers(min_value=1, max_value=3)
+
+
+class ReferenceTree:
+    """Executable specification: nested dicts, files are bytes."""
+
+    def __init__(self) -> None:
+        self.root: dict = {}
+
+    def _walk(self, parts):
+        node = self.root
+        for part in parts:
+            if not isinstance(node, dict) or part not in node:
+                return None
+            node = node[part]
+        return node
+
+    def mkdir(self, parts) -> bool:
+        parent = self._walk(parts[:-1])
+        if not isinstance(parent, dict) or parts[-1] in parent:
+            return False
+        parent[parts[-1]] = {}
+        return True
+
+    def creat(self, parts) -> bool:
+        parent = self._walk(parts[:-1])
+        if not isinstance(parent, dict) or parts[-1] in parent:
+            return False
+        parent[parts[-1]] = b""
+        return True
+
+    def unlink(self, parts) -> bool:
+        parent = self._walk(parts[:-1])
+        if not isinstance(parent, dict):
+            return False
+        node = parent.get(parts[-1])
+        if not isinstance(node, bytes):
+            return False
+        del parent[parts[-1]]
+        return True
+
+    def rmdir(self, parts) -> bool:
+        parent = self._walk(parts[:-1])
+        if not isinstance(parent, dict):
+            return False
+        node = parent.get(parts[-1])
+        if not isinstance(node, dict) or node:
+            return False
+        del parent[parts[-1]]
+        return True
+
+    def listing(self, parts):
+        node = self._walk(parts)
+        return sorted(node) if isinstance(node, dict) else None
+
+
+op_strategy = st.tuples(
+    st.sampled_from(["mkdir", "creat", "unlink", "rmdir"]),
+    st.lists(NAMES, min_size=1, max_size=3),
+)
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(ops=st.lists(op_strategy, min_size=1, max_size=25))
+def test_namespace_matches_reference_tree(tmp_path_factory, ops):
+    workdir = tmp_path_factory.mktemp("propns")
+    db = Database.create(str(workdir / "db"))
+    try:
+        fs = InversionFS.mkfs(db)
+        client = InversionClient(fs)
+        reference = ReferenceTree()
+        for kind, parts in ops:
+            path = "/" + "/".join(parts)
+            expected_ok = getattr(reference, kind)(parts)
+            try:
+                if kind == "mkdir":
+                    client.p_mkdir(path)
+                elif kind == "creat":
+                    client.p_close(client.p_creat(path))
+                elif kind == "unlink":
+                    client.p_unlink(path)
+                else:
+                    client.p_rmdir(path)
+                actual_ok = True
+            except InversionError:
+                actual_ok = False
+            assert actual_ok == expected_ok, (kind, path)
+
+        # Final structural comparison, every directory level.
+        def compare(parts):
+            expected = reference.listing(parts)
+            path = "/" + "/".join(parts) if parts else "/"
+            assert sorted(fs.readdir(path)) == expected
+            node = reference._walk(parts)
+            for name, child in node.items():
+                if isinstance(child, dict):
+                    compare(parts + [name])
+        compare([])
+    finally:
+        db.close()

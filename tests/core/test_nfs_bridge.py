@@ -1,0 +1,106 @@
+"""NFS access to Inversion (the paper's 'near term' plan)."""
+
+import pytest
+
+from repro.core.nfs_bridge import InversionNFSBridge
+from repro.errors import NfsError, ReadOnlyFileError
+from repro.nfs.client import NFSClient, UDP_RPC_10MBIT
+from repro.sim.network import NetworkModel
+
+
+@pytest.fixture
+def bridge(fs):
+    return InversionNFSBridge(fs)
+
+
+@pytest.fixture
+def mounted(fs, clock, bridge):
+    """The unmodified NFS client talking to Inversion."""
+    return NFSClient(bridge, NetworkModel(clock=clock, params=UDP_RPC_10MBIT))
+
+
+def test_standard_nfs_client_mounts_inversion(fs, mounted):
+    fh = mounted.create("/via_nfs.txt")
+    mounted.write(fh, 0, b"over the NFS protocol")
+    assert mounted.read(fh, 0, 100) == b"over the NFS protocol"
+    assert mounted.getattr(fh).size == 21
+    # The same file is visible through the native interface.
+    assert fs.read_file("/via_nfs.txt") == b"over the NFS protocol"
+
+
+def test_lookup_and_remove(fs, mounted, client):
+    fd = client.p_creat("/native.txt")
+    client.p_write(fd, b"made natively")
+    client.p_close(fd)
+    fh = mounted.lookup("/native.txt")
+    assert mounted.read(fh, 5, 8) == b"natively"
+    mounted.remove("/native.txt")
+    assert not fs.exists("/native.txt")
+    with pytest.raises(NfsError):
+        mounted.lookup("/native.txt")
+
+
+def test_every_nfs_op_is_its_own_transaction(fs, bridge):
+    """"The NFS protocol makes every operation an atomic transaction" —
+    a write is durable the moment the reply would go out."""
+    fh = bridge.nfs_create("/atomic")
+    bridge.nfs_write(fh, 0, b"landed")
+    # No commit call exists on the bridge; it already committed.
+    assert fs.read_file("/atomic") == b"landed"
+
+
+def test_large_transfers_split_by_client(mounted):
+    fh = mounted.create("/big")
+    data = bytes(range(256)) * 256  # 64 KB
+    mounted.write(fh, 0, data)
+    assert mounted.read(fh, 0, len(data)) == data
+
+
+def test_beyond_ffs_4gb_limit(fs, bridge):
+    """Inversion behind NFS serves offsets FFS never could."""
+    fh = bridge.nfs_create("/huge")
+    offset = 5 * 1024 ** 3  # 5 GB, past the FFS limit
+    bridge.nfs_write(fh, offset, b"far out")
+    assert bridge.nfs_getattr(fh).size == offset + 7
+    assert bridge.nfs_read(fh, offset, 7) == b"far out"
+
+
+def test_fcntl_time_travel(fs, bridge, clock):
+    fh = bridge.nfs_create("/tt")
+    bridge.nfs_write(fh, 0, b"version one")
+    t0 = clock.now()
+    bridge.nfs_write(fh, 0, b"VERSION TWO")
+    assert bridge.nfs_read(fh, 0, 11) == b"VERSION TWO"
+
+    bridge.fcntl_set_timestamp(fh, t0)
+    assert bridge.fcntl_get_timestamp(fh) == t0
+    assert bridge.nfs_read(fh, 0, 11) == b"version one"
+    assert bridge.nfs_getattr(fh).size == 11
+    with pytest.raises(ReadOnlyFileError):
+        bridge.nfs_write(fh, 0, b"no")
+
+    bridge.fcntl_set_timestamp(fh, None)
+    assert bridge.nfs_read(fh, 0, 11) == b"VERSION TWO"
+
+
+def test_oversize_protocol_transfer_rejected(bridge):
+    fh = bridge.nfs_create("/f")
+    with pytest.raises(NfsError):
+        bridge.nfs_read(fh, 0, 8193)
+    with pytest.raises(NfsError):
+        bridge.nfs_write(fh, 0, bytes(8193))
+
+
+def test_crash_between_ops_loses_nothing_committed(tmp_path):
+    from repro.core.filesystem import InversionFS
+    from repro.db.database import Database
+    db = Database.create(str(tmp_path / "d"))
+    fs = InversionFS.mkfs(db)
+    bridge = InversionNFSBridge(fs)
+    fh = bridge.nfs_create("/f")
+    bridge.nfs_write(fh, 0, b"persisted")
+    db.simulate_crash()
+    db2 = Database.open(str(tmp_path / "d"))
+    fs2 = InversionFS.attach(db2)
+    assert fs2.read_file("/f") == b"persisted"
+    db2.close()

@@ -1,0 +1,122 @@
+"""The paper's own example queries, run verbatim (modulo type names).
+
+The paper shows three queries:
+
+1. ``retrieve (filename) where "RISC" in keywords(file)``
+2. ``retrieve (filename) where owner(file) = "mao" and (filetype(file)
+   = "movie" or filetype(file) = "sound") and dir(file) = "/users/mao"``
+3. ``retrieve (snow(file), filename) where filetype(file) = "tm" and
+   snow(file)/size(file) > 0.5 and month_of(file) = "April"``
+"""
+
+import pytest
+
+from repro.core.filetypes import FileTypeManager
+from repro.core.functions import (
+    make_satellite_image,
+    make_troff_document,
+    register_standard_types,
+)
+
+
+@pytest.fixture
+def corpus(fs, client, clock):
+    tx = fs.begin()
+    register_standard_types(fs, tx)
+    ftm = FileTypeManager(fs)
+    ftm.define_file_type(tx, "movie")
+    ftm.define_file_type(tx, "sound")
+    ftm.define_file_type(tx, "tm")   # alias used by the paper's query
+    fs.commit(tx)
+
+    def put(path, data, ftype, owner="root"):
+        fd = client.p_creat(path, owner=owner)
+        client.p_write(fd, data)
+        client.p_close(fd)
+        tx = fs.begin()
+        fs.set_file_type(tx, path, ftype)
+        fs.commit(tx)
+
+    client.p_mkdir("/papers")
+    put("/papers/risc.t", make_troff_document("RISC II", ["RISC", "vlsi"]),
+        "troff_document")
+    put("/papers/cisc.t", make_troff_document("VAX", ["CISC"]),
+        "troff_document")
+
+    client.p_mkdir("/users")
+    client.p_mkdir("/users/mao")
+    put("/users/mao/clip.mov", b"\x00movie-bytes", "movie", owner="mao")
+    put("/users/mao/talk.au", b"\x00sound-bytes", "sound", owner="mao")
+    put("/users/mao/notes.txt", b"text", "plain", owner="mao")
+    put("/elsewhere.mov", b"\x00other", "movie", owner="mao")
+
+    # The snow corpus: functions are defined for tm_image; the paper's
+    # "tm" type gets the same treatment by re-registering snow for it.
+    tx = fs.begin()
+    from repro.core import functions as fnmod
+    ftm.register_content_function(tx, "snow_tm", fnmod.snow, "int8", ["tm"])
+    fs.commit(tx)
+    # size(file) is bytes; with 1 byte/pixel/band the paper's
+    # snow/size > 0.5 predicate needs a mostly-snow image.
+    snowy = make_satellite_image(64, 64, 1, snow_fraction=0.9, seed=2)
+    clear = make_satellite_image(64, 64, 1, snow_fraction=0.05, seed=3)
+    put("/snowy.tm", snowy, "tm")
+    put("/clear.tm", clear, "tm")
+    return fs, client
+
+
+def q(fs, text):
+    tx = fs.begin()
+    try:
+        return fs.query(tx, text)
+    finally:
+        fs.commit(tx)
+
+
+def test_keywords_query(corpus):
+    fs, _client = corpus
+    rows = q(fs, 'retrieve (filename) where filetype(file) = "troff_document" '
+                 'and "RISC" in keywords(file)')
+    assert rows == [("risc.t",)]
+
+
+def test_owner_filetype_dir_query(corpus):
+    """The movie-or-sound query, verbatim."""
+    fs, _client = corpus
+    rows = q(fs, 'retrieve (filename) '
+                 'where owner(file) = "mao" '
+                 'and (filetype(file) = "movie" or filetype(file) = "sound") '
+                 'and dir(file) = "/users/mao" sort by filename')
+    assert rows == [("clip.mov",), ("talk.au",)]
+
+
+def test_snow_query(corpus):
+    fs, _client = corpus
+    rows = q(fs, 'retrieve (snow_tm(file), filename) '
+                 'where filetype(file) = "tm" '
+                 'and snow_tm(file) / size(file) > 0.5')
+    assert len(rows) == 1
+    count, name = rows[0]
+    assert name == "snowy.tm"
+    assert count > 0.5 * 64 * 64
+
+
+def test_month_of_function(corpus):
+    fs, _client = corpus
+    rows = q(fs, 'retrieve (filename, month_of(file)) '
+                 'where filename = "snowy.tm"')
+    assert rows[0][1] == "January"  # simulated epoch starts in January 1970
+
+
+def test_size_query(corpus):
+    fs, _client = corpus
+    rows = q(fs, 'retrieve (filename, size(file)) where size(file) > 4000 '
+                 'sort by filename')
+    assert [r[0] for r in rows] == ["clear.tm", "snowy.tm"]
+
+
+def test_query_through_client_library(corpus):
+    fs, client = corpus
+    rows = client.p_query('retrieve (filename) where owner(file) = "mao" '
+                          'and dir(file) = "/users/mao" sort by filename')
+    assert [r[0] for r in rows] == ["clip.mov", "notes.txt", "talk.au"]

@@ -1,0 +1,134 @@
+"""Client/server access path: RPC dispatch, sessions, network costs."""
+
+import pytest
+
+from repro.core.client import RemoteInversionClient
+from repro.core.constants import O_RDONLY, O_RDWR
+from repro.core.server import InversionServer
+from repro.errors import InversionError
+from repro.sim.network import ETHERNET_10MBIT, NetworkModel
+
+
+@pytest.fixture
+def remote(fs, clock):
+    server = InversionServer(fs)
+    network = NetworkModel(clock=clock, params=ETHERNET_10MBIT)
+    client = RemoteInversionClient(server, network)
+    yield fs, client, network
+    client.close()
+
+
+def test_full_file_cycle_over_rpc(remote):
+    fs, client, _net = remote
+    fd = client.p_creat("/r")
+    client.p_write(fd, b"over the wire")
+    client.p_lseek(fd, 0, 0, 0)
+    assert client.p_read(fd, 100) == b"over the wire"
+    client.p_close(fd)
+    assert fs.read_file("/r") == b"over the wire"
+
+
+def test_every_call_charges_network(remote):
+    _fs, client, net = remote
+    msgs = net.stats.messages
+    fd = client.p_creat("/n")
+    assert net.stats.messages > msgs
+    msgs = net.stats.messages
+    client.p_write(fd, b"x" * 8000)
+    assert net.stats.messages >= msgs + 2
+    client.p_close(fd)
+
+
+def test_large_read_ships_payload(remote):
+    _fs, client, net = remote
+    fd = client.p_creat("/big")
+    client.p_begin()
+    client.p_write(fd, b"z" * 100_000)
+    client.p_commit()
+    client.p_lseek(fd, 0, 0, 0)
+    sent = net.stats.bytes_sent
+    client.p_read(fd, 100_000)
+    assert net.stats.bytes_sent - sent >= 100_000
+    client.p_close(fd)
+
+
+def test_transactions_over_rpc(remote):
+    fs, client, _net = remote
+    client.p_begin()
+    fd = client.p_creat("/t1")
+    client.p_write(fd, b"a")
+    client.p_abort()
+    assert not fs.exists("/t1")
+
+
+def test_sessions_isolated(fs, clock):
+    server = InversionServer(fs)
+    net = NetworkModel(clock=clock, params=ETHERNET_10MBIT)
+    c1 = RemoteInversionClient(server, net)
+    c2 = RemoteInversionClient(server, net)
+    c1.p_begin()
+    c2.p_begin()  # a second session may hold its own transaction
+    c1.p_abort()
+    c2.p_abort()
+    c1.close()
+    c2.close()
+
+
+def test_disconnect_aborts_open_transaction(fs, clock):
+    server = InversionServer(fs)
+    net = NetworkModel(clock=clock, params=ETHERNET_10MBIT)
+    client = RemoteInversionClient(server, net)
+    client.p_begin()
+    fd = client.p_creat("/leak")
+    client.p_write(fd, b"x")
+    client.close()  # server aborts the in-flight transaction
+    assert not fs.exists("/leak")
+
+
+def test_unknown_method_rejected(fs):
+    server = InversionServer(fs)
+    session = server.connect()
+    with pytest.raises(InversionError):
+        server.dispatch(session, "drop_all_tables")
+
+
+def test_unknown_session_rejected(fs):
+    server = InversionServer(fs)
+    with pytest.raises(InversionError):
+        server.dispatch(99, "p_begin")
+
+
+def test_queries_over_rpc(remote):
+    _fs, client, _net = remote
+    fd = client.p_creat("/q1")
+    client.p_close(fd)
+    rows = client.p_query('retrieve (filename) where filename = "q1"')
+    assert rows == [("q1",)]
+
+
+def test_write_behind_cheaper_than_synchronous(fs, clock):
+    """Consecutive writes overlap network and server work."""
+    server = InversionServer(fs)
+    net = NetworkModel(clock=clock, params=ETHERNET_10MBIT)
+    pipelined = RemoteInversionClient(server, net, write_behind=True)
+    fd = pipelined.p_creat("/wb")
+    pipelined.p_begin()
+    start = clock.now()
+    for i in range(8):
+        pipelined.p_write(fd, b"d" * 4096)
+    pipelined.p_commit()
+    piped = clock.now() - start
+    pipelined.p_close(fd)
+
+    sync = RemoteInversionClient(server, net, write_behind=False)
+    fd2 = sync.p_creat("/sync")
+    sync.p_begin()
+    start = clock.now()
+    for i in range(8):
+        sync.p_write(fd2, b"d" * 4096)
+    sync.p_commit()
+    serial = clock.now() - start
+    sync.p_close(fd2)
+    pipelined.close()
+    sync.close()
+    assert piped < serial

@@ -1,0 +1,127 @@
+"""Fine-grained time travel on files and metadata."""
+
+import pytest
+
+from repro.core.constants import O_RDONLY, O_RDWR
+
+
+def _write(client, path, data):
+    fd = client.p_open(path, O_RDWR)
+    client.p_write(fd, data)
+    client.p_close(fd)
+
+
+def test_every_committed_state_is_visible(fs, client, clock):
+    """Unlike Plan 9 / 3DFS daily snapshots, *every* transaction
+    boundary is a visitable instant."""
+    fd = client.p_creat("/log")
+    client.p_close(fd)
+    instants = []
+    for i in range(5):
+        _write(client, "/log", f"gen{i}".encode())
+        instants.append(clock.now())
+    for i, t in enumerate(instants):
+        assert fs.read_file("/log", timestamp=t) == f"gen{i}".encode()
+
+
+def test_prefix_of_history_before_creation(fs, client, clock):
+    t_before = clock.now()
+    fd = client.p_creat("/later")
+    client.p_close(fd)
+    assert not fs.exists("/later", timestamp=t_before)
+    with pytest.raises(Exception):
+        fs.read_file("/later", timestamp=t_before)
+
+
+def test_metadata_time_travel(fs, client, clock):
+    fd = client.p_creat("/meta", owner="mao")
+    client.p_write(fd, b"0123")
+    client.p_close(fd)
+    t0 = clock.now()
+    _write(client, "/meta", b"01234567")
+    att_then = fs.stat("/meta", timestamp=t0)
+    att_now = fs.stat("/meta")
+    assert att_then.size == 4
+    assert att_now.size == 8
+    assert att_then.owner == "mao"
+
+
+def test_namespace_time_travel_readdir(fs, client, clock):
+    client.p_mkdir("/d")
+    fd = client.p_creat("/d/one")
+    client.p_close(fd)
+    t0 = clock.now()
+    fd = client.p_creat("/d/two")
+    client.p_close(fd)
+    client.p_unlink("/d/one")
+    assert fs.readdir("/d") == ["two"]
+    assert fs.readdir("/d", timestamp=t0) == ["one"]
+
+
+def test_undelete_via_time_travel(fs, client, clock):
+    """Paper: "it allows users to undelete files removed
+    accidentally"."""
+    fd = client.p_creat("/precious")
+    client.p_write(fd, b"do not lose")
+    client.p_close(fd)
+    t0 = clock.now()
+    client.p_unlink("/precious")
+    assert not fs.exists("/precious")
+    recovered = fs.read_file("/precious", timestamp=t0)
+    fd = client.p_creat("/precious")
+    client.p_write(fd, recovered)
+    client.p_close(fd)
+    assert fs.read_file("/precious") == b"do not lose"
+
+
+def test_rename_history(fs, client, clock):
+    fd = client.p_creat("/old_name")
+    client.p_close(fd)
+    t0 = clock.now()
+    client.p_rename("/old_name", "/new_name")
+    assert fs.exists("/old_name", timestamp=t0)
+    assert not fs.exists("/new_name", timestamp=t0)
+    assert fs.exists("/new_name")
+
+
+def test_aborted_changes_never_appear_in_history(fs, client, clock):
+    fd = client.p_creat("/stable")
+    client.p_write(fd, b"good")
+    client.p_close(fd)
+    client.p_begin()
+    f2 = client.p_open("/stable", O_RDWR)
+    client.p_write(f2, b"BAD!")
+    mid = clock.now()
+    client.p_abort()
+    assert fs.read_file("/stable", timestamp=mid) == b"good"
+    assert fs.read_file("/stable") == b"good"
+
+
+def test_historical_open_through_library(client, clock):
+    fd = client.p_creat("/doc")
+    client.p_write(fd, b"draft")
+    client.p_close(fd)
+    t0 = clock.now()
+    _write(client, "/doc", b"final")
+    hist_fd = client.p_open("/doc", O_RDONLY, timestamp=t0)
+    assert client.p_read(hist_fd, 10) == b"draft"
+    assert client.p_stat("/doc", timestamp=t0).size == 5
+    client.p_close(hist_fd)
+
+
+def test_only_changed_blocks_are_versioned(fs, client):
+    """Paper: "Inversion does not create copies of entire files every
+    time a change is made.  Instead, only the changed blocks are
+    saved"."""
+    from repro.core.chunks import ChunkStore, CHUNK_SIZE
+    fd = client.p_creat("/blocky")
+    client.p_write(fd, bytes(CHUNK_SIZE * 3))
+    client.p_close(fd)
+    fileid = fs.resolve("/blocky")
+    store = ChunkStore(fs.db, fileid, None)
+    versions_before = store.version_count()
+    fd = client.p_open("/blocky", O_RDWR)
+    client.p_lseek(fd, 0, CHUNK_SIZE, 0)  # inside chunk 1 only
+    client.p_write(fd, b"patch")
+    client.p_close(fd)
+    assert store.version_count() == versions_before + 1

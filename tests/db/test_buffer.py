@@ -1,0 +1,128 @@
+"""Shared LRU buffer cache."""
+
+import pytest
+
+from repro.db.buffer import BufferCache
+from repro.devices.memdisk import MemDisk
+from repro.devices.switch import DeviceSwitch
+from repro.sim.clock import SimClock
+
+
+@pytest.fixture
+def setup():
+    clock = SimClock()
+    switch = DeviceSwitch()
+    dev = MemDisk("mem0", clock)
+    switch.register(dev)
+    dev.create_relation("r")
+    return switch, dev, BufferCache(switch, capacity=4)
+
+
+def test_new_page_is_dirty_until_flushed(setup):
+    _switch, dev, cache = setup
+    pageno, page = cache.new_page("mem0", "r")
+    page.add_record(b"data")
+    cache.mark_dirty("mem0", "r", pageno)
+    assert cache.dirty_count() == 1
+    assert cache.flush_all() == 1
+    assert cache.dirty_count() == 0
+
+
+def test_hit_does_not_touch_device(setup):
+    _switch, dev, cache = setup
+    pageno, _page = cache.new_page("mem0", "r")
+    cache.flush_all()
+    reads_before = dev.stats.reads
+    cache.get_page("mem0", "r", pageno)
+    assert dev.stats.reads == reads_before
+    assert cache.stats.hits == 1
+
+
+def test_miss_reads_from_device(setup):
+    _switch, dev, cache = setup
+    pageno, _ = cache.new_page("mem0", "r")
+    cache.flush_all()
+    cache.invalidate_all()
+    cache.get_page("mem0", "r", pageno)
+    assert dev.stats.reads == 1
+    assert cache.stats.misses == 1
+
+
+def test_lru_eviction_writes_dirty_pages(setup):
+    _switch, dev, cache = setup
+    pages = []
+    for i in range(6):  # capacity 4 → 2 evictions
+        pageno, page = cache.new_page("mem0", "r")
+        page.add_record(bytes([i]) * 8)
+        cache.mark_dirty("mem0", "r", pageno)
+        pages.append(pageno)
+    assert cache.stats.evictions == 2
+    assert cache.stats.dirty_writebacks == 2
+    # Evicted pages are readable with their data intact.
+    assert cache.get_page("mem0", "r", pages[0]).get_record(0) == b"\x00" * 8
+
+
+def test_eviction_order_is_lru(setup):
+    _switch, _dev, cache = setup
+    p0, _ = cache.new_page("mem0", "r")
+    for _ in range(3):
+        cache.new_page("mem0", "r")
+    cache.get_page("mem0", "r", p0)  # touch p0 → p1 becomes LRU
+    cache.new_page("mem0", "r")
+    assert cache.resident("mem0", "r", p0)
+    assert not cache.resident("mem0", "r", 1)
+
+
+def test_invalidate_without_writeback_loses_dirty_data(setup):
+    """The crash model: volatile buffers vanish."""
+    _switch, dev, cache = setup
+    pageno, page = cache.new_page("mem0", "r")
+    cache.flush_all()
+    page = cache.get_page("mem0", "r", pageno)
+    page.add_record(b"uncommitted")
+    cache.mark_dirty("mem0", "r", pageno)
+    cache.invalidate_all(write_dirty=False)
+    fresh = cache.get_page("mem0", "r", pageno)
+    assert fresh.nslots == 0
+
+
+def test_flush_relation_only_touches_named_relation(setup):
+    switch, dev, cache = setup
+    dev.create_relation("other")
+    p1, pg1 = cache.new_page("mem0", "r")
+    p2, pg2 = cache.new_page("mem0", "other")
+    assert cache.flush_relation("mem0", "r") == 1
+    assert cache.dirty_count() == 1
+
+
+def test_drop_relation_discards_frames(setup):
+    _switch, _dev, cache = setup
+    cache.new_page("mem0", "r")
+    cache.drop_relation("mem0", "r")
+    assert len(cache) == 0
+
+
+def test_mark_dirty_requires_residency(setup):
+    _switch, _dev, cache = setup
+    with pytest.raises(KeyError):
+        cache.mark_dirty("mem0", "r", 0)
+
+
+def test_flush_all_elevator_order(setup):
+    """Dirty pages are written in sorted page order (one ascending
+    sweep), not insertion order."""
+    _switch, dev, cache = setup
+    order = []
+    original = dev.write_page
+
+    def spy(relname, pageno, data):
+        order.append(pageno)
+        original(relname, pageno, data)
+    dev.write_page = spy
+    big = BufferCache(cache.switch, capacity=16)
+    nums = []
+    for _ in range(6):
+        pageno, _pg = big.new_page("mem0", "r")
+        nums.append(pageno)
+    big.flush_all()
+    assert order == sorted(order)

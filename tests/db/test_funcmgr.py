@@ -1,0 +1,90 @@
+"""Function manager: registry, languages, snapshot-awareness."""
+
+import pytest
+
+from repro.db.funcmgr import (
+    FunctionManager,
+    load_function,
+    register_callable,
+    registry_keys,
+    snapshot_aware,
+)
+from repro.errors import FunctionError
+
+
+def test_registry_roundtrip():
+    register_callable("lib:unit_test_fn", lambda x: x + 1)
+    assert load_function("lib:unit_test_fn")(2) == 3
+    assert "lib:unit_test_fn" in registry_keys()
+
+
+def test_unknown_registry_key():
+    with pytest.raises(FunctionError):
+        load_function("lib:never-registered-anywhere")
+
+
+def test_define_python_and_call(db, clock):
+    mgr = FunctionManager(db)
+    tx = db.begin()
+    mgr.define_python(tx, "triple", lambda n: n * 3, ["int4"], "int4")
+    db.commit(tx)
+    assert mgr.call("triple", [4], db.asof(clock.now())) == 12
+
+
+def test_define_postquel_and_call(db, clock):
+    mgr = FunctionManager(db)
+    tx = db.begin()
+    mgr.define_postquel(tx, "plus", "$1 + $2", ["int4", "int4"], "int4")
+    db.commit(tx)
+    assert mgr.call("plus", [4, 5], db.asof(clock.now())) == 9
+
+
+def test_postquel_function_calling_python_function(db, clock):
+    mgr = FunctionManager(db)
+    tx = db.begin()
+    mgr.define_python(tx, "double_py", lambda n: n * 2, ["int4"], "int4")
+    mgr.define_postquel(tx, "quad", "double_py(double_py($1))",
+                        ["int4"], "int4")
+    db.commit(tx)
+    assert mgr.call("quad", [3], db.asof(clock.now())) == 12
+
+
+def test_snapshot_aware_functions_receive_snapshot(db, clock):
+    mgr = FunctionManager(db)
+    seen = []
+
+    @snapshot_aware
+    def probe(x, snapshot):
+        seen.append(snapshot)
+        return x
+    tx = db.begin()
+    mgr.define_python(tx, "probe", probe, ["int4"], "int4")
+    db.commit(tx)
+    snap = db.asof(clock.now())
+    assert mgr.call("probe", [7], snap) == 7
+    assert seen == [snap]
+
+
+def test_exceptions_wrapped_with_function_name(db, clock):
+    mgr = FunctionManager(db)
+    tx = db.begin()
+    mgr.define_python(tx, "boom", lambda: 1 / 0, [], "int4")
+    db.commit(tx)
+    with pytest.raises(FunctionError, match="boom"):
+        mgr.call("boom", [], db.asof(clock.now()))
+
+
+def test_unknown_function_name(db, clock):
+    mgr = FunctionManager(db)
+    with pytest.raises(FunctionError):
+        mgr.call("no_such_function", [], db.asof(clock.now()))
+
+
+def test_udf_invocation_charges_cpu(db, clock):
+    mgr = FunctionManager(db)
+    tx = db.begin()
+    mgr.define_python(tx, "noop", lambda: 0, [], "int4")
+    db.commit(tx)
+    busy_before = db.cpu.busy_seconds
+    mgr.call("noop", [], db.asof(clock.now()))
+    assert db.cpu.busy_seconds > busy_before

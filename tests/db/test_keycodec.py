@@ -1,0 +1,103 @@
+"""Order-preserving key encoding, including property-based checks."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.db import keycodec
+
+
+@given(st.integers(min_value=-2**63, max_value=2**63 - 1),
+       st.integers(min_value=-2**63, max_value=2**63 - 1))
+def test_int_encoding_preserves_order(a, b):
+    ea, eb = keycodec.encode_int(a), keycodec.encode_int(b)
+    assert (a < b) == (ea < eb)
+    assert (a == b) == (ea == eb)
+
+
+@given(st.integers(min_value=-2**63, max_value=2**63 - 1))
+def test_int_roundtrip(a):
+    assert keycodec.decode_int(keycodec.encode_int(a)) == a
+
+
+def test_int_out_of_range():
+    with pytest.raises(ValueError):
+        keycodec.encode_int(2 ** 63)
+
+
+@given(st.floats(allow_nan=False), st.floats(allow_nan=False))
+def test_float_encoding_preserves_order(a, b):
+    ea, eb = keycodec.encode_float(a), keycodec.encode_float(b)
+    if a < b:
+        assert ea < eb
+    elif a > b:
+        assert ea > eb
+
+
+@given(st.floats(allow_nan=False))
+def test_float_roundtrip(a):
+    out = keycodec.decode_float(keycodec.encode_float(a))
+    assert out == a or (a == 0.0 and out == 0.0)
+
+
+@given(st.text(), st.text())
+def test_text_encoding_preserves_order(a, b):
+    ea, eb = keycodec.encode_text(a), keycodec.encode_text(b)
+    assert (a.encode() < b.encode()) == (ea < eb)
+
+
+@given(st.binary(), st.binary())
+def test_bytes_encoding_preserves_order(a, b):
+    ea, eb = keycodec.encode_bytes(a), keycodec.encode_bytes(b)
+    assert (a < b) == (ea < eb)
+
+
+@given(st.binary())
+def test_bytes_roundtrip(a):
+    encoded = keycodec.encode_bytes(a)
+    decoded, end = keycodec.decode_bytes(encoded)
+    assert decoded == a
+    assert end == len(encoded)
+
+
+@given(st.binary(), st.binary())
+def test_bytes_encoding_self_delimiting(a, b):
+    """Concatenated encodings decode back to their parts."""
+    blob = keycodec.encode_bytes(a) + keycodec.encode_bytes(b)
+    first, offset = keycodec.decode_bytes(blob)
+    second, end = keycodec.decode_bytes(blob, offset)
+    assert (first, second) == (a, b)
+    assert end == len(blob)
+
+
+@given(st.tuples(st.integers(min_value=0, max_value=2**31), st.text()),
+       st.tuples(st.integers(min_value=0, max_value=2**31), st.text()))
+def test_composite_key_order(a, b):
+    """(parentid, filename) composite keys sort like their tuples —
+    what the naming index depends on."""
+    ea, eb = keycodec.encode_key(a), keycodec.encode_key(b)
+    ta = (a[0], a[1].encode())
+    tb = (b[0], b[1].encode())
+    assert (ta < tb) == (ea < eb)
+
+
+def test_none_sorts_before_any_nonempty_text():
+    assert keycodec.encode_value(None) < keycodec.encode_text("a")
+    assert keycodec.encode_value(None) < keycodec.encode_bytes(b"\x00")
+    # The empty string is the one value that precedes None.
+    assert keycodec.encode_text("") < keycodec.encode_value(None)
+
+
+def test_bool_encodes_as_int():
+    assert keycodec.encode_value(True) == keycodec.encode_int(1)
+    assert keycodec.encode_value(False) == keycodec.encode_int(0)
+
+
+def test_unknown_type_rejected():
+    with pytest.raises(TypeError):
+        keycodec.encode_value(object())
+
+
+def test_prefix_encoding_is_prefix_of_full_key():
+    prefix = keycodec.encode_prefix((810,))
+    full = keycodec.encode_key((810, "etc"))
+    assert full.startswith(prefix)

@@ -1,0 +1,106 @@
+"""Two-phase locking and deadlock detection."""
+
+import threading
+
+import pytest
+
+from repro.db.locks import EXCLUSIVE, SHARED, LockManager
+from repro.db.transactions import Transaction
+from repro.errors import DeadlockError, LockTimeoutError
+
+
+def tx(xid: int) -> Transaction:
+    return Transaction(xid=xid, start_time=0.0)
+
+
+def test_shared_locks_are_compatible():
+    lm = LockManager()
+    a, b = tx(1), tx(2)
+    lm.acquire(a, "r", SHARED)
+    lm.acquire(b, "r", SHARED)
+    assert set(lm.holders("r")) == {1, 2}
+
+
+def test_exclusive_blocks_shared():
+    lm = LockManager(timeout_s=0.05)
+    a, b = tx(1), tx(2)
+    lm.acquire(a, "r", EXCLUSIVE)
+    with pytest.raises(LockTimeoutError):
+        lm.acquire(b, "r", SHARED)
+
+
+def test_reacquire_is_noop():
+    lm = LockManager()
+    a = tx(1)
+    lm.acquire(a, "r", SHARED)
+    lm.acquire(a, "r", SHARED)
+    lm.acquire(a, "r", EXCLUSIVE)  # upgrade with no contention
+    assert lm.holders("r")[1] == EXCLUSIVE
+
+
+def test_release_all_unblocks_waiter():
+    lm = LockManager(timeout_s=5.0)
+    a, b = tx(1), tx(2)
+    lm.acquire(a, "r", EXCLUSIVE)
+    got = []
+
+    def worker():
+        lm.acquire(b, "r", EXCLUSIVE)
+        got.append(True)
+    thread = threading.Thread(target=worker)
+    thread.start()
+    lm.release_all(a)
+    thread.join(timeout=5)
+    assert got == [True]
+    assert a.held_locks == []
+
+
+def test_different_resources_do_not_conflict():
+    lm = LockManager()
+    a, b = tx(1), tx(2)
+    lm.acquire(a, "r1", EXCLUSIVE)
+    lm.acquire(b, "r2", EXCLUSIVE)
+
+
+def test_deadlock_detected():
+    """A waits for B while B waits for A: the second waiter loses."""
+    lm = LockManager(timeout_s=10.0)
+    a, b = tx(1), tx(2)
+    lm.acquire(a, "r1", EXCLUSIVE)
+    lm.acquire(b, "r2", EXCLUSIVE)
+    outcome = {}
+
+    def a_then_blocks():
+        try:
+            lm.acquire(a, "r2", EXCLUSIVE)  # blocks on b
+            outcome["a"] = "got it"
+        except DeadlockError:
+            outcome["a"] = "deadlock"
+        finally:
+            lm.release_all(a)
+
+    thread = threading.Thread(target=a_then_blocks)
+    thread.start()
+    import time
+    time.sleep(0.1)  # let A start waiting
+    with pytest.raises(DeadlockError):
+        lm.acquire(b, "r1", EXCLUSIVE)  # closes the cycle → victim
+    lm.release_all(b)
+    thread.join(timeout=5)
+    assert outcome["a"] == "got it"
+
+
+def test_bad_mode_rejected():
+    lm = LockManager()
+    with pytest.raises(ValueError):
+        lm.acquire(tx(1), "r", "Z")
+
+
+def test_two_phase_semantics_via_transaction_record():
+    lm = LockManager()
+    a = tx(1)
+    lm.acquire(a, "r1", SHARED)
+    lm.acquire(a, "r2", EXCLUSIVE)
+    assert len(a.held_locks) == 2
+    lm.release_all(a)
+    assert lm.holders("r1") == {} and lm.holders("r2") == {}

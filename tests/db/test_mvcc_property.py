@@ -1,0 +1,134 @@
+"""Property-based MVCC: random transaction interleavings vs a reference.
+
+A random schedule of inserts/updates/deletes grouped into transactions
+that randomly commit or abort is replayed against a reference model
+that applies only committed transactions.  The table must agree with
+the reference *now* and at every past commit point (time travel), and
+again after a vacuum pass.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.db.database import Database
+from repro.db.tuples import Column, Schema
+
+SCHEMA = Schema([Column("k", "int4"), Column("v", "int4")])
+
+KEYS = st.integers(min_value=0, max_value=5)
+action = st.one_of(
+    st.tuples(st.just("set"), KEYS, st.integers(min_value=0, max_value=99)),
+    st.tuples(st.just("del"), KEYS),
+)
+transaction = st.tuples(st.lists(action, min_size=1, max_size=5),
+                        st.booleans())  # (actions, commits?)
+
+
+def _apply_reference(state: dict, actions) -> dict:
+    new = dict(state)
+    for act in actions:
+        if act[0] == "set":
+            new[act[1]] = act[2]
+        else:
+            new.pop(act[1], None)
+    return new
+
+
+def _table_state(db, snapshot) -> dict:
+    return {row[0]: row[1]
+            for _tid, row in db.table("t").scan(snapshot)}
+
+
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(schedule=st.lists(transaction, min_size=1, max_size=10))
+def test_mvcc_matches_reference(tmp_path_factory, schedule):
+    workdir = tmp_path_factory.mktemp("mvcc")
+    db = Database.create(str(workdir / "db"))
+    try:
+        tx0 = db.begin()
+        db.create_table(tx0, "t", SCHEMA, indexes=[["k"]])
+        db.commit(tx0)
+
+        committed: dict = {}
+        checkpoints: list[tuple[float, dict]] = []
+        for actions, commits in schedule:
+            tx = db.begin()
+            table = db.table("t", tx)
+            snapshot = db.snapshot(tx)
+            for act in actions:
+                existing = next(iter(table.index_eq(("k",), (act[1],),
+                                                    snapshot, tx)), None)
+                if act[0] == "set":
+                    if existing is not None:
+                        table.update(tx, existing[0], (act[1], act[2]))
+                    else:
+                        table.insert(tx, (act[1], act[2]))
+                elif existing is not None:
+                    table.delete(tx, existing[0])
+            if commits:
+                db.commit(tx)
+                committed = _apply_reference(committed, actions)
+                checkpoints.append((db.clock.now(), dict(committed)))
+            else:
+                db.abort(tx)
+
+        # Present state agrees with the committed reference.
+        read_tx = db.begin()
+        assert _table_state(db, db.snapshot(read_tx)) == committed
+        db.commit(read_tx)
+
+        # Every committed instant agrees with its snapshot of the model.
+        for when, expected in checkpoints:
+            assert _table_state(db, db.asof(when)) == expected
+
+        # Vacuum changes nothing observable, past or present.
+        db.vacuum("t")
+        read_tx = db.begin()
+        assert _table_state(db, db.snapshot(read_tx)) == committed
+        db.commit(read_tx)
+        for when, expected in checkpoints:
+            assert _table_state(db, db.asof(when)) == expected
+    finally:
+        db.close()
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(schedule=st.lists(transaction, min_size=1, max_size=6))
+def test_mvcc_survives_crash(tmp_path_factory, schedule):
+    """Same property, but with a crash+reopen after the schedule."""
+    workdir = tmp_path_factory.mktemp("mvcc-crash")
+    db = Database.create(str(workdir / "db"))
+    tx0 = db.begin()
+    db.create_table(tx0, "t", SCHEMA)
+    db.commit(tx0)
+    committed: dict = {}
+    for actions, commits in schedule:
+        tx = db.begin()
+        table = db.table("t", tx)
+        snapshot = db.snapshot(tx)
+        for act in actions:
+            existing = next((item for item in table.scan(snapshot, tx)
+                             if item[1][0] == act[1]), None)
+            if act[0] == "set":
+                if existing is not None:
+                    table.update(tx, existing[0], (act[1], act[2]))
+                else:
+                    table.insert(tx, (act[1], act[2]))
+            elif existing is not None:
+                table.delete(tx, existing[0])
+        if commits:
+            db.commit(tx)
+            committed = _apply_reference(committed, actions)
+        else:
+            db.abort(tx)
+    db.simulate_crash()
+    db2 = Database.open(str(workdir / "db"))
+    try:
+        tx = db2.begin()
+        assert {row[0]: row[1] for _t, row in
+                db2.table("t", tx).scan(db2.snapshot(tx), tx)} == committed
+        db2.commit(tx)
+    finally:
+        db2.close()

@@ -1,0 +1,165 @@
+"""Slotted page layout."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.db.page import (
+    MAX_RECORD_SIZE,
+    PAGE_HEAP,
+    PAGE_SIZE,
+    Page,
+)
+from repro.errors import PageError, PageOverflowError
+
+
+def test_new_page_is_empty():
+    page = Page()
+    assert page.nslots == 0
+    assert page.free_space == PAGE_SIZE - 12
+
+
+def test_add_and_get_record():
+    page = Page()
+    idx = page.add_record(b"hello")
+    assert idx == 0
+    assert page.get_record(0) == b"hello"
+
+
+def test_records_in_slot_order():
+    page = Page()
+    for i in range(5):
+        page.add_record(bytes([i]) * 10)
+    assert page.records() == [bytes([i]) * 10 for i in range(5)]
+
+
+def test_insert_record_at_position_shifts_slots():
+    page = Page()
+    page.add_record(b"a")
+    page.add_record(b"c")
+    page.insert_record(1, b"b")
+    assert page.records() == [b"a", b"b", b"c"]
+
+
+def test_overflow_rejected():
+    page = Page()
+    with pytest.raises(PageOverflowError):
+        page.add_record(bytes(MAX_RECORD_SIZE + 1))
+
+
+def test_fills_up_and_reports_full():
+    page = Page()
+    rec = bytes(1000)
+    while page.fits(len(rec)):
+        page.add_record(rec)
+    with pytest.raises(PageOverflowError):
+        page.add_record(rec)
+
+
+def test_max_record_exactly_fits():
+    page = Page()
+    page.add_record(bytes(MAX_RECORD_SIZE))
+    assert page.free_space == 0
+
+
+def test_overwrite_record_same_length():
+    page = Page()
+    page.add_record(b"aaaa")
+    page.overwrite_record(0, b"bbbb")
+    assert page.get_record(0) == b"bbbb"
+
+
+def test_overwrite_record_length_change_rejected():
+    page = Page()
+    page.add_record(b"aaaa")
+    with pytest.raises(PageError):
+        page.overwrite_record(0, b"bb")
+
+
+def test_patch_record():
+    page = Page()
+    page.add_record(b"aaaa")
+    page.patch_record(0, 1, b"XY")
+    assert page.get_record(0) == b"aXYa"
+
+
+def test_patch_past_end_rejected():
+    page = Page()
+    page.add_record(b"aaaa")
+    with pytest.raises(PageError):
+        page.patch_record(0, 3, b"XY")
+
+
+def test_delete_slot_and_compact():
+    page = Page()
+    for token in (b"a", b"b", b"c"):
+        page.add_record(token * 100)
+    free_before = page.free_space
+    page.delete_slot(1)
+    assert page.records() == [b"a" * 100, b"c" * 100]
+    page.compact()
+    assert page.free_space > free_before
+    assert page.records() == [b"a" * 100, b"c" * 100]
+
+
+def test_rewrite_preserves_flags_and_special():
+    page = Page(flags=PAGE_HEAP)
+    page.special = 42
+    page.add_record(b"x")
+    page.rewrite([b"y", b"z"])
+    assert page.records() == [b"y", b"z"]
+    assert page.flags == PAGE_HEAP
+    assert page.special == 42
+
+
+def test_roundtrip_through_bytes():
+    page = Page(flags=PAGE_HEAP)
+    page.add_record(b"persist me")
+    page.special = 7
+    restored = Page(page.to_bytes())
+    assert restored.get_record(0) == b"persist me"
+    assert restored.special == 7
+    assert restored.flags == PAGE_HEAP
+
+
+def test_zero_page_initializes():
+    page = Page(bytes(PAGE_SIZE), flags=PAGE_HEAP)
+    assert page.nslots == 0
+    assert page.flags == PAGE_HEAP
+
+
+def test_wrong_buffer_size_rejected():
+    with pytest.raises(PageError):
+        Page(b"short")
+
+
+def test_bad_slot_index():
+    page = Page()
+    with pytest.raises(PageError):
+        page.get_record(0)
+    with pytest.raises(PageError):
+        page.delete_slot(0)
+
+
+@given(st.lists(st.binary(min_size=1, max_size=200), min_size=1, max_size=30))
+def test_property_records_roundtrip(records):
+    """Any sequence of records that fits comes back unchanged, in order."""
+    page = Page()
+    stored = []
+    for rec in records:
+        if page.fits(len(rec)):
+            page.add_record(rec)
+            stored.append(rec)
+    assert page.records() == stored
+    assert Page(page.to_bytes()).records() == stored
+
+
+@given(st.lists(st.binary(min_size=1, max_size=100), min_size=2, max_size=20),
+       st.data())
+def test_property_delete_any_slot(records, data):
+    page = Page()
+    for rec in records:
+        page.add_record(rec)
+    idx = data.draw(st.integers(min_value=0, max_value=len(records) - 1))
+    page.delete_slot(idx)
+    expected = records[:idx] + records[idx + 1:]
+    assert page.records() == expected

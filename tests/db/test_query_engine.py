@@ -1,0 +1,188 @@
+"""POSTQUEL execution: scans, joins, DML, DDL, time travel, functions."""
+
+import pytest
+
+from repro.db.tuples import Column, Schema
+from repro.errors import QueryError
+
+EMP = Schema([Column("name", "text"), Column("dept", "text"),
+              Column("salary", "int4")])
+DEPT = Schema([Column("dept", "text"), Column("floor", "int4")])
+
+
+@pytest.fixture
+def loaded(db):
+    tx = db.begin()
+    db.create_table(tx, "emp", EMP, indexes=[["name"]])
+    db.create_table(tx, "dept", DEPT)
+    for row in (("mao", "db", 10), ("jim", "fs", 20), ("sue", "db", 30)):
+        db.execute(tx, f'append emp (name = "{row[0]}", dept = "{row[1]}", '
+                       f'salary = {row[2]})')
+    for row in (("db", 4), ("fs", 5)):
+        db.execute(tx, f'append dept (dept = "{row[0]}", floor = {row[1]})')
+    db.commit(tx)
+    return db
+
+
+def q(db, text):
+    tx = db.begin()
+    try:
+        return db.execute(tx, text)
+    finally:
+        db.commit(tx)
+
+
+def test_full_scan(loaded):
+    rows = q(loaded, "retrieve (e.name) from e in emp sort by name")
+    assert rows == [("jim",), ("mao",), ("sue",)]
+
+
+def test_where_filter(loaded):
+    rows = q(loaded, 'retrieve (e.name) from e in emp '
+                     'where e.dept = "db" and e.salary > 15')
+    assert rows == [("sue",)]
+
+
+def test_unqualified_column_resolution(loaded):
+    rows = q(loaded, 'retrieve (name) from e in emp where salary = 20')
+    assert rows == [("jim",)]
+
+
+def test_ambiguous_column_rejected(loaded):
+    with pytest.raises(QueryError):
+        q(loaded, "retrieve (dept) from e in emp, d in dept")
+
+
+def test_join(loaded):
+    rows = q(loaded, "retrieve (e.name, d.floor) from e in emp, d in dept "
+                     "where e.dept = d.dept sort by name")
+    assert rows == [("jim", 5), ("mao", 4), ("sue", 4)]
+
+
+def test_unique(loaded):
+    rows = q(loaded, "retrieve unique (e.dept) from e in emp")
+    assert sorted(rows) == [("db",), ("fs",)]
+
+
+def test_index_equality_plan_used(loaded):
+    """The planner must route name-equality through the B-tree."""
+    from repro.db.query.engine import QueryEngine
+    tx = loaded.begin()
+    engine = QueryEngine(loaded)
+    rows = engine.execute(tx, 'retrieve (e.salary) from e in emp '
+                              'where e.name = "sue"')
+    assert rows == [(30,)]
+    loaded.commit(tx)
+
+
+def test_arithmetic_and_labels(loaded):
+    rows = q(loaded, 'retrieve (bonus = e.salary * 2) from e in emp '
+                     'where e.name = "mao"')
+    assert rows == [(20,)]
+
+
+def test_constant_query(loaded):
+    assert q(loaded, "retrieve (1 + 2 * 3)") == [(7,)]
+
+
+def test_replace(loaded):
+    q(loaded, 'replace e (salary = e.salary + 1) from e in emp '
+              'where e.dept = "db"')
+    rows = q(loaded, 'retrieve (e.salary) from e in emp sort by salary')
+    assert rows == [(11,), (20,), (31,)]
+
+
+def test_delete(loaded):
+    q(loaded, 'delete e from e in emp where e.salary < 25')
+    rows = q(loaded, "retrieve (e.name) from e in emp")
+    assert rows == [("sue",)]
+
+
+def test_append_missing_column_rejected(loaded):
+    with pytest.raises(QueryError):
+        q(loaded, 'append emp (name = "half")')
+
+
+def test_append_unknown_column_rejected(loaded):
+    with pytest.raises(QueryError):
+        q(loaded, 'append emp (name = "x", dept = "y", salary = 1, age = 9)')
+
+
+def test_time_travel_in_query(loaded, clock):
+    t0 = clock.now()
+    q(loaded, 'delete e from e in emp where e.name = "jim"')
+    now_rows = q(loaded, "retrieve (e.name) from e in emp where e.name = \"jim\"")
+    then_rows = q(loaded, f'retrieve (e.name) from e in emp[{t0}] '
+                          f'where e.name = "jim"')
+    assert now_rows == []
+    assert then_rows == [("jim",)]
+
+
+def test_postquel_function_definition_and_call(loaded):
+    q(loaded, 'define function double (int4) returns int4 '
+              'language "postquel" as "$1 * 2"')
+    rows = q(loaded, 'retrieve (e.name, double(e.salary)) from e in emp '
+                     'where double(e.salary) = 60')
+    assert rows == [("sue", 60)]
+
+
+def test_python_function_via_registry(loaded):
+    from repro.db.funcmgr import register_callable
+    register_callable("lib:shout", lambda s: s.upper())
+    q(loaded, 'define function shout (text) returns text '
+              'language "python" as "lib:shout"')
+    rows = q(loaded, 'retrieve (shout(e.name)) from e in emp '
+                     'where e.name = "mao"')
+    assert rows == [("MAO",)]
+
+
+def test_function_time_travel(loaded, clock):
+    """Redefining a function keeps the old definition reachable by
+    time travel — 'users can even run old versions of these
+    functions'."""
+    q(loaded, 'define function rate (int4) returns int4 '
+              'language "postquel" as "$1 * 2"')
+    t_old = clock.now()
+    q(loaded, 'define function rate (int4) returns int4 '
+              'language "postquel" as "$1 * 10"')
+    snap_now = loaded.asof(clock.now())
+    snap_then = loaded.asof(t_old)
+    assert loaded.funcs.call("rate", [3], snap_now) == 30
+    assert loaded.funcs.call("rate", [3], snap_then) == 6
+
+
+def test_define_type_statement(loaded):
+    q(loaded, "define type hdf_file")
+    tx = loaded.begin()
+    assert loaded.catalog.lookup_type("hdf_file", loaded.snapshot(tx))
+    loaded.commit(tx)
+
+
+def test_define_index_statement(loaded):
+    q(loaded, "define index on emp (dept)")
+    tx = loaded.begin()
+    info = loaded.catalog.lookup_table("emp", loaded.snapshot(tx),
+                                       use_cache=False)
+    assert any(ix.keycols == ("dept",) for ix in info.indexes)
+    loaded.commit(tx)
+
+
+def test_remove_table_statement(loaded):
+    q(loaded, "remove table dept")
+    assert not loaded.table_exists("dept")
+
+
+def test_in_operator_string_membership(loaded):
+    rows = q(loaded, 'retrieve (e.name) from e in emp where "a" in e.name')
+    assert rows == [("mao",)]
+
+
+def test_division_by_zero_surfaces_as_error(loaded):
+    with pytest.raises(ZeroDivisionError):
+        q(loaded, "retrieve (1 / 0)")
+
+
+def test_unknown_table_rejected(loaded):
+    from repro.errors import TableError
+    with pytest.raises(TableError):
+        q(loaded, "retrieve (x.a) from x in nowhere")

@@ -1,0 +1,133 @@
+"""Query language extensions: aggregates and interval time travel."""
+
+import pytest
+
+from repro.db.snapshot import IntervalSnapshot
+from repro.db.tuples import Column, Schema
+from repro.errors import QueryError
+
+EMP = Schema([Column("name", "text"), Column("dept", "text"),
+              Column("salary", "int4")])
+
+
+@pytest.fixture
+def loaded(db):
+    tx = db.begin()
+    db.create_table(tx, "emp", EMP)
+    for name, dept, sal in (("mao", "db", 10), ("jim", "fs", 20),
+                            ("sue", "db", 30), ("ann", "fs", 40)):
+        db.execute(tx, f'append emp (name = "{name}", dept = "{dept}", '
+                       f'salary = {sal})')
+    db.commit(tx)
+    return db
+
+
+def q(db, text):
+    tx = db.begin()
+    try:
+        return db.execute(tx, text)
+    finally:
+        db.commit(tx)
+
+
+# -- aggregates ------------------------------------------------------------
+
+
+def test_count(loaded):
+    assert q(loaded, "retrieve (count(e.name)) from e in emp") == [(4,)]
+
+
+def test_count_with_qualification(loaded):
+    assert q(loaded, 'retrieve (count(e.name)) from e in emp '
+                     'where e.dept = "db"') == [(2,)]
+
+
+def test_sum_avg_min_max(loaded):
+    rows = q(loaded, "retrieve (sum(e.salary), avg(e.salary), "
+                     "min(e.salary), max(e.salary)) from e in emp")
+    assert rows == [(100, 25.0, 10, 40)]
+
+
+def test_aggregate_over_expression(loaded):
+    assert q(loaded, "retrieve (sum(e.salary * 2)) from e in emp") == [(200,)]
+
+
+def test_aggregate_empty_result(loaded):
+    rows = q(loaded, 'retrieve (count(e.name), sum(e.salary), avg(e.salary)) '
+                     'from e in emp where e.salary > 999')
+    assert rows == [(0, 0, None)]
+
+
+def test_mixed_aggregate_and_scalar_rejected(loaded):
+    with pytest.raises(QueryError):
+        q(loaded, "retrieve (e.name, count(e.name)) from e in emp")
+
+
+def test_aggregate_wrong_arity_rejected(loaded):
+    with pytest.raises(QueryError):
+        q(loaded, "retrieve (count(e.name, e.dept)) from e in emp")
+
+
+# -- interval time travel ----------------------------------------------------
+
+
+def test_interval_returns_all_versions(loaded, clock):
+    t0 = clock.now()
+    q(loaded, 'replace e (salary = 11) from e in emp where e.name = "mao"')
+    t1 = clock.now()
+    q(loaded, 'replace e (salary = 12) from e in emp where e.name = "mao"')
+    t2 = clock.now()
+    rows = q(loaded, f'retrieve (e.salary) from e in emp[{t0}, {t2}] '
+                     f'where e.name = "mao" sort by salary')
+    assert rows == [(10,), (11,), (12,)]
+    narrow = q(loaded, f'retrieve (e.salary) from e in emp[{t1}, {t1}] '
+                       f'where e.name = "mao"')
+    assert narrow == [(11,)]
+
+
+def test_interval_includes_deleted_rows(loaded, clock):
+    t0 = clock.now()
+    q(loaded, 'delete e from e in emp where e.name = "jim"')
+    t1 = clock.now()
+    now_rows = q(loaded, 'retrieve (e.name) from e in emp '
+                         'where e.name = "jim"')
+    span_rows = q(loaded, f'retrieve (e.name) from e in emp[{t0}, {t1}] '
+                          f'where e.name = "jim"')
+    assert now_rows == []
+    assert span_rows == [("jim",)]
+
+
+def test_interval_snapshot_direct(loaded, clock):
+    tm = loaded.tm
+    snap = IntervalSnapshot(tm, 0.0, clock.now())
+    assert snap.t1 == 0.0
+    # Reversed bounds normalize.
+    swapped = IntervalSnapshot(tm, 5.0, 1.0)
+    assert (swapped.t1, swapped.t2) == (1.0, 5.0)
+
+
+def test_count_versions_over_interval(loaded, clock):
+    """Aggregates compose with interval travel: how many versions did a
+    record have over a period?"""
+    t0 = clock.now()
+    for sal in (100, 200, 300):
+        q(loaded, f'replace e (salary = {sal}) from e in emp '
+                  f'where e.name = "sue"')
+    t1 = clock.now()
+    rows = q(loaded, f'retrieve (count(e.salary)) from e in emp[{t0}, {t1}] '
+                     f'where e.name = "sue"')
+    assert rows == [(4,)]  # original + three replacements
+
+
+def test_interval_reaches_vacuum_archive(loaded, clock):
+    """Interval queries must see versions the vacuum cleaner moved to
+    the archive."""
+    t0 = clock.now()
+    for sal in (111, 222):
+        q(loaded, f'replace e (salary = {sal}) from e in emp '
+                  f'where e.name = "ann"')
+    t1 = clock.now()
+    loaded.vacuum("emp")
+    rows = q(loaded, f'retrieve (e.salary) from e in emp[{t0}, {t1}] '
+                     f'where e.name = "ann" sort by salary')
+    assert rows == [(40,), (111,), (222,)]

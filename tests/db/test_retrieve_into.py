@@ -1,0 +1,84 @@
+"""``retrieve into``: materialized result tables."""
+
+import pytest
+
+from repro.db.tuples import Column, Schema
+
+EMP = Schema([Column("name", "text"), Column("salary", "int4")])
+
+
+@pytest.fixture
+def loaded(db):
+    tx = db.begin()
+    db.create_table(tx, "emp", EMP)
+    for name, sal in (("mao", 10), ("jim", 20), ("sue", 30)):
+        db.execute(tx, f'append emp (name = "{name}", salary = {sal})')
+    db.commit(tx)
+    return db
+
+
+def q(db, text):
+    tx = db.begin()
+    try:
+        return db.execute(tx, text)
+    finally:
+        db.commit(tx)
+
+
+def test_into_creates_table_with_rows(loaded):
+    q(loaded, 'retrieve into rich (e.name, e.salary) from e in emp '
+              'where e.salary > 15')
+    rows = q(loaded, "retrieve (r.name, r.salary) from r in rich sort by name")
+    assert rows == [("jim", 20), ("sue", 30)]
+
+
+def test_into_infers_column_names_and_types(loaded):
+    q(loaded, 'retrieve into derived (e.name, doubled = e.salary * 2, '
+              'ratio = e.salary / 10) from e in emp')
+    tx = loaded.begin()
+    info = loaded.catalog.lookup_table("derived", loaded.snapshot(tx))
+    loaded.commit(tx)
+    cols = {c.name: c.typ for c in info.schema.columns}
+    assert cols["name"] == "text"
+    assert cols["doubled"] in ("int4", "int8")
+    assert cols["ratio"] == "float8"
+
+
+def test_into_result_is_indexable(loaded):
+    """The point of materialization: expensive results become
+    indexable tables."""
+    q(loaded, "retrieve into snap (e.name, e.salary) from e in emp")
+    q(loaded, "define index on snap (name)")
+    tx = loaded.begin()
+    rows = [r for _t, r in loaded.table("snap", tx).index_eq(
+        ("name",), ("sue",), loaded.snapshot(tx), tx)]
+    loaded.commit(tx)
+    assert rows == [("sue", 30)]
+
+
+def test_into_function_results(loaded):
+    q(loaded, 'define function grade (int4) returns text language '
+              '"postquel" as "$1 * 0"')
+    q(loaded, "retrieve into graded (e.name, grade(e.salary)) from e in emp")
+    tx = loaded.begin()
+    info = loaded.catalog.lookup_table("graded", loaded.snapshot(tx))
+    loaded.commit(tx)
+    assert info.schema.column_names() == ("name", "grade")
+
+
+def test_into_returns_no_rows_to_caller(loaded):
+    assert q(loaded, "retrieve into t2 (e.name) from e in emp") == []
+
+
+def test_into_is_transactional(loaded):
+    tx = loaded.begin()
+    loaded.execute(tx, "retrieve into doomed (e.name) from e in emp")
+    loaded.abort(tx)
+    assert not loaded.table_exists("doomed")
+
+
+def test_into_duplicate_table_rejected(loaded):
+    from repro.errors import TableError
+    q(loaded, "retrieve into once (e.name) from e in emp")
+    with pytest.raises(TableError):
+        q(loaded, "retrieve into once (e.name) from e in emp")

@@ -1,0 +1,139 @@
+"""The predicate rules system."""
+
+import pytest
+
+from repro.db.rules import RuleViolation, register_action
+from repro.db.tuples import Column, Schema
+from repro.errors import QueryError
+
+EMP = Schema([Column("name", "text"), Column("salary", "int4")])
+
+
+@pytest.fixture
+def loaded(db):
+    tx = db.begin()
+    db.create_table(tx, "emp", EMP)
+    db.execute(tx, 'append emp (name = "mao", salary = 10)')
+    db.commit(tx)
+    return db
+
+
+def q(db, text):
+    tx = db.begin()
+    try:
+        return db.execute(tx, text)
+    finally:
+        db.commit(tx)
+
+
+def test_reject_rule_blocks_append(loaded):
+    q(loaded, "define rule no_negative on append to emp "
+              "where new.salary < 0 do reject")
+    with pytest.raises(RuleViolation):
+        q(loaded, 'append emp (name = "evil", salary = -5)')
+    # Conforming rows still pass.
+    q(loaded, 'append emp (name = "fine", salary = 5)')
+    assert q(loaded, "retrieve (count(e.name)) from e in emp") == [(2,)]
+
+
+def test_reject_rule_blocks_replace(loaded):
+    q(loaded, "define rule cap on replace to emp "
+              "where new.salary > 100 do reject")
+    with pytest.raises(RuleViolation):
+        q(loaded, "replace e (salary = 500) from e in emp "
+                  'where e.name = "mao"')
+    q(loaded, "replace e (salary = 50) from e in emp where e.name = \"mao\"")
+
+
+def test_delete_rule_protects_rows(loaded):
+    q(loaded, 'define rule keep_mao on delete to emp '
+              'where new.name = "mao" do reject')
+    with pytest.raises(RuleViolation):
+        q(loaded, 'delete e from e in emp where e.name = "mao"')
+    assert q(loaded, "retrieve (count(e.name)) from e in emp") == [(1,)]
+
+
+def test_rejected_write_rolls_back_with_transaction(loaded):
+    q(loaded, "define rule no_negative on append to emp "
+              "where new.salary < 0 do reject")
+    tx = loaded.begin()
+    loaded.execute(tx, 'append emp (name = "ok", salary = 1)')
+    with pytest.raises(RuleViolation):
+        loaded.execute(tx, 'append emp (name = "bad", salary = -1)')
+    loaded.abort(tx)
+    assert q(loaded, "retrieve (count(e.name)) from e in emp") == [(1,)]
+
+
+def test_callback_action_fires(loaded):
+    fired = []
+    register_action("audit", lambda db, tx, table, event, row:
+                    fired.append((table, event, row)))
+    q(loaded, 'define rule audit_all on append to emp '
+              'where new.salary >= 0 do "audit"')
+    q(loaded, 'append emp (name = "watched", salary = 7)')
+    assert fired == [("emp", "append", ("watched", 7))]
+
+
+def test_unregistered_callback_errors(loaded):
+    q(loaded, 'define rule ghost on append to emp '
+              'where new.salary > 0 do "never_registered"')
+    with pytest.raises(QueryError):
+        q(loaded, 'append emp (name = "x", salary = 1)')
+
+
+def test_remove_rule(loaded):
+    q(loaded, "define rule no_negative on append to emp "
+              "where new.salary < 0 do reject")
+    q(loaded, "remove rule no_negative")
+    q(loaded, 'append emp (name = "fine-now", salary = -1)')
+
+
+def test_rule_definition_is_transactional(loaded):
+    tx = loaded.begin()
+    loaded.execute(tx, "define rule temp on append to emp "
+                       "where new.salary < 0 do reject")
+    loaded.abort(tx)
+    q(loaded, 'append emp (name = "ok", salary = -9)')  # rule never existed
+
+
+def test_bad_rule_qualification_rejected_at_definition(loaded):
+    with pytest.raises(Exception):
+        q(loaded, 'define rule broken on append to emp '
+                  'where new.salary +++ do reject')
+
+
+def test_rules_listed(loaded):
+    q(loaded, "define rule r1 on append to emp where new.salary < 0 do reject")
+    tx = loaded.begin()
+    rules = loaded.rules.list_rules(loaded.snapshot(tx))
+    loaded.commit(tx)
+    assert [r.name for r in rules] == ["r1"]
+    assert rules[0].qualification == "new.salary < 0"
+
+
+def test_no_rules_means_no_overhead(db):
+    """The write path must not even construct the rule system when
+    nobody defined rules."""
+    tx = db.begin()
+    table = db.create_table(tx, "t", EMP)
+    table.insert(tx, ("x", 1))
+    db.commit(tx)
+    assert db._rules is None
+
+
+def test_derived_data_maintenance_via_callback(loaded):
+    """The migration-policy shape: a callback keeps a summary table in
+    sync when qualifying rows appear."""
+    tx = loaded.begin()
+    loaded.create_table(tx, "big_earners",
+                        Schema([Column("name", "text")]))
+    loaded.commit(tx)
+
+    def track(db, tx, table, event, row):
+        db.table("big_earners", tx).insert(tx, (row[0],))
+    register_action("track_big", track)
+    q(loaded, 'define rule bigwatch on append to emp '
+              'where new.salary > 100 do "track_big"')
+    q(loaded, 'append emp (name = "ceo", salary = 500)')
+    q(loaded, 'append emp (name = "intern", salary = 1)')
+    assert q(loaded, "retrieve (b.name) from b in big_earners") == [("ceo",)]

@@ -1,0 +1,111 @@
+"""Visibility rules: current view and time travel."""
+
+import pytest
+
+from repro.db.snapshot import AsOfSnapshot, BootstrapSnapshot, CurrentSnapshot
+from repro.db.transactions import TransactionManager
+from repro.db.tuples import INVALID_XID
+from repro.devices.memdisk import MemDisk
+from repro.sim.clock import SimClock
+
+
+@pytest.fixture
+def env():
+    clock = SimClock()
+    tm = TransactionManager(MemDisk("mem0", clock), clock)
+    return clock, tm
+
+
+def _commit(tm, clock, at: float):
+    tx = tm.begin()
+    tx.wrote = True
+    while clock.now() < at:
+        clock.advance(at - clock.now())
+    tm.commit(tx)
+    return tx.xid
+
+
+def test_current_sees_committed(env):
+    clock, tm = env
+    xid = _commit(tm, clock, 1.0)
+    me = tm.begin()
+    snap = CurrentSnapshot(tm, me.xid)
+    assert snap.is_visible(xid, INVALID_XID)
+
+
+def test_current_sees_own_uncommitted_writes(env):
+    _clock, tm = env
+    me = tm.begin()
+    snap = CurrentSnapshot(tm, me.xid)
+    assert snap.is_visible(me.xid, INVALID_XID)
+    assert not snap.is_visible(me.xid, me.xid)  # deleted by self
+
+
+def test_current_ignores_other_in_progress(env):
+    _clock, tm = env
+    other = tm.begin()
+    me = tm.begin()
+    snap = CurrentSnapshot(tm, me.xid)
+    assert not snap.is_visible(other.xid, INVALID_XID)
+
+
+def test_current_ignores_aborted_inserter(env):
+    _clock, tm = env
+    loser = tm.begin()
+    loser.wrote = True
+    tm.abort(loser)
+    me = tm.begin()
+    assert not CurrentSnapshot(tm, me.xid).is_visible(loser.xid, INVALID_XID)
+
+
+def test_current_keeps_record_deleted_by_aborted_tx(env):
+    _clock, tm = env
+    inserter = tm.begin(); inserter.wrote = True; tm.commit(inserter)
+    deleter = tm.begin(); deleter.wrote = True; tm.abort(deleter)
+    me = tm.begin()
+    assert CurrentSnapshot(tm, me.xid).is_visible(inserter.xid, deleter.xid)
+
+
+def test_asof_window(env):
+    """A record inserted at t=1 and deleted at t=3 is visible exactly
+    for 1 ≤ T < 3."""
+    clock, tm = env
+    x_in = _commit(tm, clock, 1.0)
+    x_out = _commit(tm, clock, 3.0)
+    def visible(at):
+        return AsOfSnapshot(tm, at).is_visible(x_in, x_out)
+    assert not visible(0.5)
+    assert visible(1.0)
+    assert visible(2.0)
+    assert not visible(3.0)
+    assert not visible(99.0)
+
+
+def test_asof_ignores_uncommitted(env):
+    clock, tm = env
+    tx = tm.begin()
+    clock.advance(5.0)
+    assert not AsOfSnapshot(tm, clock.now()).is_visible(tx.xid, INVALID_XID)
+
+
+def test_asof_never_deleted(env):
+    clock, tm = env
+    xid = _commit(tm, clock, 1.0)
+    assert AsOfSnapshot(tm, 100.0).is_visible(xid, INVALID_XID)
+
+
+def test_asof_deleter_not_committed(env):
+    clock, tm = env
+    xid = _commit(tm, clock, 1.0)
+    deleter = tm.begin()  # never commits
+    assert AsOfSnapshot(tm, 2.0).is_visible(xid, deleter.xid)
+
+
+def test_bootstrap_sees_all_committed(env):
+    clock, tm = env
+    xid = _commit(tm, clock, 1.0)
+    snap = BootstrapSnapshot(tm)
+    assert snap.is_visible(xid, INVALID_XID)
+    assert not snap.is_visible(xid, xid)
+    in_flight = tm.begin()
+    assert not snap.is_visible(in_flight.xid, INVALID_XID)

@@ -1,0 +1,145 @@
+"""Transaction manager and the status file."""
+
+import pytest
+
+from repro.db.transactions import (
+    ABORTED,
+    COMMITTED,
+    IN_PROGRESS,
+    Transaction,
+    TransactionManager,
+)
+from repro.devices.memdisk import MemDisk
+from repro.sim.clock import SimClock
+from repro.errors import TransactionError
+
+
+@pytest.fixture
+def device():
+    return MemDisk("mem0", SimClock())
+
+
+@pytest.fixture
+def tm(device):
+    return TransactionManager(device, SimClock())
+
+
+def test_begin_allocates_increasing_xids(tm):
+    a, b = tm.begin(), tm.begin()
+    assert b.xid > a.xid
+    assert tm.state(a.xid) == IN_PROGRESS
+
+
+def test_commit_records_state_and_time(tm):
+    tx = tm.begin()
+    tx.wrote = True
+    tm.commit(tx)
+    assert tm.is_committed(tx.xid)
+    assert tm.commit_time(tx.xid) is not None
+    assert tm.commit_time(tx.xid) >= tx.start_time
+
+
+def test_abort(tm):
+    tx = tm.begin()
+    tx.wrote = True
+    tm.abort(tx)
+    assert tm.state(tx.xid) == ABORTED
+    assert tm.commit_time(tx.xid) is None
+
+
+def test_double_commit_rejected(tm):
+    tx = tm.begin()
+    tm.commit(tx)
+    with pytest.raises(TransactionError):
+        tm.commit(tx)
+
+
+def test_commit_after_abort_rejected(tm):
+    tx = tm.begin()
+    tm.abort(tx)
+    with pytest.raises(TransactionError):
+        tm.commit(tx)
+
+
+def test_unknown_xid_treated_as_aborted(tm):
+    """An xid with no status record was in flight at a crash: its
+    records are invisible — 'automatically detected and ignored'."""
+    assert tm.state(999999) == ABORTED
+    assert not tm.is_committed(999999)
+
+
+def test_abort_hooks_run(tm):
+    tx = tm.begin()
+    ran = []
+    tx.abort_hooks.append(lambda: ran.append(True))
+    tm.abort(tx)
+    assert ran == [True]
+
+
+def test_readonly_commit_writes_no_status(device):
+    tm = TransactionManager(device, SimClock())
+    tx = tm.begin()  # wrote stays False
+    before = device.read_meta("pg_status")
+    tm.commit(tx)
+    assert device.read_meta("pg_status") == before
+
+
+def test_status_survives_reload(device):
+    clock = SimClock()
+    tm = TransactionManager(device, clock)
+    committed = tm.begin()
+    committed.wrote = True
+    clock.advance(1.0)
+    tm.commit(committed)
+    aborted = tm.begin()
+    aborted.wrote = True
+    tm.abort(aborted)
+    in_flight = tm.begin()
+    in_flight.wrote = True  # never committed — crash
+
+    tm2 = TransactionManager(device, clock)
+    assert tm2.is_committed(committed.xid)
+    assert tm2.commit_time(committed.xid) == pytest.approx(1.0)
+    assert tm2.state(aborted.xid) == ABORTED
+    assert tm2.state(in_flight.xid) == ABORTED
+
+
+def test_xids_never_reused_after_reload(device):
+    clock = SimClock()
+    tm = TransactionManager(device, clock)
+    xids = []
+    for _ in range(5):
+        tx = tm.begin()
+        tx.wrote = True
+        tm.commit(tx)
+        xids.append(tx.xid)
+    tm2 = TransactionManager(device, clock)
+    assert tm2.begin().xid > max(xids)
+
+
+def test_xid_hwm_guards_unlogged_xids(device):
+    """Read-only transactions write no status record, yet their xids
+    must not be reissued after reload."""
+    clock = SimClock()
+    tm = TransactionManager(device, clock)
+    last = None
+    for _ in range(3):
+        last = tm.begin()
+        tm.commit(last)  # read-only: no status line
+    tm2 = TransactionManager(device, clock)
+    assert tm2.begin().xid > last.xid
+
+
+def test_recovery_report(tm):
+    a = tm.begin(); a.wrote = True; tm.commit(a)
+    b = tm.begin(); b.wrote = True; tm.abort(b)
+    report = tm.recovery_report()
+    assert report["committed"] >= 2  # bootstrap xid + a
+    assert report["aborted"] == 1
+
+
+def test_corrupt_status_rejected(device):
+    device.sync_write_meta("pg_status", b"garbage nonsense\n")
+    from repro.errors import RecoveryError
+    with pytest.raises(RecoveryError):
+        TransactionManager(device, SimClock())

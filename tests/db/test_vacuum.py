@@ -1,0 +1,125 @@
+"""The vacuum cleaner: archiving preserves time travel."""
+
+import pytest
+
+from repro.db.tuples import Column, Schema
+
+SCHEMA = Schema([Column("k", "int4"), Column("v", "text")])
+
+
+def _setup(db, rows=10):
+    tx = db.begin()
+    table = db.create_table(tx, "t", SCHEMA, indexes=[["k"]])
+    for i in range(rows):
+        table.insert(tx, (i, f"v{i}"))
+    db.commit(tx)
+    return table
+
+
+def test_vacuum_moves_obsolete_records(db, clock):
+    _setup(db)
+    t0 = clock.now()
+    tx = db.begin()
+    table = db.table("t", tx)
+    for tid, row in list(table.scan(db.snapshot(tx), tx)):
+        if row[0] % 2 == 0:
+            table.update(tx, tid, (row[0], row[1] + "-new"))
+    db.commit(tx)
+
+    stats = db.vacuum("t")
+    assert stats.archived == 5
+    assert stats.kept == 10
+    assert stats.expunged == 0
+
+    # Current view unchanged.
+    tx2 = db.begin()
+    rows = sorted(r for _t, r in db.table("t", tx2).scan(db.snapshot(tx2), tx2))
+    assert rows[0] == (0, "v0-new")
+    assert rows[1] == (1, "v1")
+    db.commit(tx2)
+
+    # Historical view still intact through the archive.
+    then = sorted(r for _t, r in db.table("t").scan(db.asof(t0)))
+    assert then == [(i, f"v{i}") for i in range(10)]
+
+
+def test_vacuum_expunges_aborted_garbage(db):
+    _setup(db, rows=3)
+    tx = db.begin()
+    db.table("t", tx).insert(tx, (99, "never"))
+    db.abort(tx)
+    stats = db.vacuum("t")
+    assert stats.expunged == 1
+    assert stats.kept == 3
+
+
+def test_vacuum_compacts_pages(db):
+    tx = db.begin()
+    table = db.create_table(tx, "t", SCHEMA)
+    big = "x" * 3000
+    tids = [table.insert(tx, (i, big)) for i in range(30)]
+    for tid in tids[:25]:
+        table.delete(tx, tid)
+    db.commit(tx)
+    stats = db.vacuum("t")
+    assert stats.pages_after < stats.pages_before
+
+
+def test_vacuum_rebuilds_index(db):
+    _setup(db, rows=50)
+    tx = db.begin()
+    table = db.table("t", tx)
+    for tid, row in list(table.scan(db.snapshot(tx), tx)):
+        table.update(tx, tid, (row[0], row[1] + "!"))
+    db.commit(tx)
+    db.vacuum("t")
+    tx2 = db.begin()
+    hits = [r for _t, r in db.table("t", tx2).index_eq(
+        ("k",), (17,), db.snapshot(tx2), tx2)]
+    assert hits == [(17, "v17!")]
+    db.commit(tx2)
+
+
+def test_vacuum_archive_on_secondary_device(db, clock):
+    """Archiving to slower/cheaper storage — the jukebox use case."""
+    db.add_device("juke0", "jukebox")
+    _setup(db)
+    t0 = clock.now()
+    tx = db.begin()
+    table = db.table("t", tx)
+    tid, row = next(iter(table.scan(db.snapshot(tx), tx)))
+    table.update(tx, tid, (row[0], "changed"))
+    db.commit(tx)
+    stats = db.vacuum("t", archive_device="juke0")
+    assert stats.archived == 1
+    assert db.switch.get("juke0").relation_exists("a_t")
+    then = sorted(r for _t, r in db.table("t").scan(db.asof(t0)))
+    assert (row[0], row[1]) in then
+
+
+def test_vacuum_historical_index_lookup(db, clock):
+    """Time-travel *index* lookups reach archived versions."""
+    _setup(db, rows=20)
+    t0 = clock.now()
+    tx = db.begin()
+    table = db.table("t", tx)
+    for tid, row in list(table.index_eq(("k",), (7,), db.snapshot(tx), tx)):
+        table.update(tx, tid, (7, "rewritten"))
+    db.commit(tx)
+    db.vacuum("t")
+    hits = [r for _t, r in db.table("t").index_eq(("k",), (7,), db.asof(t0))]
+    assert hits == [(7, "v7")]
+
+
+def test_vacuum_idempotent_when_nothing_obsolete(db):
+    _setup(db, rows=4)
+    first = db.vacuum("t")
+    second = db.vacuum("t")
+    assert second.archived == 0
+    assert second.kept == first.kept
+
+
+def test_vacuum_unknown_table(db):
+    from repro.errors import TableError
+    with pytest.raises(TableError):
+        db.vacuum("missing")

@@ -1,0 +1,49 @@
+"""Device manager base-class helpers."""
+
+from repro.devices.base import DeviceManager, total_pages
+from repro.devices.memdisk import MemDisk
+from repro.sim.clock import SimClock
+
+
+def test_total_pages_helper():
+    dev = MemDisk("m", SimClock())
+    for rel, pages in (("a", 3), ("b", 2)):
+        dev.create_relation(rel)
+        for _ in range(pages):
+            dev.extend(rel)
+    assert total_pages(dev, ["a", "b"]) == 5
+    assert total_pages(dev, []) == 0
+
+
+def test_describe_reports_identity():
+    dev = MemDisk("nv", SimClock())
+    desc = dev.describe()
+    assert desc == {"name": "nv", "type": "MemDisk", "nonvolatile": True}
+
+
+def test_default_append_meta_via_read_modify_write():
+    dev = MemDisk("nv", SimClock())
+    DeviceManager.sync_append_meta(dev, "t", b"one")
+    DeviceManager.sync_append_meta(dev, "t", b"+two")
+    assert dev.read_meta("t") == b"one+two"
+
+
+def test_rebind_clock_switches_charging():
+    old_clock = SimClock()
+    dev = MemDisk("nv", old_clock)
+    dev.create_relation("r")
+    dev.extend("r")
+    new_clock = SimClock()
+    dev.rebind_clock(new_clock)
+    dev.write_page("r", 0, bytes(8192))
+    assert new_clock.now() > 0
+    assert old_clock.now() < new_clock.now() + 1  # old clock untouched by write
+
+
+def test_rebind_clock_rebinds_embedded_disk_models(tmp_path):
+    from repro.devices.jukebox import SonyJukebox
+    juke = SonyJukebox("j", SimClock())
+    fresh = SimClock()
+    juke.rebind_clock(fresh)
+    assert juke.clock is fresh
+    assert juke.staging_disk.clock is fresh

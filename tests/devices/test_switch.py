@@ -1,0 +1,68 @@
+"""Device manager switch."""
+
+import pytest
+
+from repro.devices.memdisk import MemDisk
+from repro.devices.switch import DeviceSwitch
+from repro.errors import UnknownDeviceError
+from repro.sim.clock import SimClock
+
+
+@pytest.fixture
+def clock():
+    return SimClock()
+
+
+def test_first_registered_is_default(clock):
+    switch = DeviceSwitch()
+    switch.register(MemDisk("a", clock))
+    switch.register(MemDisk("b", clock))
+    assert switch.get().name == "a"
+    assert switch.default_name == "a"
+
+
+def test_explicit_default(clock):
+    switch = DeviceSwitch()
+    switch.register(MemDisk("a", clock))
+    switch.register(MemDisk("b", clock), default=True)
+    assert switch.get().name == "b"
+
+
+def test_lookup_by_name(clock):
+    switch = DeviceSwitch()
+    switch.register(MemDisk("a", clock))
+    assert switch.get("a").name == "a"
+    assert "a" in switch
+    assert "z" not in switch
+
+
+def test_unknown_device_rejected(clock):
+    switch = DeviceSwitch()
+    with pytest.raises(UnknownDeviceError):
+        switch.get("nope")
+    with pytest.raises(UnknownDeviceError):
+        switch.get()  # no default yet
+
+
+def test_duplicate_name_rejected(clock):
+    switch = DeviceSwitch()
+    switch.register(MemDisk("a", clock))
+    with pytest.raises(UnknownDeviceError):
+        switch.register(MemDisk("a", clock))
+
+
+def test_describe_lists_all(clock):
+    switch = DeviceSwitch()
+    switch.register(MemDisk("a", clock))
+    switch.register(MemDisk("b", clock))
+    rows = switch.describe()
+    assert [r["name"] for r in rows] == ["a", "b"]
+    assert rows[0]["default"] and not rows[1]["default"]
+
+
+def test_iteration(clock):
+    switch = DeviceSwitch()
+    switch.register(MemDisk("a", clock))
+    switch.register(MemDisk("b", clock))
+    assert [d.name for d in switch] == ["a", "b"]
+    assert switch.names() == ["a", "b"]

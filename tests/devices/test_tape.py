@@ -1,0 +1,88 @@
+"""Metrum tape jukebox: sequential media costs."""
+
+import pytest
+
+from repro.db.page import PAGE_SIZE
+from repro.devices.tape import TapeJukebox, TapeParams
+from repro.errors import DeviceError
+from repro.sim.clock import SimClock
+
+
+def page_of(byte: int) -> bytes:
+    return bytes([byte]) * PAGE_SIZE
+
+
+@pytest.fixture
+def tape():
+    return TapeJukebox("t0", SimClock())
+
+
+def test_roundtrip(tape):
+    tape.create_relation("r")
+    p = tape.extend("r")
+    tape.write_page("r", p, page_of(5))
+    assert tape.read_page("r", p) == page_of(5)
+
+
+def test_first_access_pays_cartridge_load(tape):
+    tape.create_relation("r")
+    p = tape.extend("r")
+    before = tape.clock.now()
+    tape.write_page("r", p, page_of(1))
+    assert tape.clock.now() - before >= tape.params.cartridge_load_s
+
+
+def test_sequential_access_cheaper_than_wind(tape):
+    tape.create_relation("r")
+    pages = [tape.extend("r") for _ in range(100)]
+    for i, p in enumerate(pages):
+        tape.write_page("r", p, page_of(i % 250))
+    # Sequential forward read:
+    tape.read_page("r", 0)
+    before = tape.clock.now()
+    tape.read_page("r", 1)
+    seq_cost = tape.clock.now() - before
+    # Long backward wind:
+    tape.read_page("r", 99)
+    before = tape.clock.now()
+    tape.read_page("r", 0)
+    wind_cost = tape.clock.now() - before
+    assert wind_cost > seq_cost
+
+
+def test_unwritten_page_reads_zero(tape):
+    tape.create_relation("r")
+    p = tape.extend("r")
+    assert tape.read_page("r", p) == bytes(PAGE_SIZE)
+
+
+def test_tape_is_rewriteable(tape):
+    tape.create_relation("r")
+    p = tape.extend("r")
+    tape.write_page("r", p, page_of(1))
+    tape.write_page("r", p, page_of(2))
+    assert tape.read_page("r", p) == page_of(2)
+
+
+def test_out_of_range_rejected(tape):
+    tape.create_relation("r")
+    with pytest.raises(DeviceError):
+        tape.read_page("r", 0)
+
+
+def test_drop_relation(tape):
+    tape.create_relation("r")
+    p = tape.extend("r")
+    tape.write_page("r", p, page_of(1))
+    tape.drop_relation("r")
+    assert not tape.relation_exists("r")
+
+
+def test_stats_accumulate(tape):
+    tape.create_relation("r")
+    p = tape.extend("r")
+    tape.write_page("r", p, page_of(1))
+    tape.read_page("r", p)
+    assert tape.stats.loads >= 1
+    assert tape.stats.writes == 1
+    assert tape.stats.reads == 1

@@ -1,0 +1,152 @@
+"""Concurrent clients under two-phase locking."""
+
+import threading
+
+import pytest
+
+from repro.core.library import InversionClient
+from repro.errors import DeadlockError, LockTimeoutError, TransactionError
+
+
+def test_two_clients_interleave_on_different_files(fs):
+    """Writes to distinct files take distinct chunk-table locks, so two
+    transactions proceed concurrently.  (Creation itself serializes on
+    the naming table — relation-granularity 2PL — so the files are
+    pre-created.)"""
+    c1, c2 = InversionClient(fs), InversionClient(fs)
+    for path in ("/one", "/two"):
+        fd = c1.p_creat(path)
+        c1.p_close(fd)
+    c1.p_begin()
+    c2.p_begin()
+    fd1 = c1.p_open("/one", 2)
+    fd2 = c2.p_open("/two", 2)
+    c1.p_write(fd1, b"from c1")
+    c2.p_write(fd2, b"from c2")
+    c1.p_commit()
+    c2.p_commit()
+    c1.p_close(fd1)
+    c2.p_close(fd2)
+    assert fs.read_file("/one") == b"from c1"
+    assert fs.read_file("/two") == b"from c2"
+
+
+def test_concurrent_same_path_creates_serialize(fs):
+    """Key-granularity naming locks: a second creator of the *same
+    path* waits for the first transaction, then loses cleanly; creates
+    of different names proceed concurrently (previous test)."""
+    from repro.errors import FileExistsError_
+    fs.db.locks.timeout_s = 5.0
+    c1, c2 = InversionClient(fs), InversionClient(fs)
+    c1.p_begin()
+    c1.p_creat("/contested")
+    outcome = []
+
+    def second():
+        try:
+            fd = c2.p_creat("/contested")  # blocks on the name's X lock
+            c2.p_close(fd)
+            outcome.append("created")
+        except FileExistsError_:
+            outcome.append("exists")
+    t = threading.Thread(target=second)
+    t.start()
+    import time
+    time.sleep(0.1)
+    assert outcome == []  # blocked while c1's transaction is open
+    c1.p_commit()
+    t.join(timeout=5)
+    assert outcome == ["exists"]
+    assert fs.exists("/contested")
+
+
+def test_writer_blocks_writer_until_commit(fs):
+    """2PL: a second writer to the same file waits for the first."""
+    fs.db.locks.timeout_s = 5.0
+    c1, c2 = InversionClient(fs), InversionClient(fs)
+    fd = c1.p_creat("/shared")
+    c1.p_close(fd)
+
+    c1.p_begin()
+    fd1 = c1.p_open("/shared", 2)
+    c1.p_write(fd1, b"first")
+
+    order = []
+
+    def second_writer():
+        c2.p_begin()
+        fd2 = c2.p_open("/shared", 2)
+        c2.p_write(fd2, b"SECON")
+        order.append("c2 wrote")
+        c2.p_commit()
+        c2.p_close(fd2)
+
+    t = threading.Thread(target=second_writer)
+    t.start()
+    import time
+    time.sleep(0.15)
+    assert order == []  # still blocked on c1's exclusive lock
+    order.append("c1 committing")
+    c1.p_commit()
+    c1.p_close(fd1)
+    t.join(timeout=5)
+    assert order == ["c1 committing", "c2 wrote"]
+    assert fs.read_file("/shared") == b"SECON"
+
+
+def test_uncommitted_writes_invisible_to_other_client(fs):
+    c1, c2 = InversionClient(fs), InversionClient(fs)
+    fd = c1.p_creat("/v")
+    c1.p_write(fd, b"committed")
+    c1.p_close(fd)
+    c1.p_begin()
+    fd1 = c1.p_open("/v", 2)
+    c1.p_write(fd1, b"IN-FLIGHT")
+    # c2 reads under its own snapshot (c1 holds X; readdir of other
+    # files is fine — check a different file to avoid the lock).
+    fd_new = None
+    assert fs.read_file("/v", timestamp=fs.db.clock.now()) == b"committed"
+    c1.p_abort()
+    assert fs.read_file("/v") == b"committed"
+
+
+def test_deadlock_victim_can_retry(fs):
+    fs.db.locks.timeout_s = 5.0
+    c1, c2 = InversionClient(fs), InversionClient(fs)
+    for path in ("/a", "/b"):
+        fd = c1.p_creat(path)
+        c1.p_close(fd)
+
+    barrier = threading.Barrier(2, timeout=5)
+    results = {}
+
+    def run(client, first, second, key):
+        client.p_begin()
+        fd1 = client.p_open(first, 2)
+        client.p_write(fd1, key.encode())
+        barrier.wait()
+        try:
+            fd2 = client.p_open(second, 2)
+            client.p_write(fd2, key.encode())
+            client.p_commit()
+            results[key] = "committed"
+        except (DeadlockError, LockTimeoutError):
+            client.p_abort()
+            results[key] = "victim"
+
+    t1 = threading.Thread(target=run, args=(c1, "/a", "/b", "c1"))
+    t2 = threading.Thread(target=run, args=(c2, "/b", "/a", "c2"))
+    t1.start(); t2.start()
+    t1.join(timeout=20); t2.join(timeout=20)
+    assert sorted(results.values()) == ["committed", "victim"]
+
+
+def test_session_transaction_isolation(fs):
+    """Two InversionClient sessions hold independent transactions."""
+    c1, c2 = InversionClient(fs), InversionClient(fs)
+    c1.p_begin()
+    c2.p_begin()  # no "nested transaction" error across sessions
+    c1.p_abort()
+    c2.p_abort()
+    with pytest.raises(TransactionError):
+        c2.p_abort()

@@ -1,0 +1,108 @@
+"""Rules guarding the file system's own consistency.
+
+The paper's "Consistency Guarantees" section: "use of transaction
+processing and the POSTGRES rules system can guarantee this
+consistency."  Because Inversion's metadata are ordinary tables, rules
+defined on them police the file system itself.
+"""
+
+import pytest
+
+from repro.db.rules import RuleViolation, register_action
+from repro.errors import InversionError
+
+
+def test_protect_files_from_deletion(fs, client):
+    """An administrator rule makes a master file undeletable."""
+    fd = client.p_creat("/master_index")
+    client.p_write(fd, b"do not remove")
+    client.p_close(fd)
+    tx = fs.begin()
+    fs.db.rules.define_rule(
+        tx, "protect_master", "naming", "delete",
+        'new.filename = "master_index"', "reject")
+    fs.commit(tx)
+
+    with pytest.raises(RuleViolation):
+        client.p_unlink("/master_index")
+    assert fs.exists("/master_index")
+    # Renaming is an update, not a delete — still allowed.
+    client.p_rename("/master_index", "/master_index.v2")
+    assert fs.exists("/master_index.v2")
+
+
+def test_reject_corrupt_attribute_rows(fs, client):
+    """Negative sizes can never enter fileatt."""
+    tx = fs.begin()
+    fs.db.rules.define_rule(tx, "sane_sizes", "fileatt", "replace",
+                            "new.size < 0", "reject")
+    fs.commit(tx)
+    fd = client.p_creat("/f")
+    client.p_write(fd, b"fine")
+    client.p_close(fd)
+    fileid = fs.resolve("/f")
+    tx = fs.begin()
+    with pytest.raises(RuleViolation):
+        fs.fileatt.update(tx, fileid, size=-1)
+    fs.abort(tx)
+    assert fs.stat("/f").size == 4
+
+
+def test_enforce_naming_conventions(fs, client):
+    """Site policy: no spaces in file names."""
+    tx = fs.begin()
+    fs.db.rules.define_rule(tx, "no_spaces", "naming", "append",
+                            '" " in new.filename', "reject")
+    fs.commit(tx)
+    with pytest.raises(RuleViolation):
+        client.p_creat("/bad name.txt")
+    fd = client.p_creat("/good_name.txt")
+    client.p_close(fd)
+    assert fs.readdir("/") == ["good_name.txt"]
+
+
+def test_rejecting_rule_keeps_multitable_create_atomic(fs, client):
+    """A create touches naming + fileatt + DDL; a rule rejecting the
+    naming insert must leave no attribute row or chunk table behind."""
+    tx = fs.begin()
+    fs.db.rules.define_rule(tx, "no_tmp", "naming", "append",
+                            '"tmp" in new.filename', "reject")
+    fs.commit(tx)
+    with pytest.raises((RuleViolation, InversionError)):
+        client.p_creat("/tmpfile")
+    tx = fs.begin()
+    snapshot = fs.db.snapshot(tx)
+    # Nothing leaked into fileatt.
+    rows = [r for _t, r in fs.db.table("fileatt", tx).scan(snapshot, tx)]
+    assert all(r[0] == fs.namespace.root_fileid for r in rows)
+    fs.commit(tx)
+
+
+def test_audit_trail_via_callback(fs, client):
+    """A callback rule materializes an audit log of file deletions —
+    derived data maintained by the rules system."""
+    from repro.db.tuples import Column, Schema
+    tx = fs.begin()
+    fs.db.create_table(tx, "deletion_log", Schema([
+        Column("filename", "text"), Column("at", "time")]))
+    fs.commit(tx)
+
+    def log_delete(db, tx, table, event, row):
+        db.table("deletion_log", tx).insert(
+            tx, (row[0], db.clock.now()))
+    register_action("log_delete", log_delete)
+    tx = fs.begin()
+    fs.db.rules.define_rule(tx, "audit_deletes", "naming", "delete",
+                            'new.filename != ""', "do log_delete")
+    fs.commit(tx)
+
+    for name in ("a", "b"):
+        fd = client.p_creat(f"/{name}")
+        client.p_close(fd)
+    client.p_unlink("/a")
+    client.p_unlink("/b")
+    tx = fs.begin()
+    logged = [r[0] for _t, r in
+              fs.db.table("deletion_log", tx).scan(fs.db.snapshot(tx), tx)]
+    fs.commit(tx)
+    assert logged == ["a", "b"]

@@ -1,0 +1,132 @@
+"""End-to-end Sequoia 2000 scenario: the whole system in one story.
+
+Scientists store typed satellite imagery and documentation across a
+storage hierarchy, query it, revise it, vacuum history to optical
+media, migrate cold data, survive a crash, and still see every past
+state.  Exercises naming, attributes, chunking, typed functions, the
+query language, vacuum, migration, devices, the checker, and recovery
+together — the way a downstream user actually would.
+"""
+
+import pytest
+
+from repro.core.checker import ConsistencyChecker
+from repro.core.chunks import chunk_table_name
+from repro.core.constants import O_RDWR
+from repro.core.filesystem import InversionFS
+from repro.core.functions import (
+    make_satellite_image,
+    make_troff_document,
+    register_standard_types,
+    snow,
+)
+from repro.core.library import InversionClient
+from repro.core.migration import MigrationEngine
+from repro.db.database import Database
+
+
+@pytest.fixture
+def world(tmp_path):
+    db = Database.create(str(tmp_path / "sequoia"))
+    db.add_device("juke0", "jukebox")
+    db.add_device("tape0", "tape")
+    fs = InversionFS.mkfs(db)
+    client = InversionClient(fs)
+    tx = fs.begin()
+    register_standard_types(fs, tx)
+    fs.commit(tx)
+    return tmp_path, db, fs, client
+
+
+def test_full_scenario(world):
+    tmp_path, db, fs, client = world
+
+    # --- ingest a corpus ------------------------------------------------
+    client.p_mkdir("/tm")
+    client.p_mkdir("/docs")
+    images = {}
+    for i, frac in enumerate((0.7, 0.6, 0.1, 0.0)):
+        img = make_satellite_image(32, 32, 5, snow_fraction=frac, seed=i)
+        images[f"scene{i}"] = img
+        fd = client.p_creat(f"/tm/scene{i}", ftype="plain")
+        client.p_write(fd, img)
+        client.p_close(fd)
+        tx = fs.begin()
+        fs.set_file_type(tx, f"/tm/scene{i}", "tm_image")
+        fs.commit(tx)
+    fd = client.p_creat("/docs/report.t")
+    client.p_write(fd, make_troff_document("Snow Cover 1992",
+                                           ["snow", "TM", "Sierra"]))
+    client.p_close(fd)
+    tx = fs.begin()
+    fs.set_file_type(tx, "/docs/report.t", "troff_document")
+    fs.commit(tx)
+    t_ingested = db.clock.now()
+
+    # --- query the corpus -------------------------------------------------
+    rows = client.p_query(
+        'retrieve (filename, snow(file)) where filetype(file) = "tm_image" '
+        'and snow(file) > 100 sort by filename')
+    assert [r[0] for r in rows] == ["scene0", "scene1"]
+    for name, count in rows:
+        assert count == snow(images[name])
+    agg = client.p_query(
+        'retrieve (count(filename), sum(size(file))) '
+        'where filetype(file) = "tm_image"')
+    assert agg[0][0] == 4
+
+    # --- revise a scene (recalibration), keep history --------------------
+    recalibrated = make_satellite_image(32, 32, 5, snow_fraction=0.9, seed=99)
+    fd = client.p_open("/tm/scene0", O_RDWR)
+    client.p_write(fd, recalibrated)
+    client.p_close(fd)
+    assert fs.read_file("/tm/scene0") == recalibrated
+    assert fs.read_file("/tm/scene0", timestamp=t_ingested) == images["scene0"]
+
+    # Functions under historical snapshots analyse historical pixels.
+    fileid = fs.resolve("/tm/scene0")
+    then = db.funcs.call("snow", [fileid], db.asof(t_ingested))
+    now = db.funcs.call("snow", [fileid], db.asof(db.clock.now()))
+    assert then == snow(images["scene0"])
+    assert now == snow(recalibrated)
+
+    # --- vacuum superseded versions to the optical jukebox ----------------
+    table = chunk_table_name(fileid)
+    stats = db.vacuum(table, archive_device="juke0")
+    assert stats.archived >= 1
+    assert fs.read_file("/tm/scene0", timestamp=t_ingested) == images["scene0"]
+
+    # --- migrate cold scenes to tape ----------------------------------------
+    engine = MigrationEngine(fs)
+    engine.add_rule("cold-scenes",
+                    'filetype(file) = "tm_image" and snow(file) < 100',
+                    "tape0")
+    tx = fs.begin()
+    reports = engine.run(tx)
+    fs.commit(tx)
+    assert sorted(reports[0].moved) == ["/tm/scene2", "/tm/scene3"]
+    assert fs.read_file("/tm/scene2") == images["scene2"]
+
+    # --- integrity -----------------------------------------------------------
+    report = ConsistencyChecker(fs).check_all()
+    assert report.clean
+
+    # --- crash and full revalidation ------------------------------------------
+    db.simulate_crash()
+    db2 = Database.open(str(tmp_path / "sequoia"))
+    fs2 = InversionFS.attach(db2)
+    client2 = InversionClient(fs2)
+
+    assert sorted(fs2.readdir("/tm")) == [f"scene{i}" for i in range(4)]
+    assert fs2.read_file("/tm/scene0") == recalibrated
+    assert fs2.read_file("/tm/scene0", timestamp=t_ingested) == images["scene0"]
+    assert fs2.read_file("/tm/scene2") == images["scene2"]  # from tape
+
+    rows = client2.p_query(
+        'retrieve (filename) where filetype(file) = "troff_document" '
+        'and "Sierra" in keywords(file)')
+    assert rows == [("report.t",)]
+
+    report = ConsistencyChecker(fs2).check_all()
+    assert report.clean
+    db2.close()

@@ -1,0 +1,124 @@
+"""Vacuum + Inversion: archiving file chunks must not break file-level
+time travel."""
+
+import pytest
+
+from repro.core.chunks import chunk_table_name
+from repro.core.constants import CHUNK_SIZE, O_RDWR
+
+
+def test_vacuum_chunk_table_preserves_file_history(fs, client, clock):
+    fd = client.p_creat("/f")
+    client.p_write(fd, b"A" * (2 * CHUNK_SIZE))
+    client.p_close(fd)
+    t0 = clock.now()
+    fd = client.p_open("/f", O_RDWR)
+    client.p_write(fd, b"B" * CHUNK_SIZE)  # supersede chunk 0
+    client.p_close(fd)
+
+    table = chunk_table_name(fs.resolve("/f"))
+    stats = fs.db.vacuum(table)
+    assert stats.archived == 1
+
+    now = fs.read_file("/f")
+    then = fs.read_file("/f", timestamp=t0)
+    assert now[:CHUNK_SIZE] == b"B" * CHUNK_SIZE
+    assert then == b"A" * (2 * CHUNK_SIZE)
+
+
+def test_vacuum_naming_preserves_undelete(fs, client, clock):
+    fd = client.p_creat("/doomed")
+    client.p_write(fd, b"save me")
+    client.p_close(fd)
+    t0 = clock.now()
+    client.p_unlink("/doomed")
+    fs.db.vacuum("naming")
+    fs.db.vacuum("fileatt")
+    assert not fs.exists("/doomed")
+    assert fs.exists("/doomed", timestamp=t0)
+    assert fs.read_file("/doomed", timestamp=t0) == b"save me"
+
+
+def test_vacuum_to_jukebox_archive(fs, client, clock):
+    """The tertiary-store workflow: history migrates to optical media,
+    current data stays on magnetic disk."""
+    fs.db.add_device("juke0", "jukebox")
+    fd = client.p_creat("/f")
+    client.p_write(fd, b"old-old-old")
+    client.p_close(fd)
+    t0 = clock.now()
+    fd = client.p_open("/f", O_RDWR)
+    client.p_write(fd, b"new-new-new")
+    client.p_close(fd)
+    table = chunk_table_name(fs.resolve("/f"))
+    fs.db.vacuum(table, archive_device="juke0")
+    juke = fs.db.switch.get("juke0")
+    assert juke.relation_exists(f"a_{table}")
+    assert fs.read_file("/f", timestamp=t0) == b"old-old-old"
+    assert fs.read_file("/f") == b"new-new-new"
+
+
+def test_vacuum_shrinks_live_chunk_table(fs, client):
+    fd = client.p_creat("/churn")
+    for gen in range(6):
+        fdw = client.p_open("/churn", O_RDWR)
+        client.p_write(fdw, bytes([gen]) * CHUNK_SIZE)
+        client.p_close(fdw)
+    client.p_close(fd)
+    table = chunk_table_name(fs.resolve("/churn"))
+    stats = fs.db.vacuum(table)
+    assert stats.archived == 5
+    assert stats.pages_after < stats.pages_before
+    assert fs.read_file("/churn") == bytes([5]) * CHUNK_SIZE
+
+
+def test_double_vacuum_keeps_archive_growing(fs, client, clock):
+    fd = client.p_creat("/f")
+    client.p_write(fd, b"v0")
+    client.p_close(fd)
+    times = [clock.now()]
+    for gen in range(1, 4):
+        fdw = client.p_open("/f", O_RDWR)
+        client.p_write(fdw, b"v%d" % gen)
+        client.p_close(fdw)
+        table = chunk_table_name(fs.resolve("/f"))
+        fs.db.vacuum(table)
+        times.append(clock.now())
+    for gen, t in enumerate(times):
+        assert fs.read_file("/f", timestamp=t) == b"v%d" % gen
+
+
+def test_purge_history_discards_old_versions(fs, client, clock):
+    """The opt-out: "POSTGRES can be instructed not to save old
+    versions"."""
+    fd = client.p_creat("/nohist")
+    client.p_write(fd, b"version-A")
+    client.p_close(fd)
+    t0 = clock.now()
+    fd = client.p_open("/nohist", O_RDWR)
+    client.p_write(fd, b"version-B")
+    client.p_close(fd)
+
+    stats = fs.purge_history("/nohist")
+    assert stats.expunged >= 1
+    assert stats.archived == 0
+    # Current contents intact; the past is gone for this file's data.
+    assert fs.read_file("/nohist") == b"version-B"
+    hist = fs.read_file("/nohist", timestamp=t0)
+    assert hist != b"version-A"
+
+
+def test_purge_history_leaves_other_files_alone(fs, client, clock):
+    for name in ("keep", "drop"):
+        fd = client.p_creat(f"/{name}")
+        client.p_write(fd, b"old")
+        client.p_close(fd)
+    t0 = clock.now()
+    for name in ("keep", "drop"):
+        fd = client.p_open(f"/{name}", O_RDWR)
+        client.p_write(fd, b"new")
+        client.p_close(fd)
+    fs.purge_history("/drop")
+    assert fs.read_file("/keep", timestamp=t0) == b"old"
+    assert fs.read_file("/keep") == b"new"
+    assert fs.read_file("/drop") == b"new"

@@ -1,0 +1,60 @@
+"""Virtual clock behaviour."""
+
+import pytest
+
+from repro.sim.clock import SimClock, Stopwatch
+
+
+def test_clock_starts_at_origin():
+    assert SimClock().now() == 0.0
+    assert SimClock(5.0).now() == 5.0
+
+
+def test_advance_accumulates():
+    clock = SimClock()
+    clock.advance(1.5)
+    clock.advance(0.25)
+    assert clock.now() == pytest.approx(1.75)
+
+
+def test_advance_rejects_negative():
+    with pytest.raises(ValueError):
+        SimClock().advance(-0.1)
+
+
+def test_zero_advance_is_legal():
+    clock = SimClock()
+    clock.advance(0.0)
+    assert clock.now() == 0.0
+
+
+def test_ticks_are_unique_and_increasing():
+    clock = SimClock()
+    ticks = [clock.tick() for _ in range(10)]
+    assert ticks == sorted(ticks)
+    assert len(set(ticks)) == 10
+
+
+def test_reset():
+    clock = SimClock()
+    clock.advance(10)
+    clock.reset()
+    assert clock.now() == 0.0
+
+
+def test_stopwatch_measures_elapsed():
+    clock = SimClock()
+    with Stopwatch(clock) as sw:
+        clock.advance(2.0)
+        clock.advance(1.0)
+    assert sw.elapsed == pytest.approx(3.0)
+
+
+def test_stopwatch_nested():
+    clock = SimClock()
+    with Stopwatch(clock) as outer:
+        clock.advance(1.0)
+        with Stopwatch(clock) as inner:
+            clock.advance(0.5)
+    assert inner.elapsed == pytest.approx(0.5)
+    assert outer.elapsed == pytest.approx(1.5)

@@ -1,0 +1,47 @@
+"""CPU cost model."""
+
+import pytest
+
+from repro.sim.clock import SimClock
+from repro.sim.cpu import CpuModel, CpuParams, NullCpuModel
+
+
+def test_charges_advance_clock():
+    clock = SimClock()
+    cpu = CpuModel(clock)
+    cpu.tuple_pack()
+    cpu.buffer_copy(3)
+    assert clock.now() == pytest.approx(
+        cpu.params.tuple_pack_s + 3 * cpu.params.buffer_copy_s)
+    assert cpu.busy_seconds == pytest.approx(clock.now())
+
+
+def test_counted_charges():
+    clock = SimClock()
+    cpu = CpuModel(clock)
+    cpu.btree_compare(100)
+    assert clock.now() == pytest.approx(100 * cpu.params.btree_compare_s)
+
+
+def test_custom_params():
+    clock = SimClock()
+    cpu = CpuModel(clock, CpuParams(rpc_dispatch_s=1.0))
+    cpu.rpc_dispatch()
+    assert clock.now() == pytest.approx(1.0)
+
+
+def test_null_model_charges_nothing():
+    clock = SimClock()
+    cpu = NullCpuModel(clock)
+    cpu.tuple_pack(1000)
+    cpu.udf_call(50)
+    assert clock.now() == 0.0
+    assert cpu.busy_seconds == 0.0
+
+
+def test_all_charge_kinds_exist():
+    clock = SimClock()
+    cpu = CpuModel(clock)
+    for method in ("tuple_pack", "tuple_unpack", "buffer_copy",
+                   "btree_compare", "rpc_dispatch", "query_row", "udf_call"):
+        assert getattr(cpu, method)() > 0

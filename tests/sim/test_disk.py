@@ -1,0 +1,91 @@
+"""Disk cost model: sequential vs seek behaviour."""
+
+import pytest
+
+from repro.sim.clock import SimClock
+from repro.sim.disk import BLOCK_SIZE, RZ58, DiskGeometry, DiskModel
+
+
+@pytest.fixture
+def disk():
+    return DiskModel(clock=SimClock())
+
+
+def test_sequential_access_costs_transfer_only(disk):
+    disk.read_block(100)  # positioning access
+    cost = disk.read_block(101)
+    assert cost == pytest.approx(BLOCK_SIZE / RZ58.transfer_rate_bps)
+    assert disk.stats.sequential_ops == 1
+
+
+def test_random_access_costs_seek_and_rotation(disk):
+    disk.read_block(100)
+    far = disk.read_block(100 + RZ58.blocks_per_cylinder * 500)
+    assert far > RZ58.avg_rotational_delay_s
+    assert disk.stats.seeks >= 1
+
+
+def test_same_cylinder_access_skips_seek(disk):
+    disk.read_block(100)
+    cost = disk.read_block(110)  # same cylinder (64 blocks/cyl), not adjacent
+    expected = RZ58.avg_rotational_delay_s + BLOCK_SIZE / RZ58.transfer_rate_bps
+    assert cost == pytest.approx(expected)
+
+
+def test_seek_grows_with_distance(disk):
+    disk.read_block(0)
+    near = disk.read_block(RZ58.blocks_per_cylinder * 10)
+    disk.reset_head()
+    disk.read_block(0)
+    far = disk.read_block(RZ58.blocks_per_cylinder * 5000)
+    assert far > near
+
+
+def test_seek_time_bounded_by_geometry(disk):
+    g = disk.geometry
+    full = disk._seek_time(0, g.total_cylinders - 1)
+    assert g.min_seek_s * 0.5 <= full <= g.max_seek_s * 1.1
+
+
+def test_clock_advances_with_io():
+    clock = SimClock()
+    disk = DiskModel(clock=clock)
+    disk.write_block(0)
+    assert clock.now() > 0
+
+
+def test_stats_track_bytes(disk):
+    disk.write_block(0, 4096)
+    disk.read_block(1, 8192)
+    assert disk.stats.bytes_written == 4096
+    assert disk.stats.bytes_read == 8192
+    assert disk.stats.reads == 1 and disk.stats.writes == 1
+
+
+def test_flush_charges_settle_time(disk):
+    before = disk.clock.now()
+    disk.flush()
+    assert disk.clock.now() > before
+
+
+def test_write_sequence_after_reset_head_pays_seek(disk):
+    disk.write_block(500)
+    disk.reset_head()
+    cost = disk.write_block(501)
+    assert cost > BLOCK_SIZE / RZ58.transfer_rate_bps
+
+
+def test_multiblock_transfer_advances_head():
+    disk = DiskModel(clock=SimClock())
+    disk.write_block(100, 4 * BLOCK_SIZE)  # occupies blocks 100-103
+    cost = disk.write_block(104)
+    assert cost == pytest.approx(BLOCK_SIZE / RZ58.transfer_rate_bps)
+
+
+def test_custom_geometry():
+    slow = DiskGeometry(name="floppy", capacity_bytes=2_000_000, rpm=300,
+                        min_seek_s=0.05, avg_seek_s=0.1, max_seek_s=0.2,
+                        transfer_rate_bps=50_000)
+    disk = DiskModel(clock=SimClock(), geometry=slow)
+    cost = disk.read_block(0)
+    assert cost > 0.05  # dominated by rotation at 300 rpm

@@ -1,0 +1,73 @@
+"""Network cost model."""
+
+import pytest
+
+from repro.sim.clock import SimClock
+from repro.sim.network import ETHERNET_10MBIT, EthernetParams, NetworkModel
+
+
+@pytest.fixture
+def net():
+    return NetworkModel(clock=SimClock())
+
+
+def test_send_charges_overhead_wire_and_propagation(net):
+    p = net.params
+    cost = net.send(0)
+    # Even an empty payload pays one header packet + stack costs.
+    assert cost > 2 * p.per_message_overhead_s
+    assert net.stats.messages == 1
+
+
+def test_wire_time_scales_with_payload(net):
+    small = net.cost_send(100)
+    large = net.cost_send(100_000)
+    assert large > small
+    assert large - small == pytest.approx(
+        (100_000 - 100 + 66 * net.params.header_bytes)
+        / net.params.bandwidth_bps, rel=0.2)
+
+
+def test_round_trip_is_two_sends(net):
+    cost = net.round_trip(64, 64)
+    assert cost == pytest.approx(2 * net.cost_send(64))
+    assert net.stats.round_trips == 1
+
+
+def test_cost_send_is_pure(net):
+    before = net.clock.now()
+    net.cost_send(10_000)
+    assert net.clock.now() == before
+    assert net.stats.messages == 0
+
+
+def test_charge_seconds_advances_clock(net):
+    net.charge_seconds(0.5, messages=2, payload=100)
+    assert net.clock.now() == pytest.approx(0.5)
+    assert net.stats.messages == 2
+
+
+def test_charge_seconds_ignores_negative(net):
+    net.charge_seconds(-1.0)
+    assert net.clock.now() == 0.0
+
+
+def test_one_megabyte_in_pages_pays_per_message_overhead():
+    """The paper: remote access adds 3-5 s per 1 MB test when moved in
+    page-sized units."""
+    net = NetworkModel(clock=SimClock(), params=ETHERNET_10MBIT)
+    for _ in range(128):
+        net.round_trip(64, 8192 + 32)
+    bulk = NetworkModel(clock=SimClock(), params=ETHERNET_10MBIT)
+    bulk.round_trip(64, 1_000_000)
+    assert net.clock.now() > bulk.clock.now()
+    overhead = net.clock.now() - bulk.clock.now()
+    assert 1.0 < overhead < 6.0
+
+
+def test_custom_params():
+    fast = EthernetParams(name="fddi", bandwidth_bps=10_000_000,
+                          per_message_overhead_s=0.001, propagation_s=0.0001)
+    slow = NetworkModel(clock=SimClock(), params=ETHERNET_10MBIT)
+    quick = NetworkModel(clock=SimClock(), params=fast)
+    assert quick.cost_send(8192) < slow.cost_send(8192)

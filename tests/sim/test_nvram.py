@@ -1,0 +1,65 @@
+"""PRESTOserve NVRAM cache model."""
+
+import pytest
+
+from repro.sim.clock import SimClock
+from repro.sim.disk import BLOCK_SIZE, DiskModel
+from repro.sim.nvram import NvramCache
+
+
+@pytest.fixture
+def nvram():
+    clock = SimClock()
+    return NvramCache(clock=clock, disk=DiskModel(clock=clock))
+
+
+def test_absorbed_write_is_cheap(nvram):
+    cost = nvram.write(0)
+    # DMA only: far below one rotational latency.
+    assert cost < 0.001
+    assert nvram.stats.absorbed_writes == 1
+    assert nvram.stats.destages == 0
+
+
+def test_rewrite_same_block_reuses_space(nvram):
+    for _ in range(1000):
+        nvram.write(7)
+    assert nvram.used_bytes() == BLOCK_SIZE
+    assert nvram.stats.hits == 999
+
+
+def test_overflow_destages_to_disk(nvram):
+    capacity_blocks = nvram.capacity_blocks
+    for block in range(capacity_blocks + 10):
+        nvram.write(block)
+    assert nvram.stats.overflow_destages >= 10
+    assert nvram.disk.stats.writes >= 10
+
+
+def test_whole_megabyte_fits_without_destage(nvram):
+    """The Figure 6 effect: "the whole 1 MByte write fits in the
+    PRESTOserve cache, and is not flushed to disk"."""
+    for block in range(1_000_000 // BLOCK_SIZE):
+        nvram.write(block)
+    assert nvram.stats.destages == 0
+    assert nvram.disk.stats.writes == 0
+
+
+def test_read_hit_tracks_board_contents(nvram):
+    nvram.write(3)
+    assert nvram.read_hit(3)
+    assert not nvram.read_hit(4)
+
+
+def test_flush_drains_everything(nvram):
+    for block in range(20):
+        nvram.write(block)
+    nvram.flush()
+    assert nvram.used_bytes() == 0
+    assert nvram.disk.stats.writes == 20
+    assert not nvram.read_hit(0)
+
+
+def test_partial_block_write_counts_bytes(nvram):
+    nvram.write(0, 512)
+    assert nvram.used_bytes() == 512
