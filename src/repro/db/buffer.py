@@ -123,11 +123,15 @@ class BufferCache:
         return written
 
     def flush_relation(self, dev_name: str, relname: str) -> int:
+        """Force one relation's dirty pages (same elevator order and
+        ``forced_writes`` accounting as :meth:`flush_all`, so write
+        counting is consistent whichever flush path a caller takes)."""
         written = 0
-        for key, frame in self._frames.items():
-            if key[0] == dev_name and key[1] == relname and frame.dirty:
-                self._writeback(key, frame)
-                written += 1
+        for key in sorted(k for k, f in self._frames.items()
+                          if k[0] == dev_name and k[1] == relname and f.dirty):
+            self._writeback(key, self._frames[key])
+            self.stats.forced_writes += 1
+            written += 1
         return written
 
     # -- invalidation -----------------------------------------------------------

@@ -112,6 +112,10 @@ class Database:
             db._instantiate_device(entry["name"], entry["type"],
                                    default=entry["name"] == config["root"])
         root = db.switch.get(config["root"])
+        # Complete any relation swap (vacuum's compacted rewrite) that a
+        # crash interrupted, before anything reads those relations.
+        from repro.db.vacuum import replay_rename_journal
+        replay_rename_journal(db.switch, root)
         db.tm = TransactionManager(root, clock)
         # Resume simulated time beyond all recorded history, so that
         # post-reopen commits never sort before pre-crash ones.
@@ -397,6 +401,26 @@ class Database:
         self.buffers.invalidate_all(write_dirty=False)
         self.switch.simulate_crash()
         self._closed = True
+
+    def wrap_devices(self, wrapper) -> list:
+        """Interpose ``wrapper(device)`` proxies over every registered
+        device manager (the fault-injection seam used by
+        :mod:`repro.testkit`).  The transaction manager's direct handle
+        on the root device is rebound too, so status-file forces pass
+        through the proxy — without that, commit records would bypass
+        the very write counting a crash-schedule explorer relies on."""
+        proxies = [self.switch.wrap(name, wrapper)
+                   for name in self.switch.names()]
+        if self.tm is not None:
+            self.tm.rebind_device(self.switch.get(self.switch.default_name))
+        return proxies
+
+    def unwrap_devices(self) -> None:
+        """Undo :meth:`wrap_devices`."""
+        for name in self.switch.names():
+            self.switch.unwrap(name)
+        if self.tm is not None:
+            self.tm.rebind_device(self.switch.get(self.switch.default_name))
 
     # -- introspection ---------------------------------------------------------------------------
 

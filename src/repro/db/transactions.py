@@ -84,34 +84,52 @@ class TransactionManager:
         }
         self._next_xid = FIRST_NORMAL_XID
         self._recovered_in_progress = 0
+        self._torn_tail = 0
         self._load()
 
     # -- persistence ----------------------------------------------------
+
+    def _parse_record(self, line: str) -> tuple[int, _TxRecord]:
+        parts = line.split()
+        kind = parts[0]
+        xid = int(parts[1])
+        if kind == "C":
+            return xid, _TxRecord(COMMITTED, float(parts[2]), float(parts[3]))
+        if kind == "A":
+            return xid, _TxRecord(ABORTED, float(parts[2]))
+        raise ValueError(f"unknown record kind {kind!r}")
 
     def _load(self) -> None:
         raw = self._device.read_meta(STATUS_TAG)
         max_seen = BOOTSTRAP_XID
         if raw:
-            for line in raw.decode("ascii").splitlines():
+            lines = raw.decode("ascii", errors="replace").splitlines()
+            for lineno, line in enumerate(lines):
                 if not line:
                     continue
-                parts = line.split()
                 try:
-                    kind = parts[0]
-                    xid = int(parts[1])
+                    xid, rec = self._parse_record(line)
                 except (IndexError, ValueError) as exc:
+                    if lineno == len(lines) - 1 and not raw.endswith(b"\n"):
+                        # A torn tail: the record being appended at a
+                        # crash made it only partially to the medium
+                        # (every complete record ends in a newline).
+                        # The transaction never got a durable commit
+                        # record, so it is correctly invisible.
+                        self._torn_tail = 1
+                        continue
                     raise RecoveryError(f"corrupt status record {line!r}") from exc
-                if kind == "C":
-                    start, commit = float(parts[2]), float(parts[3])
-                    self._records[xid] = _TxRecord(COMMITTED, start, commit)
-                elif kind == "A":
-                    self._records[xid] = _TxRecord(ABORTED, float(parts[2]))
-                else:
-                    raise RecoveryError(f"corrupt status record kind {kind!r}")
+                self._records[xid] = rec
                 max_seen = max(max_seen, xid)
         hwm_raw = self._device.read_meta(XID_HWM_TAG)
         hwm = int(hwm_raw.decode("ascii")) if hwm_raw else FIRST_NORMAL_XID
         self._next_xid = max(max_seen + 1, hwm)
+        # xids below the high-water mark with no status record belong to
+        # transactions that were in progress (or read-only) at a crash:
+        # they are presumed aborted by the visibility rules.
+        self._recovered_in_progress = sum(
+            1 for xid in range(FIRST_NORMAL_XID, max_seen + 1)
+            if xid not in self._records)
 
     def _force_hwm(self) -> None:
         hwm = self._next_xid + XID_HWM_STRIDE
@@ -191,12 +209,24 @@ class TransactionManager:
             latest = max(latest, rec.start_time, rec.commit_time or 0.0)
         return latest
 
+    def rebind_device(self, device: DeviceManager) -> None:
+        """Point the status file at a different device manager — the
+        seam that lets the testkit interpose a fault-injecting proxy
+        between the transaction manager and stable storage."""
+        self._device = device
+
     def recovery_report(self) -> dict[str, int]:
         """Statistics from the last load — how many transactions in the
-        status file were committed/aborted.  Recovery itself already
-        happened inside :meth:`_load`; it is 'essentially
-        instantaneous' because it is only this file read."""
+        status file were committed/aborted, how many were presumed
+        aborted for lack of a record, and whether the status file ended
+        in a torn (partially-written) record.  Recovery itself already
+        happened inside :meth:`_load`; it is 'essentially instantaneous'
+        because it is only this file read.  The crash-schedule explorer
+        (:mod:`repro.testkit.explorer`) consumes this after every
+        simulated crash."""
         committed = sum(1 for r in self._records.values() if r.state == COMMITTED)
         aborted = sum(1 for r in self._records.values() if r.state == ABORTED)
         return {"committed": committed, "aborted": aborted,
+                "presumed_aborted": self._recovered_in_progress,
+                "torn_tail": self._torn_tail,
                 "next_xid": self._next_xid}

@@ -21,6 +21,7 @@ Time-travel reads (:class:`~repro.db.snapshot.AsOfSnapshot`) through
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
 
 from repro.db.btree import BTree
@@ -30,7 +31,41 @@ from repro.db.locks import EXCLUSIVE
 from repro.db.snapshot import BootstrapSnapshot
 from repro.db.transactions import ABORTED
 from repro.db.tuples import INVALID_XID
-from repro.errors import TableError
+from repro.errors import RecoveryError, TableError
+
+RENAME_JOURNAL_TAG = "pg_rename_redo"
+"""Root-device metadata tag holding the relation-swap redo journal.
+
+The compacted rewrite at the end of a vacuum pass replaces the live
+heap and index relations with freshly built copies.  Each individual
+replacement is an atomic :meth:`~repro.devices.base.DeviceManager.
+rename_relation`, but a heap and its indexes must swap *together* — a
+crash between renames would leave an index holding TIDs into a heap
+that no longer exists.  So the cleaner force-writes the journal (the
+full list of renames) before the first swap and clears it after the
+last; :func:`replay_rename_journal` re-runs any survivors when the
+database is next opened.  Renames are idempotent (a missing source
+with an existing destination is a completed rename), so replaying a
+partially-applied journal is safe, as is crashing during the replay."""
+
+
+def replay_rename_journal(switch, root_device) -> int:
+    """Complete relation swaps interrupted by a crash.  Called from
+    :meth:`repro.db.database.Database.open` before any relation is
+    read.  Returns the number of journal entries processed."""
+    raw = root_device.read_meta(RENAME_JOURNAL_TAG)
+    if not raw:
+        return 0
+    try:
+        entries = json.loads(raw.decode("ascii"))
+    except ValueError as exc:
+        raise RecoveryError(f"corrupt rename journal: {raw[:80]!r}") from exc
+    for entry in entries:
+        device = switch.get(entry["dev"])
+        if device.relation_exists(entry["src"]):
+            device.rename_relation(entry["src"], entry["dst"])
+    root_device.sync_write_meta(RENAME_JOURNAL_TAG, b"")
+    return len(entries)
 
 
 @dataclass
@@ -177,25 +212,52 @@ class VacuumCleaner:
     def _rewrite_heap(self, info: TableInfo,
                       keep: list[tuple[int, int, tuple]]) -> None:
         """Replace the heap (and index) relations with compacted
-        rebuilds.  TIDs change, so indexes are rebuilt from scratch."""
+        rebuilds.  TIDs change, so indexes are rebuilt from scratch.
+
+        Crash-safe protocol: build ``v_<rel>`` side relations, force
+        them to the medium, journal the swap, then atomically rename
+        each side relation over its live name.  A crash before the
+        journal write leaves the originals untouched (orphan side
+        relations are reclaimed by the next vacuum); a crash after it
+        is completed by :func:`replay_rename_journal` on reopen."""
         dev = self.db.switch.get(info.devname)
         buffers = self.db.buffers
-        buffers.flush_relation(info.devname, info.name)
-        buffers.drop_relation(info.devname, info.name)
-        dev.drop_relation(info.name)
-        dev.create_relation(info.name)
-        heap = HeapFile(buffers, info.devname, info.name, info.schema,
+        schema = info.schema
+        side_of = {info.name: f"v_{info.name}"}
+        for ix in info.indexes:
+            side_of[ix.name] = f"v_{ix.name}"
+
+        # Reclaim side relations orphaned by an earlier crashed pass.
+        for side in side_of.values():
+            if dev.relation_exists(side):
+                buffers.drop_relation(info.devname, side)
+                dev.drop_relation(side)
+
+        dev.create_relation(side_of[info.name])
+        heap = HeapFile(buffers, info.devname, side_of[info.name], schema,
                         cpu=self.db.cpu)
         new_tids = [heap.insert_raw(xmin, xmax, values)
                     for xmin, xmax, values in keep]
-        schema = info.schema
         for ix in info.indexes:
-            buffers.drop_relation(info.devname, ix.name)
-            dev.drop_relation(ix.name)
-            dev.create_relation(ix.name)
-            btree = BTree.create(buffers, info.devname, ix.name, cpu=self.db.cpu)
+            dev.create_relation(side_of[ix.name])
+            btree = BTree.create(buffers, info.devname, side_of[ix.name],
+                                 cpu=self.db.cpu)
             col_idx = [schema.column_index(c) for c in ix.keycols]
             for tid, (_xmin, _xmax, values) in zip(new_tids, keep):
                 key = tuple(values[i] for i in col_idx)
                 btree.insert(None, key, tid)
-        buffers.flush_all()
+
+        # The rebuilds must be durable before the journal names them.
+        for side in side_of.values():
+            buffers.flush_relation(info.devname, side)
+        dev.flush()
+
+        root = self.db.switch.get(self.db.catalog.root_device)
+        root.sync_write_meta(RENAME_JOURNAL_TAG, json.dumps(
+            [{"dev": info.devname, "src": side, "dst": live}
+             for live, side in side_of.items()]).encode("ascii"))
+        for live, side in side_of.items():
+            buffers.drop_relation(info.devname, live)
+            buffers.drop_relation(info.devname, side)
+            dev.rename_relation(side, live)
+        root.sync_write_meta(RENAME_JOURNAL_TAG, b"")

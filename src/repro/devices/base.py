@@ -72,6 +72,27 @@ class DeviceManager(ABC):
     def write_page(self, relname: str, pageno: int, data: bytes) -> None:
         """Write one page durably-on-medium, charging simulated cost."""
 
+    def rename_relation(self, src: str, dst: str) -> None:
+        """Atomically-as-possible replace relation ``dst`` with ``src``
+        (the vacuum cleaner's compacted-rewrite swap).  If ``src`` is
+        already gone but ``dst`` exists, the rename is treated as
+        complete — crash-recovery replay depends on this idempotence.
+
+        The default implementation copies pages; file-backed managers
+        override with a true atomic rename."""
+        if not self.relation_exists(src):
+            if self.relation_exists(dst):
+                return  # a crashed rename that already completed
+            from repro.errors import DeviceError
+            raise DeviceError(f"no relation {src!r} on {self.name}")
+        if self.relation_exists(dst):
+            self.drop_relation(dst)
+        self.create_relation(dst)
+        for pageno in range(self.nblocks(src)):
+            self.extend(dst)
+            self.write_page(dst, pageno, self.read_page(src, pageno))
+        self.drop_relation(src)
+
     # -- durability ------------------------------------------------------
 
     @abstractmethod

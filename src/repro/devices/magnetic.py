@@ -81,13 +81,17 @@ class MagneticDisk(DeviceManager):
                 # The map is written lazily; after a crash the backing
                 # file is the truth about how far the relation grew.
                 relpath = self._relpath(relname)
-                if os.path.exists(relpath):
-                    on_disk = os.path.getsize(relpath) // PAGE_SIZE
-                    while on_disk > st.npages:
-                        if len(st.extents) <= st.npages // EXTENT_PAGES:
-                            st.extents.append(self._next_block)
-                            self._next_block += EXTENT_PAGES
-                        st.npages += 1
+                if not os.path.exists(relpath):
+                    # create_relation makes the backing file before the
+                    # map entry, so a mapped relation with no file means
+                    # a drop/rename crashed mid-way: forget the entry.
+                    continue
+                on_disk = os.path.getsize(relpath) // PAGE_SIZE
+                while on_disk > st.npages:
+                    if len(st.extents) <= st.npages // EXTENT_PAGES:
+                        st.extents.append(self._next_block)
+                        self._next_block += EXTENT_PAGES
+                    st.npages += 1
                 self._rels[relname] = st
         else:
             # Rebuild from .rel files if the map is missing (stale-map
@@ -162,6 +166,27 @@ class MagneticDisk(DeviceManager):
         path = self._relpath(relname)
         if os.path.exists(path):
             os.remove(path)
+        self._save_allocmap()
+
+    def rename_relation(self, src: str, dst: str) -> None:
+        """Atomic swap via ``os.replace`` on the backing files.  After a
+        crash either the old or the new contents of ``dst`` are present,
+        never a mixture."""
+        self._validate_relname(dst)
+        st = self._rels.get(src)
+        if st is None or not os.path.exists(self._relpath(src)):
+            if dst in self._rels or os.path.exists(self._relpath(dst)):
+                self._rels.pop(src, None)
+                self._save_allocmap()
+                return
+            raise DeviceError(f"no relation {src!r} on {self.name}")
+        for name in (src, dst):
+            f = self._files.pop(name, None)
+            if f is not None:
+                f.close()
+        os.replace(self._relpath(src), self._relpath(dst))
+        del self._rels[src]
+        self._rels[dst] = st
         self._save_allocmap()
 
     def relation_exists(self, relname: str) -> bool:

@@ -57,6 +57,16 @@ class MemDisk(DeviceManager):
             raise DeviceError(f"no relation {relname!r} on {self.name}")
         self._used -= len(pages) * PAGE_SIZE
 
+    def rename_relation(self, src: str, dst: str) -> None:
+        """In-memory swap: a dict move, trivially atomic."""
+        if src not in self._relations:
+            if dst in self._relations:
+                return
+            raise DeviceError(f"no relation {src!r} on {self.name}")
+        if dst in self._relations:
+            self.drop_relation(dst)
+        self._relations[dst] = self._relations.pop(src)
+
     def relation_exists(self, relname: str) -> bool:
         return relname in self._relations
 

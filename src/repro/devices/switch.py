@@ -41,6 +41,30 @@ class DeviceSwitch:
             raise UnknownDeviceError(f"no device named {name!r} registered")
         return self._devices[name]
 
+    def wrap(self, name: str, wrapper) -> DeviceManager:
+        """Replace the device named ``name`` with ``wrapper(device)``
+        — the registration hook used by interposing proxies such as the
+        testkit's :class:`~repro.testkit.faults.FaultyDevice`.  The
+        proxy must keep the wrapped device's name so catalog rows keep
+        resolving."""
+        device = self.get(name)
+        proxy = wrapper(device)
+        if proxy.name != device.name:
+            raise UnknownDeviceError(
+                f"wrapper changed device name {device.name!r} → {proxy.name!r}")
+        self._devices[name] = proxy
+        return proxy
+
+    def unwrap(self, name: str) -> DeviceManager:
+        """Undo :meth:`wrap`: restore the proxied device's ``inner``
+        manager.  A no-op for devices that are not proxies."""
+        device = self.get(name)
+        inner = getattr(device, "inner", None)
+        if isinstance(inner, DeviceManager):
+            self._devices[name] = inner
+            return inner
+        return device
+
     @property
     def default_name(self) -> str:
         if self._default is None:

@@ -111,6 +111,20 @@ class DeviceFullError(DeviceError):
     """The device has no free space/extents left."""
 
 
+class InjectedFaultError(DeviceError):
+    """A transient or permanent I/O error injected by the fault-injection
+    testkit (:mod:`repro.testkit.faults`).  Subclassing DeviceError means
+    production code handles it exactly like a real device failure."""
+
+
+class SimulatedCrashError(ReproError):
+    """Raised by the testkit's :class:`~repro.testkit.faults.FaultyDevice`
+    at a scheduled crash point, *instead of* performing a durable write.
+    Deliberately NOT a DeviceError: nothing in the stack may catch and
+    absorb it, so it unwinds to the crash-schedule explorer, which then
+    discards volatile state and re-opens the database."""
+
+
 # ---------------------------------------------------------------------------
 # Inversion file system errors
 # ---------------------------------------------------------------------------

@@ -1,0 +1,278 @@
+"""The crash-schedule explorer.
+
+For a scripted workload the explorer first runs a *profiling* pass that
+counts every durable write (the write boundaries), then — for each
+chosen boundary ``k`` — rebuilds a pristine database, arms the
+:class:`~repro.testkit.faults.FaultyDevice` proxies to crash in place
+of write ``k``, runs the workload until the crash fires, discards
+volatile state, reopens via ``Database.open`` + ``InversionFS.attach``,
+and checks the recovered mount three ways:
+
+1. **differential oracle** — the visible state must equal the
+   :class:`~repro.testkit.oracle.ModelFS` built from exactly the
+   transactions whose commit records became durable (with torn appends
+   enabled, the one in-flight transaction is allowed to land on either
+   side of the boundary — its record may have survived the tear);
+2. **storage invariants** — ``core.checker.ConsistencyChecker`` must
+   report zero corruptions;
+3. **recovery accounting** — ``TransactionManager.recovery_report``
+   must load without error (its numbers are recorded per crash point).
+
+Everything is seeded and simulated-clock-driven; the same (workload,
+seed, k) always reproduces the same crash byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.core.checker import ConsistencyChecker
+from repro.core.filesystem import InversionFS
+from repro.db.database import Database
+from repro.errors import ReproError, SimulatedCrashError
+from repro.testkit.faults import CrashController, FaultPlan, FaultyDevice
+from repro.testkit.oracle import ModelFS, apply_fs_op, harvest_state
+from repro.testkit.workload import MigrateStep, TxStep, VacuumStep, Workload
+
+
+class WorkloadRunner:
+    """Executes a workload's steps against one mounted fs, keeping the
+    oracle in lock-step: a step's ops reach the model only once its
+    commit returned (i.e. its commit record was performed)."""
+
+    def __init__(self, db: Database, fs: InversionFS, workload: Workload) -> None:
+        self.db = db
+        self.fs = fs
+        self.workload = workload
+        self.oracle = ModelFS()
+        #: ops of the transaction in flight when a crash fired, or None
+        #: when the crash hit outside any visible-state-changing commit.
+        self.pending: tuple | None = None
+
+    def run(self) -> None:
+        for step in self.workload.steps:
+            self.pending = None
+            if isinstance(step, TxStep):
+                self._run_tx(step)
+            elif isinstance(step, VacuumStep):
+                self._run_vacuum(step)
+            elif isinstance(step, MigrateStep):
+                self._run_migrate(step)
+            else:
+                raise TypeError(f"unknown step {step!r}")
+        self.pending = None
+
+    def _run_tx(self, step: TxStep) -> None:
+        tx = self.fs.begin()
+        if not step.abort:
+            # From the first op until commit returns, a crash leaves
+            # this transaction's fate to the recovered status file.
+            self.pending = step.ops
+        for op in step.ops:
+            apply_fs_op(self.fs, tx, op)
+        if step.abort:
+            self.fs.abort(tx)
+        else:
+            self.fs.commit(tx)
+            self.oracle.apply_many(step.ops)
+            self.pending = None
+
+    def _run_vacuum(self, step: VacuumStep) -> None:
+        table = step.table or self.fs.chunk_table_of(step.path)
+        self.db.vacuum(table, keep_history=step.keep_history)
+
+    def _run_migrate(self, step: MigrateStep) -> None:
+        from repro.core.migration import MigrationEngine
+        engine = MigrationEngine(self.fs)
+        if all(r.name != step.rule_name for r in engine.rules):
+            engine.add_rule(step.rule_name, step.qualification, step.target)
+        tx = self.db.begin()
+        try:
+            engine.run(tx)
+        except BaseException:
+            self.db.abort(tx)
+            raise
+        self.db.commit(tx)
+
+
+@dataclass
+class CrashPointResult:
+    """Verdict for one crash point."""
+
+    point: int
+    completed: bool          # the run finished before the crash fired
+    state_ok: bool
+    checker_clean: bool
+    ambiguous: bool          # torn tail let the in-flight tx commit
+    recovery: dict = field(default_factory=dict)
+    detail: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.state_ok and self.checker_clean
+
+
+@dataclass
+class ExplorationReport:
+    workload: str
+    total_writes: int
+    results: list = field(default_factory=list)
+
+    @property
+    def points_tested(self) -> list[int]:
+        return [r.point for r in self.results if not r.completed]
+
+    @property
+    def violations(self) -> list:
+        return [r for r in self.results if not r.ok]
+
+    def summary(self) -> str:
+        return (f"workload={self.workload} boundaries={self.total_writes} "
+                f"tested={len(self.points_tested)} "
+                f"violations={len(self.violations)}")
+
+
+class CrashScheduleExplorer:
+    """Enumerates a workload's write boundaries and crash-tests each."""
+
+    def __init__(self, base_dir: str, workload: Workload,
+                 torn_append: bool = False, seed: int = 0) -> None:
+        self.base_dir = str(base_dir)
+        self.workload = workload
+        self.torn_append = torn_append
+        self.seed = seed
+
+    # -- plumbing --------------------------------------------------------
+
+    def _build(self, run_dir: str) -> tuple[Database, InversionFS]:
+        db = Database.create(run_dir)
+        fs = InversionFS.mkfs(db)
+        self.workload.setup(db, fs)
+        return db, fs
+
+    def _arm(self, db: Database, crash_after: int | None) -> CrashController:
+        plan = FaultPlan(crash_after=crash_after,
+                         torn_append=self.torn_append, seed=self.seed)
+        controller = CrashController(plan)
+        db.wrap_devices(lambda dev: FaultyDevice(dev, controller))
+        return controller
+
+    # -- passes ----------------------------------------------------------
+
+    def count_write_boundaries(self) -> int:
+        """Profiling pass: run to completion, return the number of
+        durable writes — each index is one crash point.  Also sanity-
+        checks that the completed run matches the oracle."""
+        run_dir = os.path.join(self.base_dir, "profile")
+        db, fs = self._build(run_dir)
+        controller = self._arm(db, crash_after=None)
+        runner = WorkloadRunner(db, fs, self.workload)
+        runner.run()
+        controller.disarm()
+        final = harvest_state(fs)
+        if final != runner.oracle.state():
+            raise AssertionError(
+                f"workload {self.workload.name!r} diverges from the oracle "
+                f"even without a crash: {_diff(final, runner.oracle.state())}")
+        db.close()
+        return controller.writes
+
+    def run_crash_point(self, point: int) -> CrashPointResult:
+        run_dir = os.path.join(self.base_dir, f"run{point:05d}")
+        db, fs = self._build(run_dir)
+        controller = self._arm(db, crash_after=point)
+        runner = WorkloadRunner(db, fs, self.workload)
+        try:
+            runner.run()
+        except SimulatedCrashError:
+            pass
+        controller.disarm()
+        if not controller.crashed:
+            db.close()
+            return CrashPointResult(point, completed=True, state_ok=True,
+                                    checker_clean=True, ambiguous=False)
+        db.simulate_crash()
+
+        try:
+            recovered_db = Database.open(run_dir)
+        except Exception as exc:
+            # Recovery itself must never fail — "no special log
+            # processing is required at crash recovery time".
+            return CrashPointResult(point, completed=False, state_ok=False,
+                                    checker_clean=False, ambiguous=False,
+                                    detail=f"reopen failed: {exc!r}")
+        try:
+            try:
+                recovered_fs = InversionFS.attach(recovered_db)
+                recovered = harvest_state(recovered_fs)
+            except ReproError as exc:
+                # The recovered store is so damaged it cannot even be
+                # read back — the strongest possible violation verdict.
+                return CrashPointResult(point, completed=False, state_ok=False,
+                                        checker_clean=False, ambiguous=False,
+                                        detail=f"harvest raised: {exc!r}")
+            allowed = [runner.oracle.state()]
+            if self.torn_append and runner.pending is not None:
+                # The tear may have left a parseable commit record: the
+                # in-flight transaction lands on either side.
+                allowed.append(runner.oracle.preview(runner.pending).state())
+            state_ok = recovered in allowed
+            ambiguous = state_ok and len(allowed) > 1 and recovered == allowed[1]
+            try:
+                check = ConsistencyChecker(recovered_fs).check_all()
+            except ReproError as exc:
+                return CrashPointResult(point, completed=False,
+                                        state_ok=state_ok, checker_clean=False,
+                                        ambiguous=ambiguous,
+                                        detail=f"checker raised: {exc!r}")
+            recovery = recovered_db.tm.recovery_report()
+            detail = ""
+            if not state_ok:
+                detail = _diff(recovered, allowed[0])
+            elif not check.clean:
+                first = check.corruptions[0]
+                detail = f"{len(check.corruptions)} corruptions; first: {first}"
+            return CrashPointResult(point, completed=False, state_ok=state_ok,
+                                    checker_clean=check.clean,
+                                    ambiguous=ambiguous, recovery=recovery,
+                                    detail=detail)
+        finally:
+            recovered_db.close()
+
+    def explore(self, max_points: int | None = None) -> ExplorationReport:
+        """Crash-test the workload at every write boundary (or, with
+        ``max_points``, an evenly spaced deterministic sample that
+        always includes the first and last boundaries)."""
+        total = self.count_write_boundaries()
+        report = ExplorationReport(self.workload.name, total)
+        for point in select_points(total, max_points):
+            report.results.append(self.run_crash_point(point))
+        return report
+
+
+def select_points(total: int, max_points: int | None) -> list[int]:
+    """0-based write indices to crash at: all of them, or an evenly
+    spaced sample of ``max_points`` including both endpoints."""
+    if total <= 0:
+        return []
+    if max_points is None or max_points >= total:
+        return list(range(total))
+    if max_points == 1:
+        return [0]
+    step = (total - 1) / (max_points - 1)
+    return sorted({round(i * step) for i in range(max_points)})
+
+
+def _diff(got: dict, want: dict) -> str:
+    missing = sorted(set(want) - set(got))
+    extra = sorted(set(got) - set(want))
+    changed = sorted(k for k in set(got) & set(want) if got[k] != want[k])
+    parts = []
+    if missing:
+        parts.append(f"missing={missing[:5]}")
+    if extra:
+        parts.append(f"extra={extra[:5]}")
+    if changed:
+        parts.append(f"changed={changed[:5]}")
+    return " ".join(parts) or "states differ"

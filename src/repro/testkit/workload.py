@@ -1,0 +1,124 @@
+"""Scripted workloads for the crash-schedule explorer.
+
+A workload is data, not code: a list of steps, each either a
+transaction (:class:`TxStep` — a tuple of model ops committed or
+aborted together), a vacuum pass (:class:`VacuumStep`), or a
+rule-driven migration (:class:`MigrateStep`).  Payload bytes are
+derived from SHA-256, so two runs of the same workload issue an
+identical sequence of durable writes — which is what makes "crash at
+write #k" a meaningful, replayable coordinate.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+
+def payload(seed: int, tag: str, size: int) -> bytes:
+    """``size`` deterministic bytes, independent of PYTHONHASHSEED."""
+    out = bytearray()
+    counter = 0
+    while len(out) < size:
+        out += hashlib.sha256(f"{seed}:{tag}:{counter}".encode()).digest()
+        counter += 1
+    return bytes(out[:size])
+
+
+@dataclass(frozen=True)
+class TxStep:
+    """One transaction: apply ``ops`` then commit (or abort)."""
+
+    ops: tuple
+    abort: bool = False
+
+
+@dataclass(frozen=True)
+class VacuumStep:
+    """Vacuum one table: a file's chunk table (by path) or a named
+    system table."""
+
+    path: str | None = None
+    table: str | None = None
+    keep_history: bool = True
+
+
+@dataclass(frozen=True)
+class MigrateStep:
+    """Declare a migration rule (if new) and run the engine."""
+
+    rule_name: str
+    qualification: str
+    target: str
+
+
+@dataclass
+class Workload:
+    name: str
+    steps: list
+    #: extra devices registered before the run is armed, as
+    #: (name, kind) pairs understood by ``Database.add_device``.
+    devices: tuple = ()
+
+    def setup(self, db, fs) -> None:
+        for devname, kind in self.devices:
+            db.add_device(devname, kind)
+
+
+def commit_workload(seed: int = 0) -> Workload:
+    """Naming + data + metadata churn across five transactions,
+    including an abort, an overwrite that shrinks, a rename, and a
+    directory removal."""
+    p = lambda tag, size: payload(seed, tag, size)  # noqa: E731
+    return Workload("commit", [
+        TxStep((("mkdir", "/docs"),
+                ("write", "/docs/a", p("a0", 3000)),
+                ("write", "/b", p("b0", 500)))),
+        TxStep((("write", "/docs/a", p("a1", 1200)),   # shorter: tail survives
+                ("mkdir", "/tmp"),
+                ("write", "/tmp/t", p("t0", 100)))),
+        TxStep((("write", "/never", p("n0", 9000)),), abort=True),
+        TxStep((("unlink", "/b"),
+                ("rename", "/tmp/t", "/docs/t"))),
+        TxStep((("rmdir", "/tmp"),
+                ("write", "/docs/d", p("d0", 17000)))),  # 3 chunks
+    ])
+
+
+def vacuum_workload(seed: int = 0) -> Workload:
+    """Builds version history, then vacuums a chunk table (twice, once
+    discarding history) and the shared naming table — the compacted
+    heap+index rewrite is the riskiest crash window in the system."""
+    p = lambda tag, size: payload(seed, tag, size)  # noqa: E731
+    return Workload("vacuum", [
+        TxStep((("write", "/v", p("v0", 6000)), ("write", "/w", p("w0", 1000)))),
+        TxStep((("write", "/v", p("v1", 6500)),)),
+        TxStep((("write", "/v", p("v2", 300)),)),
+        VacuumStep(path="/v"),
+        TxStep((("write", "/v", p("v3", 2000)), ("unlink", "/w"))),
+        VacuumStep(table="naming"),
+        VacuumStep(path="/v", keep_history=False),
+    ])
+
+
+def migration_workload(seed: int = 0) -> Workload:
+    """Files spilling from magnetic disk to NVRAM under a size rule;
+    the second engine run must move the newly-written file and skip the
+    already-migrated one."""
+    p = lambda tag, size: payload(seed, tag, size)  # noqa: E731
+    return Workload("migration", [
+        TxStep((("write", "/big", p("g0", 6000)),
+                ("write", "/small", p("s0", 500)))),
+        MigrateStep("spill", 'size(file) > 4000', "nvram0"),
+        TxStep((("write", "/big2", p("g1", 9000)),)),
+        MigrateStep("spill2", 'size(file) > 4000', "nvram0"),
+        TxStep((("unlink", "/small"),
+                ("write", "/big", p("g2", 100)))),
+    ], devices=(("nvram0", "memdisk"),))
+
+
+ALL_WORKLOADS = {
+    "commit": commit_workload,
+    "vacuum": vacuum_workload,
+    "migration": migration_workload,
+}

@@ -95,11 +95,84 @@ def test_flush_relation_only_touches_named_relation(setup):
     assert cache.dirty_count() == 1
 
 
+def test_flush_relation_counts_forced_writes(setup):
+    """flush_relation is a commit-path force, so it must account its
+    writes exactly like flush_all does."""
+    _switch, dev, cache = setup
+    dev.create_relation("other")
+    for _ in range(3):
+        cache.new_page("mem0", "r")
+    cache.new_page("mem0", "other")
+    before = cache.stats.forced_writes
+    assert cache.flush_relation("mem0", "r") == 3
+    assert cache.stats.forced_writes == before + 3
+    cache.flush_all()
+    assert cache.stats.forced_writes == before + 4
+
+
+def test_flush_relation_elevator_order(setup):
+    _switch, dev, cache = setup
+    order = []
+    original = dev.write_page
+
+    def spy(relname, pageno, data):
+        order.append(pageno)
+        original(relname, pageno, data)
+    dev.write_page = spy
+    big = BufferCache(cache.switch, capacity=16)
+    for _ in range(5):
+        big.new_page("mem0", "r")
+    big.flush_relation("mem0", "r")
+    assert order == sorted(order)
+
+
+def test_invalidate_without_writeback_performs_no_device_io(setup):
+    """simulate_crash semantics: dropping volatile buffers must not
+    leak a single dirty page to the media."""
+    _switch, dev, cache = setup
+    pageno, page = cache.new_page("mem0", "r")
+    page.add_record(b"uncommitted")
+    cache.mark_dirty("mem0", "r", pageno)
+    writes_before = dev.stats.writes
+    cache.invalidate_all(write_dirty=False)
+    assert dev.stats.writes == writes_before
+    assert cache.dirty_count() == 0
+    assert len(cache) == 0
+
+
+def test_invalidate_with_writeback_flushes_then_empties(setup):
+    _switch, dev, cache = setup
+    pageno, page = cache.new_page("mem0", "r")
+    page.add_record(b"data")
+    cache.mark_dirty("mem0", "r", pageno)
+    cache.invalidate_all()  # write_dirty=True is the default
+    assert len(cache) == 0
+    assert cache.get_page("mem0", "r", pageno).nslots == 1
+
+
 def test_drop_relation_discards_frames(setup):
     _switch, _dev, cache = setup
     cache.new_page("mem0", "r")
     cache.drop_relation("mem0", "r")
     assert len(cache) == 0
+
+
+def test_drop_relation_discards_dirty_frames_without_writeback(setup):
+    """Dropping a relation invalidates its frames outright — writing a
+    dirty page back to a relation being destroyed (e.g. vacuum swapping
+    in the compacted copy) would resurrect stale data."""
+    _switch, dev, cache = setup
+    pageno, page = cache.new_page("mem0", "r")
+    cache.flush_all()
+    page = cache.get_page("mem0", "r", pageno)
+    page.add_record(b"stale")
+    cache.mark_dirty("mem0", "r", pageno)
+    writes_before = dev.stats.writes
+    cache.drop_relation("mem0", "r")
+    assert dev.stats.writes == writes_before
+    assert cache.dirty_count() == 0
+    # The on-media page is untouched by the dropped dirty frame.
+    assert cache.get_page("mem0", "r", pageno).nslots == 0
 
 
 def test_mark_dirty_requires_residency(setup):

@@ -123,3 +123,69 @@ def test_vacuum_unknown_table(db):
     from repro.errors import TableError
     with pytest.raises(TableError):
         db.vacuum("missing")
+
+
+# -- the relation-swap redo journal ------------------------------------------
+
+def _journal_fixture():
+    import json
+
+    from repro.db.vacuum import RENAME_JOURNAL_TAG
+    from repro.devices.memdisk import MemDisk
+    from repro.devices.switch import DeviceSwitch
+    from repro.sim.clock import SimClock
+
+    switch = DeviceSwitch()
+    dev = MemDisk("m", SimClock())
+    switch.register(dev)
+    for rel, byte in (("v_heap", 1), ("heap", 2)):
+        dev.create_relation(rel)
+        dev.extend(rel)
+        dev.write_page(rel, 0, bytes([byte]) * 8192)
+    entries = [{"dev": "m", "src": "v_heap", "dst": "heap"}]
+    dev.sync_write_meta(RENAME_JOURNAL_TAG,
+                        json.dumps(entries).encode("ascii"))
+    return switch, dev
+
+
+def test_replay_rename_journal_completes_interrupted_swap():
+    from repro.db.vacuum import RENAME_JOURNAL_TAG, replay_rename_journal
+    switch, dev = _journal_fixture()
+    assert replay_rename_journal(switch, dev) == 1
+    assert not dev.relation_exists("v_heap")
+    assert dev.read_page("heap", 0) == bytes([1]) * 8192  # the side copy won
+    assert not dev.read_meta(RENAME_JOURNAL_TAG)  # journal cleared
+
+
+def test_replay_rename_journal_is_idempotent():
+    from repro.db.vacuum import replay_rename_journal
+    switch, dev = _journal_fixture()
+    replay_rename_journal(switch, dev)
+    assert replay_rename_journal(switch, dev) == 0
+    assert dev.read_page("heap", 0) == bytes([1]) * 8192
+
+
+def test_replay_rename_journal_skips_completed_entries():
+    from repro.db.vacuum import replay_rename_journal
+    switch, dev = _journal_fixture()
+    # The crash hit after this entry's rename already ran.
+    dev.rename_relation("v_heap", "heap")
+    assert replay_rename_journal(switch, dev) == 1
+    assert dev.read_page("heap", 0) == bytes([1]) * 8192
+
+
+def test_replay_corrupt_rename_journal_rejected():
+    from repro.db.vacuum import RENAME_JOURNAL_TAG, replay_rename_journal
+    from repro.errors import RecoveryError
+    switch, dev = _journal_fixture()
+    dev.sync_write_meta(RENAME_JOURNAL_TAG, b"{not json")
+    with pytest.raises(RecoveryError):
+        replay_rename_journal(switch, dev)
+
+
+def test_vacuum_clears_rename_journal(db):
+    from repro.db.vacuum import RENAME_JOURNAL_TAG
+    _setup(db)
+    db.vacuum("t")
+    root = db.switch.get(db.catalog.root_device)
+    assert not root.read_meta(RENAME_JOURNAL_TAG)

@@ -130,6 +130,55 @@ def test_meta_write_charges_seek_to_front(dev):
     assert dev.disk.stats.seeks > seeks_before
 
 
+def test_rename_relation_atomic_replace(tmp_path):
+    path = str(tmp_path / "m0")
+    dev = MagneticDisk("m0", SimClock(), path)
+    for rel, byte in (("src", 1), ("dst", 2)):
+        dev.create_relation(rel)
+        p = dev.extend(rel)
+        dev.write_page(rel, p, page_of(byte))
+    dev.rename_relation("src", "dst")
+    assert not dev.relation_exists("src")
+    assert dev.read_page("dst", 0) == page_of(1)
+    assert not os.path.exists(os.path.join(path, "src.rel"))
+    dev.close()
+    # The swap is durable: a reopen sees the renamed relation.
+    dev2 = MagneticDisk("m0", SimClock(), path)
+    assert dev2.read_page("dst", 0) == page_of(1)
+    assert not dev2.relation_exists("src")
+
+
+def test_rename_relation_completed_is_idempotent(dev):
+    dev.create_relation("dst")
+    dev.extend("dst")
+    dev.write_page("dst", 0, page_of(3))
+    # Source already gone, destination present: the rename completed
+    # before a crash; replaying it must change nothing.
+    dev.rename_relation("src", "dst")
+    assert dev.read_page("dst", 0) == page_of(3)
+
+
+def test_rename_relation_missing_source_rejected(dev):
+    with pytest.raises(DeviceError):
+        dev.rename_relation("nope", "also-nope")
+
+
+def test_allocmap_entry_without_backing_file_dropped(tmp_path):
+    """A crash between a drop/rename and the lazy allocmap save leaves
+    a map entry whose backing file is gone; the reopen must shrug it
+    off instead of resurrecting a phantom relation."""
+    path = str(tmp_path / "m0")
+    dev = MagneticDisk("m0", SimClock(), path)
+    dev.create_relation("keep")
+    dev.create_relation("ghost")
+    dev.extend("keep")
+    dev.close()  # saves the allocation map with both entries
+    os.remove(os.path.join(path, "ghost.rel"))
+    dev2 = MagneticDisk("m0", SimClock(), path)
+    assert not dev2.relation_exists("ghost")
+    assert dev2.nblocks("keep") == 1
+
+
 def test_drop_relation_removes_backing_file(tmp_path):
     path = str(tmp_path / "m0")
     dev = MagneticDisk("m0", SimClock(), path)

@@ -75,6 +75,34 @@ def test_meta(dev):
     assert dev.read_meta("k") == b"v2"
 
 
+def test_rename_relation_moves_pages(dev):
+    dev.create_relation("src")
+    p = dev.extend("src")
+    dev.write_page("src", p, bytes([5]) * PAGE_SIZE)
+    dev.rename_relation("src", "dst")
+    assert not dev.relation_exists("src")
+    assert dev.read_page("dst", p) == bytes([5]) * PAGE_SIZE
+
+
+def test_rename_over_existing_keeps_capacity_accounting():
+    dev = MemDisk("n0", SimClock(), capacity_bytes=3 * PAGE_SIZE)
+    dev.create_relation("src")
+    dev.extend("src")
+    dev.create_relation("dst")
+    dev.extend("dst")
+    dev.extend("dst")
+    dev.rename_relation("src", "dst")  # dst's two pages are freed
+    dev.create_relation("more")
+    dev.extend("more")
+    dev.extend("more")  # fits only if the replaced pages were released
+
+
+def test_rename_completed_is_noop(dev):
+    dev.create_relation("dst")
+    dev.rename_relation("src", "dst")  # src gone + dst present: done
+    assert dev.relation_exists("dst")
+
+
 def test_bad_relation_names(dev):
     with pytest.raises(ValueError):
         dev.create_relation("")

@@ -1,0 +1,186 @@
+"""Fault-injecting device proxy: counted crashes, torn appends,
+transient and permanent I/O errors."""
+
+import pytest
+
+from repro.db.page import PAGE_SIZE
+from repro.devices.memdisk import MemDisk
+from repro.devices.switch import DeviceSwitch
+from repro.errors import InjectedFaultError, SimulatedCrashError
+from repro.sim.clock import SimClock
+from repro.testkit import CrashController, FaultPlan, FaultyDevice
+
+
+def make_proxy(plan: FaultPlan = FaultPlan(), nrel_pages: int = 4):
+    inner = MemDisk("m0", SimClock())
+    inner.create_relation("r")
+    for _ in range(nrel_pages):
+        inner.extend("r")
+    ctrl = CrashController(plan)
+    return inner, ctrl, FaultyDevice(inner, ctrl)
+
+
+def page_of(byte: int) -> bytes:
+    return bytes([byte]) * PAGE_SIZE
+
+
+def test_counted_crash_fires_instead_of_write():
+    inner, ctrl, dev = make_proxy(FaultPlan(crash_after=2))
+    dev.write_page("r", 0, page_of(1))
+    dev.write_page("r", 1, page_of(2))
+    with pytest.raises(SimulatedCrashError):
+        dev.write_page("r", 2, page_of(3))
+    assert ctrl.crashed
+    # Exactly two writes reached the media; write #2 was suppressed.
+    assert inner.read_page("r", 1) == page_of(2)
+    assert inner.read_page("r", 2) == bytes(PAGE_SIZE)
+    assert ctrl.writes == 2
+
+
+def test_machine_stays_down_until_disarmed():
+    _inner, ctrl, dev = make_proxy(FaultPlan(crash_after=0))
+    with pytest.raises(SimulatedCrashError):
+        dev.write_page("r", 0, page_of(1))
+    # A halted machine services no I/O of any kind.
+    with pytest.raises(SimulatedCrashError):
+        dev.read_page("r", 0)
+    with pytest.raises(SimulatedCrashError):
+        dev.extend("r")
+    with pytest.raises(SimulatedCrashError):
+        dev.flush()
+    ctrl.disarm()
+    assert dev.read_page("r", 0) == bytes(PAGE_SIZE)
+
+
+def test_meta_writes_are_counted_boundaries():
+    _inner, ctrl, dev = make_proxy()
+    dev.sync_write_meta("tag", b"x")
+    dev.sync_append_meta("tag", b"y")
+    dev.write_page("r", 0, page_of(1))
+    assert ctrl.writes == 3
+    assert [kind for kind, _dev, _detail in ctrl.write_log] == [
+        "meta", "append", "page"]
+
+
+def test_relation_lifecycle_is_a_counted_boundary():
+    """create/drop/rename mutate durable device metadata, so the
+    explorer must be able to crash in place of each — that is what lets
+    it land inside vacuum's heap+index swap window."""
+    inner, ctrl, dev = make_proxy(FaultPlan(crash_after=1))
+    dev.create_relation("s")          # write #0: performed
+    with pytest.raises(SimulatedCrashError):
+        dev.rename_relation("s", "t")  # write #1: suppressed
+    assert inner.relation_exists("s")
+    assert not inner.relation_exists("t")
+
+
+def test_torn_append_writes_seeded_prefix():
+    record = b"commit 3 10.0 11.0\n"
+    inner, ctrl, dev = make_proxy(FaultPlan(crash_after=0, torn_append=True))
+    with pytest.raises(SimulatedCrashError):
+        dev.sync_append_meta("pg_status", record)
+    torn = inner.read_meta("pg_status") or b""
+    assert record.startswith(torn)
+    assert len(torn) < len(record)
+    # The cut never includes the trailing newline, so a torn record is
+    # always visibly incomplete to the status-file loader.
+    assert not torn.endswith(b"\n")
+
+
+def test_torn_append_cut_is_deterministic():
+    cuts = []
+    for _ in range(2):
+        inner, _ctrl, dev = make_proxy(
+            FaultPlan(crash_after=0, torn_append=True, seed=7))
+        with pytest.raises(SimulatedCrashError):
+            dev.sync_append_meta("pg_status", b"commit 3 10.0 11.0\n")
+        cuts.append(inner.read_meta("pg_status"))
+    assert cuts[0] == cuts[1]
+
+
+def test_transient_write_error_fails_once():
+    inner, _ctrl, dev = make_proxy(FaultPlan(write_errors=frozenset({1})))
+    dev.write_page("r", 0, page_of(1))
+    with pytest.raises(InjectedFaultError):
+        dev.write_page("r", 1, page_of(2))
+    dev.write_page("r", 1, page_of(2))  # the retry succeeds
+    assert inner.read_page("r", 1) == page_of(2)
+
+
+def test_transient_read_error_fails_once():
+    _inner, _ctrl, dev = make_proxy(FaultPlan(read_errors=frozenset({0})))
+    with pytest.raises(InjectedFaultError):
+        dev.read_page("r", 0)
+    assert dev.read_page("r", 0) == bytes(PAGE_SIZE)
+
+
+def test_permanent_media_failure_on_named_relation():
+    inner, _ctrl, dev = make_proxy(
+        FaultPlan(broken_relations=frozenset({"r"})))
+    inner.create_relation("healthy")
+    inner.extend("healthy")
+    with pytest.raises(InjectedFaultError):
+        dev.read_page("r", 0)
+    with pytest.raises(InjectedFaultError):
+        dev.write_page("r", 0, page_of(1))
+    dev.write_page("healthy", 0, page_of(9))  # other relations unaffected
+
+
+def test_proxy_delegates_identity_and_extras():
+    inner, _ctrl, dev = make_proxy()
+    assert dev.name == inner.name
+    assert dev.nonvolatile == inner.nonvolatile
+    assert dev.stats is inner.stats            # __getattr__ delegation
+    row = dev.describe()
+    assert row["fault_proxy"] is True
+    assert row["name"] == "m0"
+
+
+def test_one_controller_orders_writes_across_devices():
+    clock = SimClock()
+    ctrl = CrashController(FaultPlan(crash_after=2))
+    devs = []
+    for name in ("a", "b"):
+        inner = MemDisk(name, clock)
+        inner.create_relation("r")
+        inner.extend("r")
+        devs.append(FaultyDevice(inner, ctrl))
+    devs[0].write_page("r", 0, page_of(1))   # global write #0
+    devs[1].write_page("r", 0, page_of(2))   # global write #1
+    with pytest.raises(SimulatedCrashError):
+        devs[0].write_page("r", 0, page_of(3))  # global write #2
+    assert ctrl.crashed
+
+
+def test_switch_wrap_and_unwrap():
+    switch = DeviceSwitch()
+    inner = MemDisk("m0", SimClock())
+    switch.register(inner)
+    ctrl = CrashController()
+    proxy = switch.wrap("m0", lambda dev: FaultyDevice(dev, ctrl))
+    assert switch.get("m0") is proxy
+    assert proxy.inner is inner
+    assert switch.unwrap("m0") is inner
+    assert switch.get("m0") is inner
+    # Unwrapping a non-proxy is a no-op.
+    assert switch.unwrap("m0") is inner
+
+
+def test_database_wrap_devices_intercepts_commit(tmp_path):
+    from repro.db.database import Database
+    db = Database.create(str(tmp_path / "db"))
+    try:
+        ctrl = CrashController()
+        proxies = db.wrap_devices(lambda dev: FaultyDevice(dev, ctrl))
+        assert all(isinstance(p, FaultyDevice) for p in proxies)
+        tx = db.begin()
+        tx.wrote = True  # read-only commits skip the status append
+        db.commit(tx)
+        # The commit's status-file append went through the proxy.
+        assert any(kind == "append" for kind, _d, _t in ctrl.write_log)
+        db.unwrap_devices()
+        assert not isinstance(db.switch.get(), FaultyDevice)
+        tx2 = db.begin()
+        db.commit(tx2)  # still functional after unwrap
+    finally:
+        db.close()

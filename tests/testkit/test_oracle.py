@@ -1,0 +1,99 @@
+"""The dict-based differential oracle and its parity with the real fs."""
+
+import pytest
+
+from repro.testkit.oracle import ModelError, ModelFS, apply_fs_op, harvest_state
+
+
+def test_write_creates_and_overwrite_keeps_old_tail():
+    m = ModelFS()
+    m.apply(("write", "/f", b"abcdefgh"))
+    # write_file writes from offset 0 and never truncates: a shorter
+    # overwrite leaves the old tail in place.
+    m.apply(("write", "/f", b"XY"))
+    assert m.state() == {"/f": b"XYcdefgh"}
+    m.apply(("write", "/f", b"0123456789"))
+    assert m.state() == {"/f": b"0123456789"}
+
+
+def test_mkdir_unlink_rmdir_roundtrip():
+    m = ModelFS()
+    m.apply_many([("mkdir", "/d"), ("write", "/d/f", b"x"),
+                  ("unlink", "/d/f"), ("rmdir", "/d")])
+    assert m.state() == {}
+
+
+def test_rename_moves_directory_subtree():
+    m = ModelFS()
+    m.apply_many([("mkdir", "/a"), ("mkdir", "/a/b"),
+                  ("write", "/a/b/f", b"x"), ("rename", "/a", "/z")])
+    assert m.state() == {"/z": None, "/z/b": None, "/z/b/f": b"x"}
+
+
+@pytest.mark.parametrize("setup, op", [
+    ([], ("mkdir", "/missing/d")),            # parent does not exist
+    ([("mkdir", "/d")], ("mkdir", "/d")),     # already exists
+    ([("write", "/f", b"x")], ("write", "/f/g", b"y")),  # parent is a file
+    ([("mkdir", "/d")], ("write", "/d", b"y")),          # path is a dir
+    ([("mkdir", "/d")], ("unlink", "/d")),    # unlink wants a plain file
+    ([], ("unlink", "/nope")),
+    ([], ("rmdir", "/")),
+    ([("mkdir", "/d"), ("write", "/d/f", b"x")], ("rmdir", "/d")),
+    ([], ("rename", "/nope", "/x")),
+    ([("write", "/a", b"x"), ("write", "/b", b"y")], ("rename", "/a", "/b")),
+    ([("mkdir", "/a")], ("rename", "/a", "/a/b")),  # into own subtree
+])
+def test_invalid_ops_rejected(setup, op):
+    m = ModelFS()
+    m.apply_many(setup)
+    before = m.state()
+    assert m.why_invalid(op) is not None
+    with pytest.raises(ModelError):
+        m.apply(op)
+    assert m.state() == before  # rejection mutates nothing
+
+
+def test_preview_does_not_mutate():
+    m = ModelFS()
+    m.apply(("write", "/f", b"x"))
+    scratch = m.preview([("write", "/g", b"y"), ("unlink", "/f")])
+    assert scratch.state() == {"/g": b"y"}
+    assert m.state() == {"/f": b"x"}
+
+
+def test_copy_is_independent():
+    m = ModelFS({"/f": b"x"})
+    c = m.copy()
+    c.apply(("unlink", "/f"))
+    assert m.state() == {"/f": b"x"}
+
+
+def test_harvest_matches_model_after_committed_ops(fs):
+    """Parity: the same committed op sequence drives the real fs and
+    the model to identical visible states."""
+    ops = [
+        ("mkdir", "/docs"),
+        ("write", "/docs/a", b"A" * 3000),
+        ("write", "/b", b"B" * 100),
+        ("write", "/docs/a", b"short"),       # shrinking overwrite
+        ("rename", "/docs", "/papers"),
+        ("unlink", "/b"),
+        ("mkdir", "/papers/sub"),
+    ]
+    model = ModelFS()
+    tx = fs.begin()
+    for op in ops:
+        apply_fs_op(fs, tx, op)
+        model.apply(op)
+    fs.commit(tx)
+    assert harvest_state(fs) == model.state()
+
+
+def test_harvest_excludes_aborted_transaction(fs):
+    tx = fs.begin()
+    apply_fs_op(fs, tx, ("write", "/keep", b"yes"))
+    fs.commit(tx)
+    tx2 = fs.begin()
+    apply_fs_op(fs, tx2, ("write", "/drop", b"no"))
+    fs.abort(tx2)
+    assert harvest_state(fs) == {"/keep": b"yes"}
