@@ -1,0 +1,84 @@
+"""Sequential-I/O fast-path acceptance: deterministic counter bounds.
+
+The simulated clock and operation counters make these exact — a
+regression in the range-read path (extra index descents), the device
+batching (extra read operations), or the RPC batching (extra wire
+messages) fails here before it shows up as a timing drift anywhere
+else.  The run also emits ``BENCH_seqio.json`` at the repo root, which
+CI archives and EXPERIMENTS.md quotes.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+
+import pytest
+
+from repro.bench.seqio import RPC_BATCH_CHUNKS, SEQIO_CHUNKS, run_seqio
+
+BENCH_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_seqio.json")
+
+
+@pytest.fixture(scope="module")
+def seqio() -> dict:
+    results = run_seqio()
+    with open(BENCH_PATH, "w", encoding="utf-8") as f:
+        json.dump(results, f, indent=2)
+        f.write("\n")
+    return results
+
+
+def test_single_transfer_is_one_descent(seqio):
+    """A cold-cache 1 MB read issued as one call resolves its whole
+    chunk map with a single chunk-index descent (two would mean an
+    archive index was consulted; per-chunk probing would be 128)."""
+    single = seqio["sp"]["single_transfer"]
+    assert single["chunk_index_descents"] <= 2, single
+
+
+def test_single_transfer_device_reads_batched(seqio):
+    """Heap I/O for the single-transfer read arrives in window-sized
+    batches: at most ceil(chunks / window) data reads plus a small
+    fixed number of index/catalog page reads."""
+    single = seqio["sp"]["single_transfer"]
+    window = single["readahead_window"]
+    budget = math.ceil(SEQIO_CHUNKS / window)
+    assert single["device_reads"] <= budget, single
+
+
+def test_chunkwise_read_prefetches(seqio):
+    """Chunk-at-a-time reads (the Figure 5 request pattern) still batch
+    their device I/O via the buffer cache's read-ahead — and every
+    prefetched page is used (sequential read-ahead wastes nothing)."""
+    sp = seqio["sp"]
+    assert sp["device_reads"] <= SEQIO_CHUNKS // 2, sp
+    assert sp["prefetches"] >= SEQIO_CHUNKS // 2, sp
+    assert sp["prefetch_hits"] == sp["prefetches"], sp
+
+
+def test_chunkwise_read_one_descent_per_chunk(seqio):
+    """The per-request pattern pays one descent per 8 KB call — the
+    contrast the single-transfer numbers are measured against."""
+    assert seqio["sp"]["chunk_index_descents"] == SEQIO_CHUNKS
+
+
+def test_rpc_batching_speedup(seqio):
+    """The batched read RPC is at least twice as fast on the Figure 5
+    sequential-read shape (fewer per-message overheads on the wire)."""
+    assert seqio["speedup"] >= 2.0, seqio["speedup"]
+    before = seqio["cs_before"]
+    after = seqio["cs_after"]
+    assert after["elapsed_s"] < before["elapsed_s"]
+    # 2 messages per RPC; batching shrinks the count by ~the batch size.
+    assert after["net_messages"] * 4 < before["net_messages"], (before, after)
+    assert after["batched_reads"] == math.ceil(
+        SEQIO_CHUNKS / RPC_BATCH_CHUNKS), after
+    assert after["buffered_reads"] >= SEQIO_CHUNKS - 2 * after["batched_reads"]
+
+
+def test_results_written(seqio):
+    with open(BENCH_PATH, encoding="utf-8") as f:
+        on_disk = json.load(f)
+    assert on_disk["speedup"] == seqio["speedup"]

@@ -19,7 +19,7 @@ from repro.core.client import RemoteInversionClient
 from repro.core.filesystem import InversionFS
 from repro.core.library import InversionClient
 from repro.core.server import InversionServer
-from repro.db.buffer import DEFAULT_BUFFERS
+from repro.db.buffer import DEFAULT_BUFFERS, DEFAULT_READAHEAD
 from repro.db.database import Database
 from repro.nfs.client import NFSClient, UDP_RPC_10MBIT
 from repro.nfs.ffs import FastFileSystem
@@ -47,7 +47,8 @@ def _fresh_dir() -> str:
 
 
 def build_inversion_sp(buffer_pages: int = DEFAULT_BUFFERS,
-                       chunk_index: bool = True) -> BuiltConfig:
+                       chunk_index: bool = True,
+                       readahead_window: int = DEFAULT_READAHEAD) -> BuiltConfig:
     """Single-process Inversion: the benchmark dynamically loaded into
     the data manager — "no data must be copied between them", and no
     network."""
@@ -55,6 +56,7 @@ def build_inversion_sp(buffer_pages: int = DEFAULT_BUFFERS,
     clock = SimClock()
     db = Database.create(os.path.join(workdir, "db"), clock=clock,
                          buffer_pages=buffer_pages)
+    db.buffers.readahead_window = readahead_window
     fs = InversionFS.mkfs(db)
     fs.chunk_index = chunk_index
     client = InversionClient(fs)
@@ -66,17 +68,22 @@ def build_inversion_sp(buffer_pages: int = DEFAULT_BUFFERS,
     return BuiltConfig("inversion_sp", adapter, cleanup)
 
 
-def build_inversion_cs(buffer_pages: int = DEFAULT_BUFFERS) -> BuiltConfig:
+def build_inversion_cs(buffer_pages: int = DEFAULT_BUFFERS,
+                       readahead_window: int = DEFAULT_READAHEAD,
+                       read_batch_chunks: int = 1) -> BuiltConfig:
     """Client/server Inversion: every p_* call crosses the simulated
-    TCP/IP Ethernet."""
+    TCP/IP Ethernet.  ``read_batch_chunks`` > 1 turns on the client's
+    multi-chunk read RPC (off by default — the paper's protocol)."""
     workdir = _fresh_dir()
     clock = SimClock()
     db = Database.create(os.path.join(workdir, "db"), clock=clock,
                          buffer_pages=buffer_pages)
+    db.buffers.readahead_window = readahead_window
     fs = InversionFS.mkfs(db)
     server = InversionServer(fs)
     network = NetworkModel(clock=clock, params=ETHERNET_10MBIT)
-    client = RemoteInversionClient(server, network)
+    client = RemoteInversionClient(server, network,
+                                   read_batch_chunks=read_batch_chunks)
     adapter = InversionAdapter(client, db)
 
     def cleanup() -> None:

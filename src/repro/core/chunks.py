@@ -24,6 +24,7 @@ chunk order on flush.
 from __future__ import annotations
 
 from repro.core.constants import CHUNK_SIZE, COALESCE_CHUNK_LIMIT, MAX_CHUNKNO
+from repro.db.heap import TID
 from repro.db.snapshot import Snapshot
 from repro.db.transactions import Transaction
 from repro.db.tuples import Column, Schema
@@ -93,6 +94,31 @@ class ChunkStore:
         found = self._find_chunk(chunkno, snapshot, tx)
         return found[1][2] if found is not None else b""
 
+    def read_range(self, lo: int, hi: int, snapshot: Snapshot,
+                   tx: Transaction | None = None) -> dict[int, bytes]:
+        """The visible bytes of every chunk in [lo, hi] (inclusive),
+        resolved with one index range scan instead of a per-chunk probe.
+        Absent chunk numbers are holes — callers substitute zeros.  The
+        coalescing buffer shadows the table, exactly as in
+        :meth:`read_chunk`."""
+        if hi < lo:
+            return {}
+        chunks: dict[int, bytes] = {}
+        if self._indexed:
+            for _tid, row in self.table.index_range_newest(
+                    ("chunkno",), (lo,), (hi,), snapshot, tx):
+                chunks[row[0]] = row[2]
+        else:
+            for _tid, row in self.table.scan(snapshot, tx):
+                if lo <= row[0] <= hi:
+                    # scan yields live versions then archive; keep the
+                    # first visible one, matching _find_chunk.
+                    chunks.setdefault(row[0], row[2])
+        for chunkno, data in self._dirty.items():
+            if lo <= chunkno <= hi:
+                chunks[chunkno] = data
+        return chunks
+
     # -- writes -------------------------------------------------------------------
 
     def write_chunk(self, tx: Transaction, chunkno: int, data: bytes) -> None:
@@ -117,18 +143,46 @@ class ChunkStore:
         if not self._dirty:
             return 0
         snapshot = self.db.snapshot(tx)
+        order = sorted(self._dirty)
+        existing = self._resolve_existing(order, snapshot, tx)
         written = 0
-        for chunkno in sorted(self._dirty):
+        for chunkno in order:
             data = self._dirty[chunkno]
-            found = self._find_chunk(chunkno, snapshot, tx)
             row = (chunkno, self.fileid, data)
-            if found is not None:
-                self.table.update(tx, found[0], row)
+            tid = existing.get(chunkno)
+            if tid is not None:
+                self.table.update(tx, tid, row)
             else:
                 self.table.insert(tx, row)
             written += 1
         self._dirty.clear()
         return written
+
+    def _resolve_existing(self, chunknos, snapshot: Snapshot,
+                          tx: Transaction | None):
+        """chunkno → TID of the visible existing version, for every
+        dirty chunk that has one.  A dense dirty set (the sequential
+        write case) is resolved with one index range scan; a sparse one
+        falls back to per-chunk probes so a couple of random writes in a
+        huge file don't pay a scan of the whole span."""
+        lo, hi = chunknos[0], chunknos[-1]
+        if self._indexed and hi - lo + 1 > 4 * len(chunknos):
+            snap = snapshot
+            return {c: found[0] for c in chunknos
+                    if (found := self._find_chunk(c, snap, tx)) is not None}
+        existing: dict[int, TID] = {}
+        if self._indexed:
+            wanted = set(chunknos)
+            for tid, row in self.table.index_range_newest(
+                    ("chunkno",), (lo,), (hi,), snapshot, tx):
+                if row[0] in wanted:
+                    existing[row[0]] = tid
+        else:
+            for c in chunknos:
+                found = self._find_chunk(c, snapshot, tx)
+                if found is not None:
+                    existing[c] = found[0]
+        return existing
 
     def discard(self) -> None:
         """Drop buffered writes (abort path)."""
@@ -138,6 +192,12 @@ class ChunkStore:
 
     def visible_chunk_count(self, snapshot: Snapshot,
                             tx: Transaction | None = None) -> int:
+        """Number of visible chunks — one index range scan when the
+        chunkno index exists, a heap scan only in the ablation
+        configuration."""
+        if self._indexed:
+            return sum(1 for __ in self.table.index_range_newest(
+                ("chunkno",), None, None, snapshot, tx))
         return sum(1 for __ in self.table.scan(snapshot, tx))
 
     def version_count(self) -> int:

@@ -28,6 +28,11 @@ from repro.errors import (
     ReadOnlyFileError,
 )
 
+READ_WINDOW_CHUNKS = 512
+"""Chunks resolved per index range scan in :meth:`FileHandle.read` —
+bounds the size of one resolution batch (~4 MB of file data) so huge
+reads don't materialize the whole chunk map at once."""
+
 
 class FileHandle:
     """One open Inversion file."""
@@ -108,16 +113,23 @@ class FileHandle:
         out = bytearray()
         remaining = nbytes
         while remaining > 0:
-            chunkno = self._pos // CHUNK_SIZE
-            offset = self._pos % CHUNK_SIZE
-            take = min(CHUNK_SIZE - offset, remaining)
-            chunk = self.store.read_chunk(chunkno, self.snapshot, self.tx)
-            piece = chunk[offset:offset + take]
-            if len(piece) < take:
-                piece = piece + bytes(take - len(piece))  # hole → zeros
-            out += piece
-            self._pos += take
-            remaining -= take
+            # One range resolution covers a whole window of chunks: an
+            # N-chunk sequential read costs O(1) index descents instead
+            # of one equality probe per chunk.
+            lo = self._pos // CHUNK_SIZE
+            last = (self._pos + remaining - 1) // CHUNK_SIZE
+            hi = min(last, lo + READ_WINDOW_CHUNKS - 1)
+            chunks = self.store.read_range(lo, hi, self.snapshot, self.tx)
+            for chunkno in range(lo, hi + 1):
+                offset = self._pos % CHUNK_SIZE
+                take = min(CHUNK_SIZE - offset, remaining)
+                chunk = chunks.get(chunkno, b"")
+                piece = chunk[offset:offset + take]
+                if len(piece) < take:
+                    piece = piece + bytes(take - len(piece))  # hole → zeros
+                out += piece
+                self._pos += take
+                remaining -= take
         return bytes(out)
 
     # -- write -------------------------------------------------------------------
@@ -135,6 +147,28 @@ class FileHandle:
             raise FileTooLargeError(
                 f"write would exceed the {MAX_FILE_SIZE}-byte limit")
         view = memoryview(data)
+        # Only the first and last chunks of the span can be partial
+        # (middle chunks are fully overwritten).  Resolve their existing
+        # contents up front — one range scan when they are the same or
+        # adjacent chunks, one probe each otherwise — instead of probing
+        # the index from inside the copy loop.
+        existing: dict[int, bytes] = {}
+        if view.nbytes > 0:
+            first = self._pos // CHUNK_SIZE
+            end = self._pos + view.nbytes
+            last = (end - 1) // CHUNK_SIZE
+            partials = []
+            if self._pos % CHUNK_SIZE != 0 or end < (first + 1) * CHUNK_SIZE:
+                partials.append(first)
+            if last != first and end % CHUNK_SIZE != 0:
+                partials.append(last)
+            if partials:
+                if partials[-1] - partials[0] <= 1:
+                    existing = self.store.read_range(
+                        partials[0], partials[-1], self.snapshot, self.tx)
+                else:
+                    existing = {c: self.store.read_chunk(c, self.snapshot, self.tx)
+                                for c in partials}
         while view.nbytes > 0:
             chunkno = self._pos // CHUNK_SIZE
             offset = self._pos % CHUNK_SIZE
@@ -143,10 +177,10 @@ class FileHandle:
             if offset == 0 and take == CHUNK_SIZE:
                 chunk = piece
             else:
-                existing = self.store.read_chunk(chunkno, self.snapshot, self.tx)
-                if len(existing) < offset:
-                    existing = existing + bytes(offset - len(existing))
-                chunk = existing[:offset] + piece + existing[offset + take:]
+                old = existing.get(chunkno, b"")
+                if len(old) < offset:
+                    old = old + bytes(offset - len(old))
+                chunk = old[:offset] + piece + old[offset + take:]
             self.store.write_chunk(self.tx, chunkno, chunk)
             self._pos += take
             view = view[take:]

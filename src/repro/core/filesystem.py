@@ -226,13 +226,17 @@ class InversionFS:
         store = ChunkStore(self.db, fileid, None)
         out = bytearray()
         from repro.core.constants import CHUNK_SIZE
+        from repro.core.files import READ_WINDOW_CHUNKS
         nchunks = (att.size + CHUNK_SIZE - 1) // CHUNK_SIZE
-        for chunkno in range(nchunks):
-            chunk = store.read_chunk(chunkno, snapshot)
-            want = min(CHUNK_SIZE, att.size - chunkno * CHUNK_SIZE)
-            if len(chunk) < want:
-                chunk = chunk + bytes(want - len(chunk))
-            out += chunk[:want]
+        for lo in range(0, nchunks, READ_WINDOW_CHUNKS):
+            hi = min(nchunks - 1, lo + READ_WINDOW_CHUNKS - 1)
+            chunks = store.read_range(lo, hi, snapshot)
+            for chunkno in range(lo, hi + 1):
+                chunk = chunks.get(chunkno, b"")
+                want = min(CHUNK_SIZE, att.size - chunkno * CHUNK_SIZE)
+                if len(chunk) < want:
+                    chunk = chunk + bytes(want - len(chunk))
+                out += chunk[:want]
         return bytes(out)
 
     def _forget_handle(self, handle: FileHandle) -> None:

@@ -81,6 +81,15 @@ class BTree:
 
     META_PAGE = 0
 
+    #: process-wide count of root-to-leaf descents.  Benchmarks snapshot
+    #: this around a workload to assert the range-read fast path really
+    #: does O(1) descents where the per-chunk path did O(N).
+    total_descents = 0
+    #: the same count broken down by index relation name — lets the
+    #: sequential-read benchmark assert on chunk-index descents alone,
+    #: separate from naming/fileatt bookkeeping probes.
+    descents_by_rel: dict[str, int] = {}
+
     def __init__(self, buffers: BufferCache, dev_name: str, relname: str,
                  cpu: CpuModel | None = None) -> None:
         self.buffers = buffers
@@ -153,6 +162,9 @@ class BTree:
     def _descend(self, key: bytes) -> tuple[int, list[tuple[int, int]]]:
         """Find the leaf for ``key``; returns (leaf pageno, path) where
         path is [(internal pageno, slot taken), ...] from the root."""
+        BTree.total_descents += 1
+        BTree.descents_by_rel[self.relname] = \
+            BTree.descents_by_rel.get(self.relname, 0) + 1
         pageno = self._root()
         path: list[tuple[int, int]] = []
         while True:

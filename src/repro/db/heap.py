@@ -123,6 +123,29 @@ class HeapFile:
 
     # -- read path --------------------------------------------------------------
 
+    def prefetch_pages(self, pagenos) -> None:
+        """Pull a known set of heap pages into the buffer cache,
+        batching each physically contiguous run into a single device
+        read.  Unlike the cache's own miss-triggered read-ahead this is
+        exact — callers that already resolved an index range know
+        precisely which pages they are about to fetch, so nothing past
+        the requested span is transferred."""
+        npages = self.npages()
+        run_start = run_len = 0
+        for p in sorted(set(pagenos)):
+            if not (0 <= p < npages):
+                continue
+            if run_len and p == run_start + run_len:
+                run_len += 1
+                continue
+            if run_len:
+                self.buffers.get_page_range(self.dev_name, self.relname,
+                                            run_start, run_len)
+            run_start, run_len = p, 1
+        if run_len:
+            self.buffers.get_page_range(self.dev_name, self.relname,
+                                        run_start, run_len)
+
     def fetch(self, tid: TID, snapshot: Snapshot) -> tuple | None:
         """The record at ``tid`` if visible under ``snapshot``."""
         page = self._page(tid.pageno)

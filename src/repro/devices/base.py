@@ -68,6 +68,17 @@ class DeviceManager(ABC):
     def read_page(self, relname: str, pageno: int) -> bytes:
         """Read one page, charging simulated I/O cost."""
 
+    def read_pages(self, relname: str, start: int, count: int) -> list[bytes]:
+        """Read ``count`` consecutive pages starting at ``start`` in one
+        device operation — the sequential-I/O fast path used by the
+        buffer cache's read-ahead.  Managers whose cost model rewards
+        contiguity (magnetic disk) override this to charge one
+        positioning plus a contiguous transfer; the default simply loops
+        ``read_page``, so every manager supports the interface."""
+        if count < 0:
+            raise ValueError(f"negative page count {count}")
+        return [self.read_page(relname, start + i) for i in range(count)]
+
     @abstractmethod
     def write_page(self, relname: str, pageno: int, data: bytes) -> None:
         """Write one page durably-on-medium, charging simulated cost."""

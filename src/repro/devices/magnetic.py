@@ -224,6 +224,39 @@ class MagneticDisk(DeviceManager):
             data = data + bytes(PAGE_SIZE - len(data))
         return data
 
+    def read_pages(self, relname: str, start: int, count: int) -> list[bytes]:
+        """Batched sequential read: pages that are physically contiguous
+        on the simulated medium (within one extent, or across adjacent
+        extents) are charged as a single positioning plus one contiguous
+        transfer — the fast path that makes read-ahead cheaper than
+        ``count`` independent ``read_page`` calls."""
+        if count < 0:
+            raise ValueError(f"negative page count {count}")
+        if count == 0:
+            return []
+        st = self._state(relname)
+        if not (0 <= start and start + count <= st.npages):
+            raise DeviceError(
+                f"{relname!r} pages [{start}, {start + count}) out of range ({st.npages})")
+        # Group the page run into physically contiguous block runs.
+        run_blk = self._block_of(st, start)
+        run_len = 1
+        for i in range(1, count):
+            blk = self._block_of(st, start + i)
+            if blk == run_blk + run_len:
+                run_len += 1
+            else:
+                self.disk.read_blocks(run_blk, run_len)
+                run_blk, run_len = blk, 1
+        self.disk.read_blocks(run_blk, run_len)
+        f = self._file(relname)
+        f.seek(start * PAGE_SIZE)
+        raw = f.read(count * PAGE_SIZE)
+        if len(raw) < count * PAGE_SIZE:
+            # Tail pages allocated but never written: zero-fill.
+            raw = raw + bytes(count * PAGE_SIZE - len(raw))
+        return [raw[i * PAGE_SIZE:(i + 1) * PAGE_SIZE] for i in range(count)]
+
     def write_page(self, relname: str, pageno: int, data: bytes) -> None:
         self._check_page(data)
         st = self._state(relname)

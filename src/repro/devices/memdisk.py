@@ -103,6 +103,17 @@ class MemDisk(DeviceManager):
         self.stats.reads += 1
         return pages[pageno]
 
+    def read_pages(self, relname: str, start: int, count: int) -> list[bytes]:
+        """One DMA burst for the whole run — same bytes, one charge call."""
+        if count < 0:
+            raise ValueError(f"negative page count {count}")
+        pages = self._pages(relname)
+        if not (0 <= start and start + count <= len(pages)):
+            raise DeviceError(f"{relname!r} pages [{start}, {start + count}) out of range")
+        self.clock.advance(count * PAGE_SIZE / self.dma_rate_bps)
+        self.stats.reads += count
+        return list(pages[start:start + count])
+
     def write_page(self, relname: str, pageno: int, data: bytes) -> None:
         self._check_page(data)
         pages = self._pages(relname)

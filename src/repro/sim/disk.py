@@ -143,6 +143,19 @@ class DiskModel:
         self.stats.bytes_read += nbytes
         return self._charge(block, nbytes)
 
+    def read_blocks(self, block: int, nblocks: int) -> float:
+        """Charge for one contiguous multi-block read: a single
+        positioning (seek + rotation unless the head is already there)
+        followed by ``nblocks`` of pure media transfer.  This is the
+        device-level batch a track-buffered controller performs for
+        read-ahead; it counts as one read operation."""
+        if nblocks <= 0:
+            return 0.0
+        nbytes = nblocks * BLOCK_SIZE
+        self.stats.reads += 1
+        self.stats.bytes_read += nbytes
+        return self._charge(block, nbytes)
+
     def write_block(self, block: int, nbytes: int = BLOCK_SIZE) -> float:
         """Charge for writing ``nbytes`` starting at ``block``."""
         self.stats.writes += 1

@@ -199,6 +199,14 @@ class FaultyDevice(DeviceManager):
         self.ctrl.read_gate(self.name, f"{relname}:{pageno}", relname)
         return self.inner.read_page(relname, pageno)
 
+    def read_pages(self, relname: str, start: int, count: int) -> list[bytes]:
+        # Each page of the batch passes the read gate individually, so
+        # injected read errors and broken-relation faults hit batched
+        # reads exactly as they would the page-at-a-time path.
+        for pageno in range(start, start + count):
+            self.ctrl.read_gate(self.name, f"{relname}:{pageno}", relname)
+        return self.inner.read_pages(relname, start, count)
+
     def write_page(self, relname: str, pageno: int, data: bytes) -> None:
         self.ctrl.write_gate("page", self.name, f"{relname}:{pageno}", relname)
         self.inner.write_page(relname, pageno, data)

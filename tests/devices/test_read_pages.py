@@ -1,0 +1,164 @@
+"""Batched page reads across the device managers.
+
+``read_pages`` is the device half of the sequential fast path: one call
+per contiguous run, one positioning charge per physically contiguous
+block run, identical bytes to page-at-a-time reads.
+"""
+
+import pytest
+
+from repro.db.page import PAGE_SIZE
+from repro.devices.jukebox import SonyJukebox
+from repro.devices.magnetic import EXTENT_PAGES, MagneticDisk
+from repro.devices.memdisk import MemDisk
+from repro.errors import DeviceError
+from repro.sim.clock import SimClock
+
+
+def page_of(byte: int) -> bytes:
+    return bytes([byte & 0xFF]) * PAGE_SIZE
+
+
+def fill(dev, relname: str, npages: int) -> None:
+    for _ in range(npages):
+        p = dev.extend(relname)
+        dev.write_page(relname, p, page_of(p))
+
+
+@pytest.fixture
+def magnetic(tmp_path):
+    dev = MagneticDisk("m0", SimClock(), str(tmp_path / "m0"))
+    dev.create_relation("r")
+    return dev
+
+
+# -- semantics (all managers) ----------------------------------------------
+
+
+def test_batched_bytes_match_single_reads(magnetic):
+    fill(magnetic, "r", 12)
+    batched = magnetic.read_pages("r", 3, 7)
+    singles = [magnetic.read_page("r", 3 + i) for i in range(7)]
+    assert batched == singles
+
+
+def test_empty_and_negative_counts(magnetic):
+    fill(magnetic, "r", 2)
+    assert magnetic.read_pages("r", 0, 0) == []
+    with pytest.raises(ValueError):
+        magnetic.read_pages("r", 0, -1)
+
+
+def test_out_of_range_rejected(magnetic):
+    fill(magnetic, "r", 4)
+    with pytest.raises(DeviceError):
+        magnetic.read_pages("r", 2, 3)  # runs past page 3
+    with pytest.raises(DeviceError):
+        magnetic.read_pages("r", -1, 2)
+
+
+def test_unwritten_tail_pages_read_zero(magnetic):
+    """Pages allocated with extend() but never written come back as
+    zeroes, exactly as read_page returns them."""
+    fill(magnetic, "r", 2)
+    magnetic.extend("r")
+    magnetic.extend("r")
+    pages = magnetic.read_pages("r", 0, 4)
+    assert pages[:2] == [page_of(0), page_of(1)]
+    assert pages[2:] == [bytes(PAGE_SIZE), bytes(PAGE_SIZE)]
+
+
+# -- cost model (magnetic) -------------------------------------------------
+
+
+def test_contiguous_run_is_one_read_operation(magnetic):
+    fill(magnetic, "r", 8)
+    stats = magnetic.disk.stats
+    r0 = stats.reads
+    magnetic.read_pages("r", 0, 8)
+    assert stats.reads == r0 + 1  # one positioning + one transfer
+
+
+def test_batched_read_is_cheaper_than_singles(tmp_path):
+    clock_a = SimClock()
+    a = MagneticDisk("a", clock_a, str(tmp_path / "a"))
+    a.create_relation("r")
+    fill(a, "r", 16)
+    t0 = clock_a.now()
+    a.read_pages("r", 0, 16)
+    batched = clock_a.now() - t0
+
+    clock_b = SimClock()
+    b = MagneticDisk("b", clock_b, str(tmp_path / "b"))
+    b.create_relation("r")
+    fill(b, "r", 16)
+    # Defeat the head's sequential-position optimisation by touching a
+    # far-away block between reads, as interleaved workloads would.
+    t0 = clock_b.now()
+    for i in range(16):
+        b.read_page("r", i)
+        b.disk.read_block(b.disk.geometry.total_blocks - 1)
+    singles = clock_b.now() - t0
+    assert batched < singles
+
+
+def test_run_breaks_at_non_adjacent_extents(tmp_path):
+    """Two relations growing together interleave their extents; a range
+    spanning the extent boundary needs two read operations."""
+    dev = MagneticDisk("m0", SimClock(), str(tmp_path / "m0"))
+    dev.create_relation("r")
+    dev.create_relation("s")
+    fill(dev, "r", EXTENT_PAGES)  # r extent 0
+    fill(dev, "s", 1)             # s extent interleaves
+    fill(dev, "r", 2)             # r extent 1, not adjacent to extent 0
+    stats = dev.disk.stats
+    r0 = stats.reads
+    pages = dev.read_pages("r", EXTENT_PAGES - 2, 4)
+    assert stats.reads == r0 + 2
+    assert pages == [page_of(EXTENT_PAGES - 2), page_of(EXTENT_PAGES - 1),
+                     page_of(EXTENT_PAGES), page_of(EXTENT_PAGES + 1)]
+
+
+def test_adjacent_extents_stay_one_run(tmp_path):
+    """A relation growing alone gets adjacent extents — the run (and the
+    single read operation) continues straight across the boundary."""
+    dev = MagneticDisk("m0", SimClock(), str(tmp_path / "m0"))
+    dev.create_relation("r")
+    fill(dev, "r", EXTENT_PAGES + 4)
+    stats = dev.disk.stats
+    r0 = stats.reads
+    dev.read_pages("r", EXTENT_PAGES - 2, 4)
+    assert stats.reads == r0 + 1
+
+
+# -- default implementation (ABC) ------------------------------------------
+
+
+def test_jukebox_inherits_page_at_a_time_default(tmp_path):
+    """Managers without a batched fast path fall back to the ABC's
+    read_page loop — same bytes, page-at-a-time cost."""
+    dev = SonyJukebox("j0", SimClock())
+    dev.create_relation("r")
+    fill(dev, "r", 5)
+    assert dev.read_pages("r", 1, 3) == [page_of(1), page_of(2), page_of(3)]
+    with pytest.raises(ValueError):
+        dev.read_pages("r", 0, -2)
+
+
+# -- memdisk ---------------------------------------------------------------
+
+
+def test_memdisk_batched_read(tmp_path):
+    clock = SimClock()
+    dev = MemDisk("mem0", clock)
+    dev.create_relation("r")
+    fill(dev, "r", 6)
+    t0 = clock.now()
+    pages = dev.read_pages("r", 2, 4)
+    elapsed_batch = clock.now() - t0
+    assert pages == [page_of(i) for i in range(2, 6)]
+    t0 = clock.now()
+    for i in range(2, 6):
+        dev.read_page("r", i)
+    elapsed_single = clock.now() - t0
+    assert elapsed_batch == pytest.approx(elapsed_single)  # DMA: no seek cost
