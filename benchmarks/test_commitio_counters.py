@@ -1,0 +1,98 @@
+"""Commit/write-path fast-path acceptance: deterministic counter bounds.
+
+The write-path twin of ``test_seqio_counters``: exact assertions on the
+simulated clock and operation counters for group commit, coalesced
+write-back, and the batched write RPC.  A regression in any of the
+three (an extra forced status append, a flush that stops coalescing,
+an RPC per chunk sneaking back in) fails here before it shows up as a
+timing drift.  The run also emits ``BENCH_commitio.json`` at the repo
+root, which CI archives and EXPERIMENTS.md quotes.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+
+import pytest
+
+from repro.bench.commitio import (
+    GROUP_TXNS,
+    RPC_BATCH_CHUNKS,
+    WRITE_CHUNKS,
+    run_commitio,
+)
+
+BENCH_PATH = os.path.join(os.path.dirname(__file__), "..",
+                          "BENCH_commitio.json")
+
+
+@pytest.fixture(scope="module")
+def commitio() -> dict:
+    results = run_commitio()
+    with open(BENCH_PATH, "w", encoding="utf-8") as f:
+        json.dump(results, f, indent=2)
+        f.write("\n")
+    return results
+
+
+def test_window_zero_reproduces_paper_force_counts(commitio):
+    """The default configuration pays exactly one forced status append
+    per writing commit — the paper's behaviour, asserted exactly."""
+    before = commitio["group_commit"]["before"]
+    assert before["status_forces"] == GROUP_TXNS
+    assert before["commits_recorded"] == GROUP_TXNS
+    assert before["commits_per_force"] == 1.0
+    assert before["group_batches"] == 0
+
+
+def test_group_commit_amortizes_the_force(commitio):
+    """With the window open, the whole batch lands as one forced
+    multi-record append, and commit throughput at least doubles."""
+    after = commitio["group_commit"]["after"]
+    assert after["status_forces"] == 1
+    assert after["commits_recorded"] == GROUP_TXNS
+    assert after["commits_per_force"] == GROUP_TXNS
+    assert after["max_group"] == GROUP_TXNS
+    assert commitio["group_commit"]["speedup"] >= 2.0, (
+        commitio["group_commit"])
+    # Amortizing the force also removes its device write per commit.
+    before = commitio["group_commit"]["before"]
+    assert (before["device_writes"] - after["device_writes"]
+            == GROUP_TXNS - 1), (before, after)
+
+
+def test_coalesced_writeback_halves_device_write_ops(commitio):
+    """The 1 MB sequential write's flush arrives at the device in
+    contiguous multi-page runs: at least 2x fewer write operations than
+    page-at-a-time write-back (the positioning count the paper's disk
+    pays per write)."""
+    wb = commitio["writeback"]
+    assert wb["write_op_ratio"] >= 2.0, wb
+    # Coalescing changes operation count, never the pages written.
+    assert wb["after"]["forced_writes"] == wb["before"]["forced_writes"]
+    assert wb["after"]["batched_writes"] >= 1
+    assert wb["after"]["write_coalesce_hits"] >= WRITE_CHUNKS // 2
+    assert wb["before"]["batched_writes"] == 0
+    assert wb["before"]["write_coalesce_hits"] == 0
+
+
+def test_write_rpc_batching_speedup(commitio):
+    """The batched write RPC at least halves the sequential-write wire
+    time, shipping RPC_BATCH_CHUNKS chunks per message."""
+    cs = commitio["cs_write"]
+    assert cs["speedup"] >= 2.0, cs
+    assert cs["after"]["net_messages"] * 4 < cs["before"]["net_messages"], cs
+    assert cs["after"]["batched_writes"] == math.ceil(
+        WRITE_CHUNKS / RPC_BATCH_CHUNKS), cs["after"]
+    assert cs["after"]["buffered_writes"] == WRITE_CHUNKS
+    assert cs["before"]["batched_writes"] == 0
+    assert cs["before"]["buffered_writes"] == 0
+
+
+def test_results_written(commitio):
+    with open(BENCH_PATH, encoding="utf-8") as f:
+        on_disk = json.load(f)
+    assert on_disk["group_commit"]["speedup"] == (
+        commitio["group_commit"]["speedup"])

@@ -1,0 +1,212 @@
+"""The commit/write-path fast-path experiment (BENCH_commitio.json).
+
+The write-path twin of :mod:`repro.bench.seqio`: measures (1) group
+commit — many small writing transactions with the per-commit status
+force amortized across a batch — against the paper's one-force-per-
+commit behaviour, (2) coalesced write-back — the 1 MB sequential write
+with adjacent dirty pages batched into multi-page device writes —
+against page-at-a-time flushing, and (3) the client/server multi-chunk
+write RPC against the paper's one-RPC-per-``p_write`` protocol.
+
+All numbers come from the simulated clock and operation counters, so
+CI asserts on them exactly.
+
+Run directly::
+
+    PYTHONPATH=src python -m repro.bench.commitio [output.json]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+from repro.bench.harness import build_inversion_cs, build_inversion_sp
+from repro.core.constants import CHUNK_SIZE
+from repro.db.tuples import Column, Schema
+
+#: transactions in the group-commit batch experiment.
+GROUP_TXNS = 16
+
+#: an effectively unbounded window: the batch is forced only by the
+#: explicit flush that ends the measurement (one append for the lot).
+GROUP_WINDOW = 1.0e9
+
+#: the 1 MB sequential-write shape (Figure 6 / Table 3 write columns).
+WRITE_CHUNKS = 128
+WRITE_FILE_SIZE = WRITE_CHUNKS * CHUNK_SIZE
+
+#: chunks shipped per write RPC in the batched client configuration.
+RPC_BATCH_CHUNKS = 16
+
+FILE_NAME = "/commitio"
+
+
+def _payload(nbytes: int, offset: int) -> bytes:
+    unit = b"fedcba9876543210"
+    reps = nbytes // len(unit) + 2
+    return (unit * reps)[offset % len(unit):][:nbytes]
+
+
+def _disk_stats(db):
+    return db.switch.get("magnetic0").disk.stats
+
+
+#: the small-transaction shape: one short row inserted per commit, the
+#: TP-style workload where the forced status append dominates.
+GROUP_SCHEMA = Schema([Column("seq", "int4"), Column("note", "bytea")])
+
+
+def run_group(window: float) -> dict:
+    """GROUP_TXNS small writing transactions, each inserting one short
+    row into an unindexed table; the run ends with an explicit flush so
+    queued records are durable and both configurations are measured to
+    the same durability point."""
+    built = build_inversion_sp(group_commit_window=window)
+    try:
+        adapter = built.adapter
+        db = adapter.db
+        tx = db.begin()
+        table = db.create_table(tx, "bench_commit", GROUP_SCHEMA)
+        db.commit(tx)
+        adapter.flush_caches()
+        disk = _disk_stats(db)
+        forces0 = db.tm.stats.status_forces
+        hwm0 = db.tm.stats.hwm_forces
+        commits0 = db.tm.stats.commits_recorded
+        writes0 = disk.writes
+        t0 = adapter.clock.now()
+        for i in range(GROUP_TXNS):
+            tx = db.begin()
+            table.insert(tx, (i, _payload(64, i)))
+            db.commit(tx)
+        db.tm.flush_commits()
+        elapsed = adapter.clock.now() - t0
+        stats = db.tm.stats
+        return {
+            "group_commit_window": window,
+            "transactions": GROUP_TXNS,
+            "elapsed_s": elapsed,
+            "commits_per_sec": GROUP_TXNS / elapsed,
+            "status_forces": stats.status_forces - forces0,
+            "hwm_forces": stats.hwm_forces - hwm0,
+            "commits_recorded": stats.commits_recorded - commits0,
+            "commits_per_force": ((stats.commits_recorded - commits0)
+                                  / (stats.status_forces - forces0)),
+            "group_batches": stats.group_batches,
+            "max_group": stats.max_group,
+            "device_writes": disk.writes - writes0,
+        }
+    finally:
+        built.close()
+
+
+def _sequential_write(adapter, handle) -> None:
+    adapter.begin()
+    pos = 0
+    while pos < WRITE_FILE_SIZE:
+        n = min(CHUNK_SIZE, WRITE_FILE_SIZE - pos)
+        adapter.write_at(handle, pos, _payload(n, pos))
+        pos += n
+    adapter.commit()
+
+
+def run_writeback(coalesce: bool) -> dict:
+    """One 1 MB sequential write transaction; counts the device write
+    operations its commit-time flush pays, with and without coalescing
+    adjacent dirty pages into batched writes."""
+    built = build_inversion_sp(coalesce_writes=coalesce)
+    try:
+        adapter = built.adapter
+        handle = adapter.create_file(FILE_NAME)
+        adapter.flush_caches()
+        db = adapter.db
+        disk = _disk_stats(db)
+        buf = db.buffers.stats
+        writes0 = disk.writes
+        fw0, bw0, ch0 = (buf.forced_writes, buf.batched_writes,
+                         buf.write_coalesce_hits)
+        t0 = adapter.clock.now()
+        _sequential_write(adapter, handle)
+        return {
+            "coalesce_writes": coalesce,
+            "elapsed_s": adapter.clock.now() - t0,
+            "device_writes": disk.writes - writes0,
+            "forced_writes": buf.forced_writes - fw0,
+            "batched_writes": buf.batched_writes - bw0,
+            "write_coalesce_hits": buf.write_coalesce_hits - ch0,
+        }
+    finally:
+        built.close()
+
+
+def run_cs_write(write_batch_chunks: int) -> dict:
+    """The 1 MB sequential write over the client/server protocol; with
+    batching, consecutive ``p_write`` calls ship as one RPC per
+    ``write_batch_chunks`` chunks."""
+    built = build_inversion_cs(write_batch_chunks=write_batch_chunks)
+    try:
+        adapter = built.adapter
+        handle = adapter.create_file(FILE_NAME)
+        adapter.flush_caches()
+        client = adapter.client
+        net0 = client.network.stats.messages
+        t0 = adapter.clock.now()
+        _sequential_write(adapter, handle)
+        return {
+            "write_batch_chunks": write_batch_chunks,
+            "elapsed_s": adapter.clock.now() - t0,
+            "net_messages": client.network.stats.messages - net0,
+            "batched_writes": client.batched_writes,
+            "buffered_writes": client.buffered_writes,
+        }
+    finally:
+        built.close()
+
+
+def run_commitio() -> dict:
+    """The full experiment: group commit before/after, write-back
+    coalescing before/after, client/server write batching before/after."""
+    group_before = run_group(window=0.0)
+    group_after = run_group(window=GROUP_WINDOW)
+    wb_before = run_writeback(coalesce=False)
+    wb_after = run_writeback(coalesce=True)
+    cs_before = run_cs_write(write_batch_chunks=1)
+    cs_after = run_cs_write(write_batch_chunks=RPC_BATCH_CHUNKS)
+    return {
+        "experiment": ("group commit + batched write-back, "
+                       "16 small commits and 1 MB sequential write"),
+        "group_commit": {
+            "before": group_before,
+            "after": group_after,
+            "speedup": (group_after["commits_per_sec"]
+                        / group_before["commits_per_sec"]),
+        },
+        "writeback": {
+            "before": wb_before,
+            "after": wb_after,
+            "write_op_ratio": (wb_before["device_writes"]
+                               / wb_after["device_writes"]),
+        },
+        "cs_write": {
+            "before": cs_before,
+            "after": cs_after,
+            "speedup": cs_before["elapsed_s"] / cs_after["elapsed_s"],
+        },
+    }
+
+
+def main(argv: list[str]) -> int:
+    out = argv[0] if argv else "BENCH_commitio.json"
+    results = run_commitio()
+    with open(out, "w", encoding="utf-8") as f:
+        json.dump(results, f, indent=2)
+        f.write("\n")
+    print(f"wrote {out}: group commit {results['group_commit']['speedup']:.2f}x "
+          f"commits/sec, write-back {results['writeback']['write_op_ratio']:.2f}x "
+          f"fewer device writes, cs write {results['cs_write']['speedup']:.2f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -48,7 +48,9 @@ def _fresh_dir() -> str:
 
 def build_inversion_sp(buffer_pages: int = DEFAULT_BUFFERS,
                        chunk_index: bool = True,
-                       readahead_window: int = DEFAULT_READAHEAD) -> BuiltConfig:
+                       readahead_window: int = DEFAULT_READAHEAD,
+                       group_commit_window: float = 0.0,
+                       coalesce_writes: bool = True) -> BuiltConfig:
     """Single-process Inversion: the benchmark dynamically loaded into
     the data manager — "no data must be copied between them", and no
     network."""
@@ -57,7 +59,9 @@ def build_inversion_sp(buffer_pages: int = DEFAULT_BUFFERS,
     db = Database.create(os.path.join(workdir, "db"), clock=clock,
                          buffer_pages=buffer_pages)
     db.buffers.readahead_window = readahead_window
+    db.buffers.coalesce_writes = coalesce_writes
     fs = InversionFS.mkfs(db)
+    db.tm.group_commit_window = group_commit_window
     fs.chunk_index = chunk_index
     client = InversionClient(fs)
     adapter = InversionAdapter(client, db)
@@ -70,20 +74,26 @@ def build_inversion_sp(buffer_pages: int = DEFAULT_BUFFERS,
 
 def build_inversion_cs(buffer_pages: int = DEFAULT_BUFFERS,
                        readahead_window: int = DEFAULT_READAHEAD,
-                       read_batch_chunks: int = 1) -> BuiltConfig:
+                       read_batch_chunks: int = 1,
+                       write_batch_chunks: int = 1,
+                       group_commit_window: float = 0.0) -> BuiltConfig:
     """Client/server Inversion: every p_* call crosses the simulated
     TCP/IP Ethernet.  ``read_batch_chunks`` > 1 turns on the client's
-    multi-chunk read RPC (off by default — the paper's protocol)."""
+    multi-chunk read RPC, ``write_batch_chunks`` > 1 the symmetric
+    multi-chunk write RPC (both off by default — the paper's
+    protocol)."""
     workdir = _fresh_dir()
     clock = SimClock()
     db = Database.create(os.path.join(workdir, "db"), clock=clock,
                          buffer_pages=buffer_pages)
     db.buffers.readahead_window = readahead_window
     fs = InversionFS.mkfs(db)
+    db.tm.group_commit_window = group_commit_window
     server = InversionServer(fs)
     network = NetworkModel(clock=clock, params=ETHERNET_10MBIT)
     client = RemoteInversionClient(server, network,
-                                   read_batch_chunks=read_batch_chunks)
+                                   read_batch_chunks=read_batch_chunks,
+                                   write_batch_chunks=write_batch_chunks)
     adapter = InversionAdapter(client, db)
 
     def cleanup() -> None:

@@ -31,7 +31,7 @@ class Corruption:
     fileid: int
     chunkno: int | None
     kind: str       # 'misdirected', 'oversize', 'negative-chunkno',
-                    # 'unreadable', 'size-mismatch'
+                    # 'unreadable', 'size-mismatch', 'duplicate-chunk'
     detail: str
 
 
@@ -90,19 +90,45 @@ class ConsistencyChecker:
                 report.corruptions.append(Corruption(
                     fileid, chunkno, "oversize",
                     f"chunk holds {len(data)} bytes > {CHUNK_SIZE}"))
+        # Exactly one visible version per chunk number: coalescing
+        # dirty runs into batched writes must neither drop a chunk's
+        # current version nor leave two versions visible at once.
+        visible_counts: dict[int, int] = {}
+        for _t, row in heap.scan(snapshot):
+            visible_counts[row[0]] = visible_counts.get(row[0], 0) + 1
+        for chunkno, count in sorted(visible_counts.items()):
+            if count > 1:
+                report.corruptions.append(Corruption(
+                    fileid, chunkno, "duplicate-chunk",
+                    f"{count} visible versions of one chunk"))
         # The recorded size must be coverable by the visible chunks.
+        # (Only the last chunk is required: interior holes are legal —
+        # absent chunk numbers read back as zeros.)
         att_entry = self.fs.fileatt.get_entry(fileid, snapshot)
         if att_entry is not None:
             att = att_entry[1]
-            visible = {row[0] for _t, row in heap.scan(snapshot)}
             needed = (att.size + CHUNK_SIZE - 1) // CHUNK_SIZE
             last = needed - 1
-            if att.size > 0 and last not in visible:
+            if att.size > 0 and last not in visible_counts:
                 report.corruptions.append(Corruption(
                     fileid, last, "size-mismatch",
                     f"size {att.size} implies chunk {last}, which has no "
                     f"visible version"))
         return report
+
+    def visible_chunk_count(self, fileid: int) -> int:
+        """Number of distinct chunk numbers with a visible version —
+        the invariant quantity batched flushes must preserve."""
+        db = self.fs.db
+        snapshot = BootstrapSnapshot(db.tm)
+        info = db.catalog.lookup_table(chunk_table_name(fileid), snapshot,
+                                       use_cache=False)
+        if info is None:
+            return 0
+        from repro.db.heap import HeapFile
+        heap = HeapFile(db.buffers, info.devname, info.name, info.schema,
+                        cpu=db.cpu)
+        return len({row[0] for _t, row in heap.scan(snapshot)})
 
     def check_all(self) -> CheckReport:
         """Validate every file reachable from the namespace."""

@@ -146,15 +146,25 @@ class ChunkStore:
         order = sorted(self._dirty)
         existing = self._resolve_existing(order, snapshot, tx)
         written = 0
+        # Runs of brand-new chunks (the sequential-write case: nothing
+        # to supersede) go to the heap as one contiguous append, so the
+        # dirty pages they produce coalesce into batched device writes
+        # at commit.  Updates stay individual — each must first mark its
+        # old version deleted.
+        batch: list[tuple] = []
         for chunkno in order:
-            data = self._dirty[chunkno]
-            row = (chunkno, self.fileid, data)
+            row = (chunkno, self.fileid, self._dirty[chunkno])
             tid = existing.get(chunkno)
-            if tid is not None:
-                self.table.update(tx, tid, row)
+            if tid is None:
+                batch.append(row)
             else:
-                self.table.insert(tx, row)
+                if batch:
+                    self.table.insert_many(tx, batch)
+                    batch = []
+                self.table.update(tx, tid, row)
             written += 1
+        if batch:
+            self.table.insert_many(tx, batch)
         self._dirty.clear()
         return written
 

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.core.constants import CHUNK_SIZE
 from repro.core.server import InversionServer
 from repro.sim.network import NetworkModel
 
@@ -66,12 +67,22 @@ class RemoteInversionClient:
     buffered byte can be stale with respect to *another* client's
     concurrent writes; buffers are dropped at every transaction
     boundary, write, seek, and namespace operation of this client.
+
+    ``write_batch_chunks`` is the symmetric write-path tunable (also
+    off by default): consecutive sequential ``p_write`` calls accumulate
+    in a per-descriptor buffer and ship as *one* ``p_write`` RPC of up
+    to that many chunks.  The buffer is flushed before any other RPC
+    of this client (reads, seeks, transaction boundaries, namespace
+    operations), so this client's own operations always observe its
+    writes in program order; only the per-message overhead is
+    amortized.
     """
 
     server: InversionServer
     network: NetworkModel
     write_behind: bool = True
     read_batch_chunks: int = 1
+    write_batch_chunks: int = 1
 
     def __post_init__(self) -> None:
         self._session = self.server.connect()
@@ -80,12 +91,19 @@ class RemoteInversionClient:
         self._srv_pos: dict[int, int] = {}  # where the server's descriptor is
         self._streak: dict[int, int] = {}   # consecutive sequential reads
         self._rdbuf: dict[int, tuple[int, bytes]] = {}  # fd -> (offset, bytes)
+        #: fd -> (start offset, buffered bytes, absorbed call count)
+        self._wrbuf: dict[int, tuple[int, bytearray, int]] = {}
         #: RPCs that fetched more than the caller asked for.
         self.batched_reads = 0
         #: p_read calls answered from the client buffer, no RPC at all.
         self.buffered_reads = 0
+        #: p_write RPCs that shipped more than one buffered call's data.
+        self.batched_writes = 0
+        #: p_write calls absorbed into the write buffer, no RPC at all.
+        self.buffered_writes = 0
 
     def close(self) -> None:
+        self._flush_writes()
         self.server.disconnect(self._session)
 
     # -- read-batching bookkeeping ----------------------------------------
@@ -94,13 +112,18 @@ class RemoteInversionClient:
     def _batching(self) -> bool:
         return self.read_batch_chunks > 1
 
+    @property
+    def _wbatching(self) -> bool:
+        return self.write_batch_chunks > 1
+
     def _track_fd(self, fd) -> None:
         if isinstance(fd, int):
             self._pos[fd] = self._srv_pos[fd] = 0
             self._streak[fd] = 0
 
     def _forget_fd(self, fd) -> None:
-        for store in (self._pos, self._srv_pos, self._streak, self._rdbuf):
+        for store in (self._pos, self._srv_pos, self._streak, self._rdbuf,
+                      self._wrbuf):
             store.pop(fd, None)
 
     def _drop_buffers(self) -> None:
@@ -118,6 +141,30 @@ class RemoteInversionClient:
             return
         self._call("p_lseek", fd, pos >> 32, pos & 0xFFFFFFFF, 0)
         self._srv_pos[fd] = pos
+
+    # -- write-batching bookkeeping ---------------------------------------
+
+    def _flush_fd_writes(self, fd: int) -> None:
+        """Ship one descriptor's buffered writes as a single ``p_write``
+        RPC (with a corrective seek first if the server's descriptor
+        has drifted from the buffer's start)."""
+        wb = self._wrbuf.pop(fd, None)
+        if wb is None:
+            return
+        start, data, ncalls = wb
+        if self._srv_pos.get(fd, start) != start:
+            self._call("p_lseek", fd, start >> 32, start & 0xFFFFFFFF, 0)
+        self._call("p_write", fd, bytes(data))
+        self._srv_pos[fd] = start + len(data)
+        if ncalls > 1:
+            self.batched_writes += 1
+
+    def _flush_writes(self) -> None:
+        """Ship every descriptor's buffered writes — called before any
+        RPC other than an absorbed sequential write, so this client's
+        operations observe its writes in program order."""
+        for fd in list(self._wrbuf):
+            self._flush_fd_writes(fd)
 
     def _call(self, method: str, *args, **kwargs):
         request = _REQ_BASE + _arg_bytes(args, kwargs)
@@ -142,37 +189,48 @@ class RemoteInversionClient:
     # -- the client API, one forwarding stub per call --------------------
 
     def p_begin(self):
+        self._flush_writes()
         self._drop_buffers()
         return self._call("p_begin")
 
     def p_commit(self):
+        self._flush_writes()
         self._drop_buffers()
         return self._call("p_commit")
 
     def p_abort(self):
+        self._flush_writes()
         self._drop_buffers()
         return self._call("p_abort")
 
     def p_creat(self, path, mode=2, device=None, owner="root", ftype="plain"):
+        self._flush_writes()
         fd = self._call("p_creat", path, mode, device=device, owner=owner,
                         ftype=ftype)
         self._track_fd(fd)
         return fd
 
     def p_open(self, fname, mode=0, timestamp=None):
+        self._flush_writes()
         fd = self._call("p_open", fname, mode, timestamp)
         self._track_fd(fd)
         return fd
 
     def p_close(self, fd):
+        self._flush_writes()
         result = self._call("p_close", fd)
         self._forget_fd(fd)
         return result
 
     def p_read(self, fd, length):
+        self._flush_writes()
         pos = self._pos.get(fd)
         if not self._batching or length <= 0 or pos is None:
-            return self._call("p_read", fd, length)
+            result = self._call("p_read", fd, length)
+            if pos is not None and isinstance(result, (bytes, bytearray)):
+                self._pos[fd] = pos + len(result)
+                self._srv_pos[fd] = self._pos[fd]
+            return result
         buf = self._rdbuf.get(fd)
         if buf is not None:
             start, data = buf
@@ -204,6 +262,31 @@ class RemoteInversionClient:
         return piece
 
     def p_write(self, fd, buf):
+        if self._wbatching and isinstance(fd, int) and fd in self._pos:
+            self._rdbuf.pop(fd, None)
+            self._streak[fd] = 0
+            pos = self._pos[fd]
+            limit = self.write_batch_chunks * CHUNK_SIZE
+            wb = self._wrbuf.get(fd)
+            if wb is not None:
+                start, data, ncalls = wb
+                if start + len(data) == pos:
+                    data.extend(buf)
+                    self._wrbuf[fd] = (start, data, ncalls + 1)
+                    self._pos[fd] = pos + len(buf)
+                    self.buffered_writes += 1
+                    if len(data) >= limit:
+                        self._flush_fd_writes(fd)
+                    return len(buf)
+                # Not contiguous with the buffer (a seek happened):
+                # ship what we have and start over at the new position.
+                self._flush_fd_writes(fd)
+            self._wrbuf[fd] = (pos, bytearray(buf), 1)
+            self._pos[fd] = pos + len(buf)
+            self.buffered_writes += 1
+            if len(buf) >= limit:
+                self._flush_fd_writes(fd)
+            return len(buf)
         if self._batching and fd in self._pos:
             self._rdbuf.pop(fd, None)
             self._streak[fd] = 0
@@ -216,7 +299,8 @@ class RemoteInversionClient:
         return self._call("p_write", fd, buf)
 
     def p_lseek(self, fd, offset_high, offset_low, whence=0):
-        if self._batching and fd in self._pos:
+        self._flush_writes()
+        if (self._batching or self._wbatching) and fd in self._pos:
             self._rdbuf.pop(fd, None)
             self._streak[fd] = 0
             if whence == 1:  # SEEK_CUR is relative to the *server* pos
@@ -228,24 +312,31 @@ class RemoteInversionClient:
         return self._call("p_lseek", fd, offset_high, offset_low, whence)
 
     def p_mkdir(self, path, owner="root"):
+        self._flush_writes()
         return self._call("p_mkdir", path, owner=owner)
 
     def p_unlink(self, path):
+        self._flush_writes()
         self._drop_buffers()
         return self._call("p_unlink", path)
 
     def p_rmdir(self, path):
+        self._flush_writes()
         return self._call("p_rmdir", path)
 
     def p_rename(self, old, new):
+        self._flush_writes()
         self._drop_buffers()
         return self._call("p_rename", old, new)
 
     def p_stat(self, path, timestamp=None):
+        self._flush_writes()
         return self._call("p_stat", path, timestamp)
 
     def p_readdir(self, path, timestamp=None):
+        self._flush_writes()
         return self._call("p_readdir", path, timestamp)
 
     def p_query(self, text):
+        self._flush_writes()
         return self._call("p_query", text)

@@ -43,9 +43,34 @@ class InversionServer:
         return session_id
 
     def disconnect(self, session_id: int) -> None:
+        """Tear down a session — including one that died mid-transaction
+        with buffered writes still unreconciled.  The open transaction
+        is aborted (running its abort hooks), and its locks are released
+        even if a hook or the abort's status append fails; without that
+        guarantee a dying session would strand exclusive locks and
+        deadlock every other session touching the same files.  Surviving
+        descriptors are then closed so attribute updates left pending by
+        auto-commit writes are reconciled rather than silently dropped
+        (their chunk data already committed; only fileatt lagged)."""
         session = self._sessions.pop(session_id, None)
-        if session is not None and session.in_transaction():
-            session.p_abort()
+        if session is None:
+            return
+        tx = session._tx
+        if tx is not None:
+            try:
+                session.p_abort()
+            except Exception:
+                # The session is dead — a failing abort hook (or status
+                # append) must not leave teardown half-done.
+                pass
+            finally:
+                session._tx = None
+                self.fs.db.locks.release_all(tx)
+        for fd in list(session._fds):
+            try:
+                session.p_close(fd)
+            except Exception:
+                session._fds.pop(fd, None)
 
     def dispatch(self, session_id: int, method: str, *args, **kwargs):
         """Execute one request for a session, charging dispatch CPU."""

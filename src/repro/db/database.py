@@ -75,7 +75,8 @@ class Database:
     @classmethod
     def create(cls, path: str, clock: SimClock | None = None,
                buffer_pages: int = DEFAULT_BUFFERS,
-               cpu_params: CpuParams | None = None) -> "Database":
+               cpu_params: CpuParams | None = None,
+               group_commit_window: float = 0.0) -> "Database":
         """Create a new database rooted at ``path`` with one magnetic
         root device."""
         clock = clock or SimClock()
@@ -86,7 +87,8 @@ class Database:
         root = MagneticDisk("magnetic0", clock, os.path.join(path, "magnetic0"))
         db.switch.register(root, default=True)
         db._save_device_config([("magnetic0", "magnetic")])
-        db.tm = TransactionManager(root, clock)
+        db.tm = TransactionManager(root, clock,
+                                   group_commit_window=group_commit_window)
         db.catalog = Catalog(db.switch, db.buffers, "magnetic0", cpu=db.cpu)
         tx = db.begin()
         db.catalog.bootstrap_create(tx)
@@ -96,7 +98,8 @@ class Database:
     @classmethod
     def open(cls, path: str, clock: SimClock | None = None,
              buffer_pages: int = DEFAULT_BUFFERS,
-             cpu_params: CpuParams | None = None) -> "Database":
+             cpu_params: CpuParams | None = None,
+             group_commit_window: float = 0.0) -> "Database":
         """Open an existing database.  Recovery is implicit and
         essentially instantaneous: it consists of reading the
         transaction status file; updates in progress at a crash are
@@ -116,7 +119,8 @@ class Database:
         # crash interrupted, before anything reads those relations.
         from repro.db.vacuum import replay_rename_journal
         replay_rename_journal(db.switch, root)
-        db.tm = TransactionManager(root, clock)
+        db.tm = TransactionManager(root, clock,
+                                   group_commit_window=group_commit_window)
         # Resume simulated time beyond all recorded history, so that
         # post-reopen commits never sort before pre-crash ones.
         resume_at = db.tm.max_recorded_time()
@@ -185,6 +189,10 @@ class Database:
     def close(self) -> None:
         if not self._closed:
             self.buffers.flush_all()
+            if self.tm is not None:
+                # Any queued group-commit records become durable now;
+                # their data pages were forced when they committed.
+                self.tm.flush_commits()
             self.switch.close_all()
             self._closed = True
 
@@ -388,6 +396,8 @@ class Database:
         positions — the benchmark's 'all caches were flushed before
         each test'."""
         self.buffers.invalidate_all(write_dirty=True)
+        if self.tm is not None:
+            self.tm.flush_commits()
         for dev in self.switch:
             disk = getattr(dev, "disk", None)
             if disk is not None:

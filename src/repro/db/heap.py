@@ -98,6 +98,31 @@ class HeapFile:
         self.buffers.mark_dirty(self.dev_name, self.relname, pageno)
         return TID(pageno, slot)
 
+    def insert_many(self, tx: Transaction, rows: list) -> list[TID]:
+        """Append many records stamped with ``tx``'s xid in one pass —
+        the tail page is looked up once and carried across records, so
+        a dense run of appends fills consecutive pages back-to-back and
+        the resulting dirty pages coalesce into one batched device
+        write at flush."""
+        tx.require_active()
+        tids: list[TID] = []
+        npages = self.npages()
+        pageno = npages - 1 if npages > 0 else None
+        page = self._page(pageno) if pageno is not None else None
+        for values in rows:
+            if self.cpu is not None:
+                self.cpu.tuple_pack()
+            record = pack_record(tx.xid, INVALID_XID, self.schema.pack(values))
+            if page is None or not page.fits(len(record)):
+                pageno, page = self.buffers.new_page(
+                    self.dev_name, self.relname, PAGE_HEAP)
+            slot = page.add_record(record)
+            self.buffers.mark_dirty(self.dev_name, self.relname, pageno)
+            tids.append(TID(pageno, slot))
+        if tids:
+            tx.wrote = True
+        return tids
+
     def delete(self, tx: Transaction, tid: TID) -> None:
         """Mark the record at ``tid`` deleted by ``tx`` (stamp xmax).
         The record bytes stay in place — no-overwrite."""

@@ -93,6 +93,21 @@ class Table:
             btree.insert(tx, self._key_for(index, values), tid)
         return tid
 
+    def insert_many(self, tx: Transaction, rows: Sequence[Sequence[object]],
+                    lock_key: object = None) -> list[TID]:
+        """Insert a run of rows as one contiguous heap append (see
+        :meth:`HeapFile.insert_many`); index maintenance is per row, as
+        in :meth:`insert`."""
+        rows = [tuple(r) for r in rows]
+        self._write_lock(tx, lock_key)
+        for values in rows:
+            self._fire_rules(tx, "append", values)
+        tids = self.heap.insert_many(tx, rows)
+        for index, btree in self._btrees:
+            for values, tid in zip(rows, tids):
+                btree.insert(tx, self._key_for(index, values), tid)
+        return tids
+
     def delete(self, tx: Transaction, tid: TID,
                lock_key: object = None) -> None:
         self._write_lock(tx, lock_key)

@@ -53,6 +53,35 @@ class _TxRecord:
 
 
 @dataclass
+class TxStats:
+    """Force accounting for the write-path bench: how many synchronous
+    metadata writes commits actually paid, and how many commit records
+    each one carried."""
+
+    #: forced status-file appends (each is one meta-region block write
+    #: plus a device flush — the per-commit cost group commit amortizes).
+    status_forces: int = 0
+    #: forced xid high-water-mark writes, reported separately so the
+    #: bench can tell hwm maintenance from commit forces.
+    hwm_forces: int = 0
+    #: ``C`` records durably appended.
+    commits_recorded: int = 0
+    #: ``A`` records durably appended.
+    aborts_recorded: int = 0
+    #: status forces that carried more than one commit record.
+    group_batches: int = 0
+    #: largest number of commit records carried by one force.
+    max_group: int = 0
+
+    def commits_per_force(self) -> float:
+        """Average commit records per forced status append — 1.0 is the
+        paper's one-force-per-commit behaviour; group commit raises it."""
+        if self.status_forces == 0:
+            return 0.0
+        return self.commits_recorded / self.status_forces
+
+
+@dataclass
 class Transaction:
     """A client-visible transaction handle."""
 
@@ -73,31 +102,107 @@ class Transaction:
 
 
 class TransactionManager:
-    """Allocates xids, records commit state, answers visibility calls."""
+    """Allocates xids, records commit state, answers visibility calls.
 
-    def __init__(self, device: DeviceManager, clock: SimClock) -> None:
+    ``group_commit_window`` (simulated seconds) enables group commit:
+    with the default 0.0 every writing commit forces its own status
+    append (the paper's behaviour); with a positive window a committing
+    transaction instead queues its ``C`` record, and the queue is forced
+    as *one* multi-record append once the window has elapsed (checked at
+    the next begin/commit), on an explicit :meth:`flush_commits`, or at
+    close.  A queued commit is visible in memory immediately but not yet
+    durable; a crash loses the queue, and because dirty pages were
+    forced *before* the record was queued (data-then-status), the lost
+    transactions are simply presumed aborted on recovery — no torn
+    state is possible."""
+
+    def __init__(self, device: DeviceManager, clock: SimClock,
+                 group_commit_window: float = 0.0) -> None:
         self._device = device
         self._clock = clock
         self._lock = threading.Lock()
+        self.group_commit_window = group_commit_window
+        self.stats = TxStats()
         self._records: dict[int, _TxRecord] = {
             BOOTSTRAP_XID: _TxRecord(COMMITTED, 0.0, 0.0),
         }
         self._next_xid = FIRST_NORMAL_XID
+        self._durable_hwm = FIRST_NORMAL_XID
         self._recovered_in_progress = 0
         self._torn_tail = 0
+        #: queued (xid, record-text) pairs not yet durably appended.
+        self._pending: list[tuple[int, str]] = []
+        self._batch_deadline: float | None = None
         self._load()
 
     # -- persistence ----------------------------------------------------
 
-    def _parse_record(self, line: str) -> tuple[int, _TxRecord]:
-        parts = line.split()
-        kind = parts[0]
-        xid = int(parts[1])
-        if kind == "C":
-            return xid, _TxRecord(COMMITTED, float(parts[2]), float(parts[3]))
-        if kind == "A":
-            return xid, _TxRecord(ABORTED, float(parts[2]))
-        raise ValueError(f"unknown record kind {kind!r}")
+    @staticmethod
+    def _parse_line(line: str) -> list[tuple[int, _TxRecord]]:
+        """Parse one status-file line, which may carry several records
+        (a group-commit force appends all its ``C`` records as one
+        line).  ``C`` consumes 4 tokens, ``A`` consumes 3; raises on
+        anything left over or malformed."""
+        tokens = line.split()
+        out: list[tuple[int, _TxRecord]] = []
+        i = 0
+        while i < len(tokens):
+            kind = tokens[i]
+            if kind == "C":
+                xid = int(tokens[i + 1])
+                out.append((xid, _TxRecord(COMMITTED, float(tokens[i + 2]),
+                                           float(tokens[i + 3]))))
+                i += 4
+            elif kind == "A":
+                xid = int(tokens[i + 1])
+                out.append((xid, _TxRecord(ABORTED, float(tokens[i + 2]))))
+                i += 3
+            else:
+                raise ValueError(f"unknown record kind {kind!r}")
+        return out
+
+    def _parse_torn_tail(self, line: str) -> tuple[
+            list[tuple[int, _TxRecord]], int]:
+        """Parse the final, newline-less line left by a crash mid-append.
+        Records wholly before the tear are durable and kept; the last
+        record is always discarded — without the terminating newline its
+        final token may itself be truncated (``0.25`` torn to ``0.2``
+        still parses), so it cannot be trusted.  Discarding is safe:
+        the transaction's data pages were forced before the append, and
+        a commit record that never became durable means the transaction
+        is presumed aborted.
+
+        Returns (kept records, highest xid glimpsed) — the glimpsed xid
+        includes the discarded record, so even a torn tail keeps its
+        xid from being reissued."""
+        tokens = line.split()
+        out: list[tuple[int, _TxRecord]] = []
+        max_glimpsed = 0
+        i = 0
+        while i < len(tokens):
+            kind = tokens[i]
+            try:
+                if kind == "C" and i + 4 <= len(tokens):
+                    xid = int(tokens[i + 1])
+                    out.append((xid, _TxRecord(COMMITTED,
+                                               float(tokens[i + 2]),
+                                               float(tokens[i + 3]))))
+                    i += 4
+                elif kind == "A" and i + 3 <= len(tokens):
+                    xid = int(tokens[i + 1])
+                    out.append((xid, _TxRecord(ABORTED,
+                                               float(tokens[i + 2]))))
+                    i += 3
+                else:
+                    # The torn record: salvage its xid if readable.
+                    if kind in ("C", "A") and i + 2 <= len(tokens):
+                        max_glimpsed = max(max_glimpsed, int(tokens[i + 1]))
+                    break
+            except ValueError:
+                break
+        if out:
+            max_glimpsed = max(max_glimpsed, out[-1][0])
+        return (out[:-1] if out else []), max_glimpsed
 
     def _load(self) -> None:
         raw = self._device.read_meta(STATUS_TAG)
@@ -107,42 +212,109 @@ class TransactionManager:
             for lineno, line in enumerate(lines):
                 if not line:
                     continue
-                try:
-                    xid, rec = self._parse_record(line)
-                except (IndexError, ValueError) as exc:
-                    if lineno == len(lines) - 1 and not raw.endswith(b"\n"):
-                        # A torn tail: the record being appended at a
-                        # crash made it only partially to the medium
-                        # (every complete record ends in a newline).
-                        # The transaction never got a durable commit
-                        # record, so it is correctly invisible.
-                        self._torn_tail = 1
-                        continue
-                    raise RecoveryError(f"corrupt status record {line!r}") from exc
-                self._records[xid] = rec
-                max_seen = max(max_seen, xid)
+                torn = lineno == len(lines) - 1 and not raw.endswith(b"\n")
+                if torn:
+                    self._torn_tail = 1
+                    parsed, glimpsed = self._parse_torn_tail(line)
+                    max_seen = max(max_seen, glimpsed)
+                else:
+                    try:
+                        parsed = self._parse_line(line)
+                    except (IndexError, ValueError) as exc:
+                        raise RecoveryError(
+                            f"corrupt status record {line!r}") from exc
+                for xid, rec in parsed:
+                    self._records[xid] = rec
+                    max_seen = max(max_seen, xid)
         hwm_raw = self._device.read_meta(XID_HWM_TAG)
         hwm = int(hwm_raw.decode("ascii")) if hwm_raw else FIRST_NORMAL_XID
         self._next_xid = max(max_seen + 1, hwm)
+        self._durable_hwm = hwm
         # xids below the high-water mark with no status record belong to
         # transactions that were in progress (or read-only) at a crash:
         # they are presumed aborted by the visibility rules.
         self._recovered_in_progress = sum(
             1 for xid in range(FIRST_NORMAL_XID, max_seen + 1)
             if xid not in self._records)
+        # Force the high-water mark ahead of need, while nobody is
+        # waiting on the lock — begin() then allocates from headroom
+        # instead of stalling on a stride boundary.
+        if self._durable_hwm - self._next_xid < XID_HWM_STRIDE:
+            self._force_hwm()
 
     def _force_hwm(self) -> None:
+        """Durably advance the xid high-water mark a stride past the
+        next xid.  Called ahead of need (at load, and by piggybacking on
+        status forces when headroom runs low), so the hard floor in
+        ``begin`` almost never pays this on the allocation path."""
         hwm = self._next_xid + XID_HWM_STRIDE
         self._device.sync_write_meta(XID_HWM_TAG, str(hwm).encode("ascii"))
+        self._durable_hwm = hwm
+        self.stats.hwm_forces += 1
+
+    # -- group commit ----------------------------------------------------
+
+    def _append_status(self, records: list[tuple[int, str]],
+                       ncommits: int) -> None:
+        """Durably append ``records`` as one forced multi-record line."""
+        if not records:
+            return
+        line = " ".join(text for _, text in records) + "\n"
+        self._device.sync_append_meta(STATUS_TAG, line.encode("ascii"))
+        self.stats.status_forces += 1
+        self.stats.commits_recorded += ncommits
+        self.stats.aborts_recorded += len(records) - ncommits
+        if ncommits > self.stats.max_group:
+            self.stats.max_group = ncommits
+        if ncommits > 1:
+            self.stats.group_batches += 1
+        # The head is already parked in the metadata region: top up the
+        # hwm here when headroom runs low, keeping the force out of
+        # begin()'s allocation path.
+        if self._durable_hwm - self._next_xid < XID_HWM_STRIDE // 4:
+            self._force_hwm()
+
+    def _flush_pending(self) -> int:
+        """Force every queued commit record in one append (caller holds
+        the lock).  Returns the number of records forced."""
+        pending, self._pending = self._pending, []
+        self._batch_deadline = None
+        if pending:
+            self._append_status(pending, len(pending))
+        return len(pending)
+
+    def _maybe_flush_pending(self) -> None:
+        if (self._batch_deadline is not None
+                and self._clock.now() >= self._batch_deadline):
+            self._flush_pending()
+
+    def flush_commits(self) -> int:
+        """Force any queued group-commit records now (close and
+        checkpoint call this; benchmarks call it to end a batch).
+        Returns the number of commit records forced."""
+        with self._lock:
+            return self._flush_pending()
+
+    def pending_commit_xids(self) -> list[int]:
+        """xids committed in memory whose status records are still
+        queued (not yet durable) — the crash explorer uses this to
+        compute which commits a crash may legitimately lose."""
+        with self._lock:
+            return [xid for xid, _ in self._pending]
 
     # -- transaction lifecycle --------------------------------------------
 
     def begin(self) -> Transaction:
         with self._lock:
+            self._maybe_flush_pending()
+            if self._next_xid >= self._durable_hwm:
+                # Hard floor: never hand out an xid at or above the
+                # durable high-water mark — after a crash it could be
+                # reissued and resurrect invisible records.  The
+                # ahead-of-need forcing keeps this branch cold.
+                self._force_hwm()
             xid = self._next_xid
             self._next_xid += 1
-            if xid % XID_HWM_STRIDE == 0 or xid == FIRST_NORMAL_XID:
-                self._force_hwm()
             start = self._clock.now()
             self._records[xid] = _TxRecord(IN_PROGRESS, start)
             return Transaction(xid=xid, start_time=start)
@@ -153,12 +325,19 @@ class TransactionManager:
         is data-then-status."""
         tx.require_active()
         with self._lock:
+            self._maybe_flush_pending()
             rec = self._records[tx.xid]
             rec.state = COMMITTED
             rec.commit_time = self._clock.now()
             if tx.wrote:
-                line = f"C {tx.xid} {rec.start_time!r} {rec.commit_time!r}\n"
-                self._device.sync_append_meta(STATUS_TAG, line.encode("ascii"))
+                text = f"C {tx.xid} {rec.start_time!r} {rec.commit_time!r}"
+                if self.group_commit_window > 0.0:
+                    if not self._pending:
+                        self._batch_deadline = (self._clock.now()
+                                                + self.group_commit_window)
+                    self._pending.append((tx.xid, text))
+                else:
+                    self._append_status([(tx.xid, text)], 1)
             tx.state = COMMITTED
 
     def abort(self, tx: Transaction) -> None:
@@ -167,8 +346,8 @@ class TransactionManager:
             rec = self._records[tx.xid]
             rec.state = ABORTED
             if tx.wrote:
-                line = f"A {tx.xid} {rec.start_time!r}\n"
-                self._device.sync_append_meta(STATUS_TAG, line.encode("ascii"))
+                text = f"A {tx.xid} {rec.start_time!r}"
+                self._append_status([(tx.xid, text)], 0)
             tx.state = ABORTED
         for hook in tx.abort_hooks:
             hook()

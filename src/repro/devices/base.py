@@ -83,6 +83,18 @@ class DeviceManager(ABC):
     def write_page(self, relname: str, pageno: int, data: bytes) -> None:
         """Write one page durably-on-medium, charging simulated cost."""
 
+    def write_pages(self, relname: str, start: int,
+                    datas: list[bytes]) -> None:
+        """Write ``len(datas)`` consecutive pages starting at ``start``
+        in one device operation — the write-side twin of ``read_pages``,
+        used by the buffer cache's coalesced commit-time flush.  Managers
+        whose cost model rewards contiguity (magnetic disk) override this
+        to charge one positioning plus a contiguous transfer; the default
+        simply loops ``write_page``, so every manager supports the
+        interface."""
+        for i, data in enumerate(datas):
+            self.write_page(relname, start + i, data)
+
     def rename_relation(self, src: str, dst: str) -> None:
         """Atomically-as-possible replace relation ``dst`` with ``src``
         (the vacuum cleaner's compacted-rewrite swap).  If ``src`` is

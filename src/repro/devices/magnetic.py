@@ -267,6 +267,36 @@ class MagneticDisk(DeviceManager):
         f.seek(pageno * PAGE_SIZE)
         f.write(data)
 
+    def write_pages(self, relname: str, start: int,
+                    datas: list[bytes]) -> None:
+        """Batched sequential write: pages that are physically contiguous
+        on the simulated medium are charged as a single positioning plus
+        one contiguous transfer — the gathered write-behind that makes a
+        coalesced commit-time flush cheaper than ``len(datas)``
+        independent ``write_page`` calls."""
+        count = len(datas)
+        if count == 0:
+            return
+        for data in datas:
+            self._check_page(data)
+        st = self._state(relname)
+        if not (0 <= start and start + count <= st.npages):
+            raise DeviceError(
+                f"{relname!r} pages [{start}, {start + count}) out of range ({st.npages})")
+        run_blk = self._block_of(st, start)
+        run_len = 1
+        for i in range(1, count):
+            blk = self._block_of(st, start + i)
+            if blk == run_blk + run_len:
+                run_len += 1
+            else:
+                self.disk.write_blocks(run_blk, run_len)
+                run_blk, run_len = blk, 1
+        self.disk.write_blocks(run_blk, run_len)
+        f = self._file(relname)
+        f.seek(start * PAGE_SIZE)
+        f.write(b"".join(datas))
+
     # -- durability --------------------------------------------------------
 
     def flush(self) -> None:

@@ -123,6 +123,22 @@ class MemDisk(DeviceManager):
         self.stats.writes += 1
         pages[pageno] = bytes(data)
 
+    def write_pages(self, relname: str, start: int,
+                    datas: list[bytes]) -> None:
+        """One DMA burst for the whole run — same bytes, one charge call."""
+        count = len(datas)
+        if count == 0:
+            return
+        for data in datas:
+            self._check_page(data)
+        pages = self._pages(relname)
+        if not (0 <= start and start + count <= len(pages)):
+            raise DeviceError(f"{relname!r} pages [{start}, {start + count}) out of range")
+        self.clock.advance(count * PAGE_SIZE / self.dma_rate_bps)
+        self.stats.writes += count
+        for i, data in enumerate(datas):
+            pages[start + i] = bytes(data)
+
     # -- durability ------------------------------------------------------
 
     def flush(self) -> None:

@@ -162,6 +162,18 @@ class DiskModel:
         self.stats.bytes_written += nbytes
         return self._charge(block, nbytes)
 
+    def write_blocks(self, block: int, nblocks: int) -> float:
+        """Charge for one contiguous multi-block write: a single
+        positioning followed by ``nblocks`` of pure media transfer — the
+        write-side twin of ``read_blocks``, what a controller does for a
+        gathered write-behind sweep.  Counts as one write operation."""
+        if nblocks <= 0:
+            return 0.0
+        nbytes = nblocks * BLOCK_SIZE
+        self.stats.writes += 1
+        self.stats.bytes_written += nbytes
+        return self._charge(block, nbytes)
+
     def flush(self) -> float:
         """Charge for a synchronous cache flush barrier (controller
         settle time).  Small but non-zero; commits pay it."""

@@ -49,10 +49,16 @@ class WorkloadRunner:
         #: ops of the transaction in flight when a crash fired, or None
         #: when the crash hit outside any visible-state-changing commit.
         self.pending: tuple | None = None
+        #: (xid, ops) of transactions committed in memory whose group-
+        #: commit records are still queued (not durable), in commit
+        #: order.  A crash may lose any *suffix* of this list; the
+        #: explorer therefore accepts the oracle base plus every prefix.
+        self.floating: list[tuple[int, tuple]] = []
 
     def run(self) -> None:
         for step in self.workload.steps:
             self.pending = None
+            self._drain_floating()
             if isinstance(step, TxStep):
                 self._run_tx(step)
             elif isinstance(step, VacuumStep):
@@ -62,6 +68,26 @@ class WorkloadRunner:
             else:
                 raise TypeError(f"unknown step {step!r}")
         self.pending = None
+        self._drain_floating()
+
+    def _drain_floating(self) -> None:
+        """Fold floating commits whose records have since been durably
+        flushed (group-commit batches force at later begins/commits)
+        into the oracle base, keeping the set of crash-ambiguous
+        transactions as small as the device state allows."""
+        still_pending = set(self.db.tm.pending_commit_xids())
+        while self.floating and self.floating[0][0] not in still_pending:
+            _, ops = self.floating.pop(0)
+            self.oracle.apply_many(ops)
+
+    def completed_state(self) -> dict:
+        """The expected visible state of a run that finished without a
+        crash: the durable oracle base plus every floating commit (they
+        are visible in memory even before their records are forced)."""
+        model = self.oracle
+        for _, ops in self.floating:
+            model = model.preview(ops)
+        return model.state()
 
     def _run_tx(self, step: TxStep) -> None:
         tx = self.fs.begin()
@@ -75,8 +101,14 @@ class WorkloadRunner:
             self.fs.abort(tx)
         else:
             self.fs.commit(tx)
-            self.oracle.apply_many(step.ops)
             self.pending = None
+            self._drain_floating()
+            if tx.xid in set(self.db.tm.pending_commit_xids()):
+                # Group commit queued the record: committed in memory,
+                # not yet durable — a crash may still lose it.
+                self.floating.append((tx.xid, step.ops))
+            else:
+                self.oracle.apply_many(step.ops)
 
     def _run_vacuum(self, step: VacuumStep) -> None:
         table = step.table or self.fs.chunk_table_of(step.path)
@@ -171,10 +203,11 @@ class CrashScheduleExplorer:
         runner.run()
         controller.disarm()
         final = harvest_state(fs)
-        if final != runner.oracle.state():
+        expected = runner.completed_state()
+        if final != expected:
             raise AssertionError(
                 f"workload {self.workload.name!r} diverges from the oracle "
-                f"even without a crash: {_diff(final, runner.oracle.state())}")
+                f"even without a crash: {_diff(final, expected)}")
         db.close()
         return controller.writes
 
@@ -212,13 +245,21 @@ class CrashScheduleExplorer:
                 return CrashPointResult(point, completed=False, state_ok=False,
                                         checker_clean=False, ambiguous=False,
                                         detail=f"harvest raised: {exc!r}")
-            allowed = [runner.oracle.state()]
+            # Allowed recovered states: the durable oracle base, plus —
+            # because group-commit batches are forced as one append and
+            # a crash (or tear) can cut that append anywhere — every
+            # prefix of the floating commit list.
+            model = runner.oracle
+            allowed = [model.state()]
+            for _, ops in runner.floating:
+                model = model.preview(ops)
+                allowed.append(model.state())
             if self.torn_append and runner.pending is not None:
                 # The tear may have left a parseable commit record: the
                 # in-flight transaction lands on either side.
-                allowed.append(runner.oracle.preview(runner.pending).state())
+                allowed.append(model.preview(runner.pending).state())
             state_ok = recovered in allowed
-            ambiguous = state_ok and len(allowed) > 1 and recovered == allowed[1]
+            ambiguous = state_ok and len(allowed) > 1 and recovered != allowed[0]
             try:
                 check = ConsistencyChecker(recovered_fs).check_all()
             except ReproError as exc:

@@ -211,6 +211,18 @@ class FaultyDevice(DeviceManager):
         self.ctrl.write_gate("page", self.name, f"{relname}:{pageno}", relname)
         self.inner.write_page(relname, pageno, data)
 
+    def write_pages(self, relname: str, start: int,
+                    datas: list[bytes]) -> None:
+        # Every page of the batch is its own counted crash boundary and
+        # is written through individually: a coalesced flush crashed at
+        # write k leaves exactly the first pages of the run durable —
+        # the same prefix semantics a page-at-a-time flush would have.
+        for i, data in enumerate(datas):
+            pageno = start + i
+            self.ctrl.write_gate("page", self.name,
+                                 f"{relname}:{pageno}", relname)
+            self.inner.write_page(relname, pageno, data)
+
     # -- gated durability -------------------------------------------------
 
     def flush(self) -> None:

@@ -59,10 +59,15 @@ class Workload:
     #: extra devices registered before the run is armed, as
     #: (name, kind) pairs understood by ``Database.add_device``.
     devices: tuple = ()
+    #: group-commit window (simulated seconds) applied to the database
+    #: under test; 0.0 keeps the paper's one-force-per-commit behaviour.
+    group_commit_window: float = 0.0
 
     def setup(self, db, fs) -> None:
         for devname, kind in self.devices:
             db.add_device(devname, kind)
+        if self.group_commit_window:
+            db.tm.group_commit_window = self.group_commit_window
 
 
 def commit_workload(seed: int = 0) -> Workload:
@@ -117,8 +122,42 @@ def migration_workload(seed: int = 0) -> Workload:
     ], devices=(("nvram0", "memdisk"),))
 
 
+def write_heavy_workload(seed: int = 0) -> Workload:
+    """Large multi-chunk writes that leave long dense dirty runs in the
+    buffer cache, so every commit exercises the coalesced write-back
+    path (sorted runs handed to ``write_pages``) at every crash point."""
+    p = lambda tag, size: payload(seed, tag, size)  # noqa: E731
+    return Workload("write_heavy", [
+        TxStep((("write", "/data0", p("w0", 20000)),
+                ("write", "/data1", p("w1", 12000)))),
+        TxStep((("write", "/data2", p("w2", 24000)),)),
+        TxStep((("write", "/data0", p("w3", 26000)),)),   # grow in place
+        TxStep((("write", "/data3", p("w4", 5000)),), abort=True),
+        TxStep((("write", "/data1", p("w5", 800)),        # shrink
+                ("write", "/data4", p("w6", 16500)))),
+    ])
+
+
+def group_commit_workload(seed: int = 0) -> Workload:
+    """Small committing transactions under a positive group-commit
+    window: commit records queue and land as multi-record appends, so a
+    crash can lose the floating suffix (or tear mid-batch) — exactly the
+    states the explorer's prefix oracle must accept and bound."""
+    p = lambda tag, size: payload(seed, tag, size)  # noqa: E731
+    return Workload("group_commit", [
+        TxStep((("mkdir", "/g"), ("write", "/g/a", p("a0", 3000)))),
+        TxStep((("write", "/g/b", p("b0", 1500)),)),
+        TxStep((("write", "/g/c", p("c0", 9000)),)),
+        TxStep((("write", "/g/a", p("a1", 500)),)),       # shrink
+        TxStep((("unlink", "/g/b"), ("write", "/g/d", p("d0", 12000)))),
+        TxStep((("write", "/g/e", p("e0", 2000)),)),
+    ], group_commit_window=0.25)
+
+
 ALL_WORKLOADS = {
     "commit": commit_workload,
     "vacuum": vacuum_workload,
     "migration": migration_workload,
+    "write_heavy": write_heavy_workload,
+    "group_commit": group_commit_workload,
 }

@@ -65,6 +65,42 @@ def test_size_mismatch_detected(populated):
     assert any(c.kind == "size-mismatch" for c in report.corruptions)
 
 
+def test_duplicate_chunk_version_detected(populated):
+    """Two visible versions of one chunk number — the corruption a
+    mis-coalesced batched write-back would leave behind."""
+    fs, _client = populated
+    fileid = fs.resolve("/data/b")
+    tx = fs.begin()
+    table = fs.db.table(chunk_table_name(fileid), tx)
+    table.insert(tx, (0, fileid, b"shadow copy"))  # chunk 0 again
+    fs.commit(tx)
+    report = ConsistencyChecker(fs).check_file(fileid)
+    assert any(c.kind == "duplicate-chunk" and c.chunkno == 0
+               for c in report.corruptions)
+
+
+def test_batched_flush_preserves_visible_chunk_count(populated):
+    """Coalescing dirty runs into multi-page device writes must neither
+    lose nor duplicate a chunk version: the per-file visible chunk
+    count is invariant across a flush, and the checker stays clean."""
+    fs, client = populated
+    checker = ConsistencyChecker(fs)
+    # Dirty a long dense run: a fresh multi-chunk file plus an overwrite.
+    fd = client.p_creat("/data/run")
+    client.p_write(fd, b"r" * (5 * CHUNK_SIZE + 11))
+    client.p_close(fd)
+    fileids = {name: fs.resolve(f"/data/{name}") for name in ("a", "b", "run")}
+    before = {name: checker.visible_chunk_count(fid)
+              for name, fid in fileids.items()}
+    assert before["run"] == 6
+    fs.db.flush_caches()
+    assert fs.db.buffers.stats.batched_writes > 0  # runs really coalesced
+    after = {name: checker.visible_chunk_count(fid)
+             for name, fid in fileids.items()}
+    assert after == before
+    assert checker.check_all().clean
+
+
 def test_orphan_naming_entry_detected(populated):
     fs, _client = populated
     tx = fs.begin()

@@ -1,0 +1,180 @@
+"""Client-side write batching (``write_batch_chunks``) and the
+orphaned-session cleanup it makes necessary.
+
+The batched write RPC is the symmetric twin of ``read_batch_chunks``:
+sequential ``p_write`` calls accumulate client-side and ship as one
+``p_write`` per window.  The tests pin the protocol invariants — same
+bytes on the server whatever the batch size, buffers flushed before any
+other RPC — and the server's guarantee that a session dying with
+buffered writes mid-transaction releases its locks and reconciles its
+pending attribute updates.
+"""
+
+import pytest
+
+from repro.core.client import RemoteInversionClient
+from repro.core.constants import CHUNK_SIZE
+from repro.core.server import InversionServer
+from repro.sim.network import ETHERNET_10MBIT, NetworkModel
+
+
+def make_remote(fs, clock, **kwargs):
+    server = InversionServer(fs)
+    network = NetworkModel(clock=clock, params=ETHERNET_10MBIT)
+    return server, RemoteInversionClient(server, network, **kwargs)
+
+
+def chunks(n, seed=0):
+    return [bytes([65 + (seed + i) % 26]) * CHUNK_SIZE for i in range(n)]
+
+
+def test_sequential_writes_ship_as_batched_rpcs(fs, clock):
+    server, client = make_remote(fs, clock, write_batch_chunks=4)
+    fd = client.p_creat("/wb")
+    client.p_begin()
+    for piece in chunks(8):
+        client.p_write(fd, piece)
+    client.p_commit()
+    client.p_close(fd)
+    assert client.buffered_writes == 8
+    assert client.batched_writes == 2  # 8 chunks / window of 4
+    assert fs.read_file("/wb") == b"".join(chunks(8))
+    client.close()
+
+
+def test_default_batch_size_preserves_paper_protocol(fs, clock):
+    _server, client = make_remote(fs, clock)
+    fd = client.p_creat("/plain")
+    client.p_begin()
+    for piece in chunks(4):
+        client.p_write(fd, piece)
+    client.p_commit()
+    client.p_close(fd)
+    assert client.buffered_writes == 0
+    assert client.batched_writes == 0
+    client.close()
+
+
+def test_batching_sends_fewer_messages(fs, clock):
+    server1, batched = make_remote(fs, clock, write_batch_chunks=16)
+    fd = batched.p_creat("/few")
+    batched.p_begin()
+    before = batched.network.stats.messages
+    for piece in chunks(16):
+        batched.p_write(fd, piece)
+    batched_msgs = batched.network.stats.messages - before
+    batched.p_commit()
+    batched.p_close(fd)
+    batched.close()
+
+    server2, plain = make_remote(fs, clock, write_batch_chunks=1)
+    fd = plain.p_creat("/many")
+    plain.p_begin()
+    before = plain.network.stats.messages
+    for piece in chunks(16):
+        plain.p_write(fd, piece)
+    plain_msgs = plain.network.stats.messages - before
+    plain.p_commit()
+    plain.p_close(fd)
+    plain.close()
+    assert batched_msgs * 4 < plain_msgs
+
+
+def test_read_after_buffered_write_sees_the_bytes(fs, clock):
+    """The write buffer is flushed before any read RPC, so a client
+    always observes its own writes in program order."""
+    _server, client = make_remote(fs, clock, write_batch_chunks=8)
+    fd = client.p_creat("/ryw")
+    client.p_begin()
+    client.p_write(fd, b"hello ")
+    client.p_write(fd, b"world")
+    client.p_lseek(fd, 0, 0, 0)
+    assert client.p_read(fd, 100) == b"hello world"
+    client.p_commit()
+    client.p_close(fd)
+    client.close()
+
+
+def test_seek_breaks_the_batch(fs, clock):
+    """A non-sequential write ships the pending buffer first, then
+    starts a fresh one at the new position — bytes land where the
+    paper protocol would put them."""
+    _server, client = make_remote(fs, clock, write_batch_chunks=8)
+    fd = client.p_creat("/seeky")
+    client.p_begin()
+    client.p_write(fd, b"A" * 10)
+    client.p_lseek(fd, 0, 5, 0)
+    client.p_write(fd, b"B" * 10)
+    client.p_commit()
+    client.p_close(fd)
+    assert fs.read_file("/seeky") == b"A" * 5 + b"B" * 10
+    client.close()
+
+
+def test_graceful_close_flushes_buffered_writes(fs, clock):
+    _server, client = make_remote(fs, clock, write_batch_chunks=8)
+    fd = client.p_creat("/flushed")
+    client.p_write(fd, b"kept")  # auto-commit write, buffered client-side
+    client.close()               # must ship the buffer before disconnect
+    assert fs.read_file("/flushed") == b"kept"
+
+
+# -- orphaned-session cleanup ------------------------------------------------
+
+
+def test_disconnect_mid_transaction_releases_locks(fs, clock):
+    """A session dying with buffered batched writes inside an open
+    transaction must not strand its exclusive locks: the next session
+    touching the same paths would block forever."""
+    server, dying = make_remote(fs, clock, write_batch_chunks=8)
+    dying.p_begin()
+    fd = dying.p_creat("/contested")
+    dying.p_write(fd, b"buffered, never shipped")
+    # The process dies: the server tears the session down without the
+    # client-side flush a graceful close would do.
+    server.disconnect(dying._session)
+    assert not fs.exists("/contested")  # the transaction aborted
+
+    survivor = RemoteInversionClient(
+        server, NetworkModel(clock=clock, params=ETHERNET_10MBIT))
+    fd2 = survivor.p_creat("/contested")  # would deadlock on leaked locks
+    survivor.p_write(fd2, b"second session wins")
+    survivor.p_close(fd2)
+    survivor.close()
+    assert fs.read_file("/contested") == b"second session wins"
+
+
+def test_disconnect_releases_locks_even_if_abort_hook_raises(fs, clock):
+    server, dying = make_remote(fs, clock)
+    dying.p_begin()
+    fd = dying.p_creat("/hooked")
+    dying.p_write(fd, b"x")
+    session = server._sessions[dying._session]
+
+    def bad_hook():
+        raise RuntimeError("cache invalidation failed")
+
+    session._tx.abort_hooks.append(bad_hook)
+    server.disconnect(dying._session)  # must not raise, must not leak
+
+    survivor = RemoteInversionClient(
+        server, NetworkModel(clock=clock, params=ETHERNET_10MBIT))
+    fd2 = survivor.p_creat("/hooked")
+    survivor.p_write(fd2, b"ok")
+    survivor.p_close(fd2)
+    survivor.close()
+    assert fs.read_file("/hooked") == b"ok"
+
+
+def test_disconnect_reconciles_pending_attributes(fs, clock):
+    """Auto-commit writes durably commit their chunks but defer the
+    fileatt size update to close/stat.  A session that dies before
+    closing must still reconcile, or every other session sees a stale
+    size for data that is already on disk."""
+    server, dying = make_remote(fs, clock)
+    fd = dying.p_creat("/orphan")
+    dying.p_write(fd, b"z" * 1000)  # auto-commit: chunk durable, att lags
+    server.disconnect(dying._session)
+
+    assert fs.stat("/orphan").size == 1000
+    assert fs.read_file("/orphan") == b"z" * 1000

@@ -1,0 +1,217 @@
+"""Group commit: deferred status forces, multi-record appends, and the
+recovery parser that reads them back.
+
+With ``group_commit_window=0`` (the default) every writing commit pays
+its own forced status append — the paper's behaviour, asserted exactly.
+With a positive window, commit records queue and one forced append
+carries the whole batch as a multi-record line; a crash before the
+force loses the queue, which is safe because data pages were forced
+first (data-then-status), so the lost transactions are presumed
+aborted.
+"""
+
+import pytest
+
+from repro.db.transactions import (
+    ABORTED,
+    COMMITTED,
+    STATUS_TAG,
+    TransactionManager,
+)
+from repro.devices.memdisk import MemDisk
+from repro.sim.clock import SimClock
+
+
+@pytest.fixture
+def device():
+    return MemDisk("mem0", SimClock())
+
+
+def commit_writer(tm):
+    tx = tm.begin()
+    tx.wrote = True
+    tm.commit(tx)
+    return tx
+
+
+def test_window_zero_forces_once_per_writing_commit(device):
+    tm = TransactionManager(device, SimClock())
+    for _ in range(5):
+        commit_writer(tm)
+    assert tm.stats.status_forces == 5
+    assert tm.stats.commits_recorded == 5
+    assert tm.stats.commits_per_force() == 1.0
+    assert tm.stats.group_batches == 0
+    assert tm.pending_commit_xids() == []
+
+
+def test_readonly_commits_force_nothing(device):
+    tm = TransactionManager(device, SimClock())
+    for _ in range(3):
+        tm.commit(tm.begin())
+    assert tm.stats.status_forces == 0
+
+
+def test_window_queues_and_flush_forces_one_append(device):
+    clock = SimClock()
+    tm = TransactionManager(device, clock, group_commit_window=1.0)
+    txs = [commit_writer(tm) for _ in range(4)]
+    assert tm.stats.status_forces == 0
+    assert tm.pending_commit_xids() == [tx.xid for tx in txs]
+    # Queued commits are already visible in memory.
+    assert all(tm.is_committed(tx.xid) for tx in txs)
+    assert tm.flush_commits() == 4
+    assert tm.stats.status_forces == 1
+    assert tm.stats.commits_recorded == 4
+    assert tm.stats.commits_per_force() == 4.0
+    assert tm.stats.group_batches == 1
+    assert tm.stats.max_group == 4
+    assert tm.pending_commit_xids() == []
+    # One line, four records.
+    raw = device.read_meta(STATUS_TAG)
+    lines = [l for l in raw.decode().splitlines() if l]
+    assert len(lines) == 1
+    assert lines[0].count("C ") == 4
+
+
+def test_multi_record_line_survives_reload(device):
+    clock = SimClock()
+    tm = TransactionManager(device, clock, group_commit_window=1.0)
+    txs = []
+    for _ in range(3):
+        clock.advance(0.25)
+        txs.append(commit_writer(tm))
+    tm.flush_commits()
+    tm2 = TransactionManager(device, clock)
+    for tx in txs:
+        assert tm2.is_committed(tx.xid)
+        assert tm2.commit_time(tx.xid) == pytest.approx(
+            tm.commit_time(tx.xid))
+
+
+def test_window_deadline_flushes_on_next_begin(device):
+    clock = SimClock()
+    tm = TransactionManager(device, clock, group_commit_window=0.5)
+    tx = commit_writer(tm)
+    assert tm.pending_commit_xids() == [tx.xid]
+    clock.advance(1.0)
+    tm.begin()  # past the deadline: the batch is forced here
+    assert tm.pending_commit_xids() == []
+    assert tm.stats.status_forces == 1
+
+
+def test_crash_loses_pending_but_stays_consistent(device):
+    """A crash before the batch force loses the queued commits — they
+    recover as presumed-aborted, never as torn state."""
+    clock = SimClock()
+    tm = TransactionManager(device, clock, group_commit_window=5.0)
+    durable = commit_writer(tm)
+    tm.flush_commits()
+    floating = [commit_writer(tm) for _ in range(3)]
+    # Crash: the pending queue simply never reaches the device.
+    tm2 = TransactionManager(device, clock)
+    assert tm2.is_committed(durable.xid)
+    for tx in floating:
+        assert tm2.state(tx.xid) == ABORTED
+        assert not tm2.is_committed(tx.xid)
+
+
+def test_abort_is_recorded_immediately_while_batch_pends(device):
+    clock = SimClock()
+    tm = TransactionManager(device, clock, group_commit_window=5.0)
+    pending = commit_writer(tm)
+    aborted = tm.begin()
+    aborted.wrote = True
+    tm.abort(aborted)
+    assert tm.stats.aborts_recorded == 1
+    # The A record is durable even though the C record still pends.
+    tm2 = TransactionManager(device, clock)
+    assert tm2.state(aborted.xid) == ABORTED
+    assert tm2.state(pending.xid) == ABORTED  # lost with the queue
+    tm.flush_commits()
+    tm3 = TransactionManager(device, clock)
+    assert tm3.is_committed(pending.xid)
+
+
+# -- torn multi-record appends ------------------------------------------------
+
+
+def build_status(device, records):
+    device.sync_write_meta(STATUS_TAG, records)
+
+
+def test_torn_multi_record_append_keeps_the_durable_prefix(device):
+    build_status(device,
+                 b"C 2 0.0 1.0\n"
+                 b"C 3 1.0 2.0 C 4 1.5 2.0 C 5 1.7 2")  # torn mid-batch
+    tm = TransactionManager(device, SimClock())
+    assert tm.is_committed(2)
+    assert tm.is_committed(3)
+    # Records 4 and 5: 4 parses complete, but as the last parseable
+    # record of a torn line its final token cannot be trusted — both
+    # are presumed aborted, which is safe (their data pages were forced
+    # before the append; losing the record only loses the commit).
+    assert tm.state(5) == ABORTED
+    assert tm.recovery_report()["torn_tail"] == 1
+
+
+def test_torn_tail_discards_final_record_even_if_it_parses(device):
+    """A tear can truncate the final float of the last record and still
+    leave it token-complete (``0.25`` → ``0.2``); the parser therefore
+    never trusts the last record of a newline-less line."""
+    build_status(device, b"C 2 0.0 1.0\nC 3 1.0 2.0")  # no trailing \n
+    tm = TransactionManager(device, SimClock())
+    assert tm.is_committed(2)
+    assert tm.state(3) == ABORTED
+    assert tm.recovery_report()["torn_tail"] == 1
+    # The xid is still not reusable.
+    assert tm.begin().xid > 3
+
+
+def test_mixed_records_on_one_line_parse(device):
+    build_status(device, b"C 2 0.0 1.0 A 3 0.5 C 4 0.7 1.2\n")
+    tm = TransactionManager(device, SimClock())
+    assert tm.is_committed(2)
+    assert tm.state(3) == ABORTED
+    assert tm.is_committed(4)
+
+
+def test_garbage_status_still_rejected(device):
+    build_status(device, b"garbage nonsense\n")
+    from repro.errors import RecoveryError
+    with pytest.raises(RecoveryError):
+        TransactionManager(device, SimClock())
+
+
+# -- hwm off the hot path -----------------------------------------------------
+
+
+def test_begin_does_not_force_hwm_in_steady_state(device):
+    tm = TransactionManager(device, SimClock())
+    loaded_forces = tm.stats.hwm_forces  # the ahead-of-need force at load
+    assert loaded_forces == 1
+    for _ in range(40):
+        commit_writer(tm)
+    # Headroom top-ups piggybacked on status forces; begin never paid.
+    assert tm.stats.status_forces == 40
+
+
+def test_hwm_hard_floor_still_guards_xid_reuse(device):
+    """Read-only transactions burn headroom without status forces to
+    piggyback on; the hard floor in begin() must still advance the hwm
+    before handing out an xid at the durable mark."""
+    clock = SimClock()
+    tm = TransactionManager(device, clock)
+    last = None
+    for _ in range(200):  # far past one stride of headroom
+        last = tm.begin()
+        tm.commit(last)  # read-only: no status line
+    assert tm.stats.hwm_forces >= 2
+    tm2 = TransactionManager(device, clock)
+    assert tm2.begin().xid > last.xid
+
+
+def test_commit_state_values_unchanged(device):
+    tm = TransactionManager(device, SimClock())
+    tx = commit_writer(tm)
+    assert tm.state(tx.xid) == COMMITTED

@@ -102,6 +102,102 @@ def test_committed_state_survives_crash_and_reopen(script):
             recovered.close()
 
 
+#: write-heavy scripts: multi-chunk payloads so commits leave dense
+#: dirty runs for the coalesced write-back path, few aborts.
+big_payloads = st.binary(min_size=0, max_size=20000)
+write_ops = st.one_of(
+    st.tuples(st.just("write"), paths, big_payloads),
+    st.tuples(st.just("write"), paths, payloads),
+    st.tuples(st.just("mkdir"), paths),
+    st.tuples(st.just("unlink"), paths),
+)
+write_scripts = st.lists(
+    st.tuples(st.lists(write_ops, min_size=1, max_size=3),
+              st.sampled_from([False, False, False, True])),
+    min_size=1, max_size=6)
+
+WRITE_SETTINGS = settings(max_examples=15, deadline=None, derandomize=True,
+                          suppress_health_check=[HealthCheck.too_slow])
+
+
+def run_script_with_history(fs, script):
+    """Like run_script, but records (xid, model-copy) after every
+    committed transaction, so a crash outcome can be matched against
+    any commit-prefix of the history."""
+    model = ModelFS()
+    history = []
+    for tx_ops, abort in script:
+        tx = fs.begin()
+        scratch = model.copy()
+        for op in tx_ops:
+            reason = scratch.why_invalid(op)
+            if reason == "target inside source subtree":
+                continue
+            if reason is not None:
+                with pytest.raises(InversionError):
+                    apply_fs_op(fs, tx, op)
+                continue
+            apply_fs_op(fs, tx, op)
+            scratch.apply(op)
+        if abort:
+            fs.abort(tx)
+        else:
+            fs.commit(tx)
+            model = scratch
+            history.append((tx.xid, model.copy()))
+    return model, history
+
+
+@given(script=write_scripts, window=st.sampled_from([0.0, 0.5, 60.0]))
+@WRITE_SETTINGS
+def test_group_commit_crash_loses_only_a_floating_suffix(script, window):
+    """Under group commit a crash may lose the queued (not yet forced)
+    commit records — which are always the *most recent* writing
+    commits.  The recovered state must equal the model at exactly the
+    last durable commit: no torn middle, no resurrection, no partial
+    transaction."""
+    with tempfile.TemporaryDirectory() as root:
+        db = Database.create(root + "/db")
+        fs = InversionFS.mkfs(db)
+        db.tm.group_commit_window = window  # after mkfs: bootstrap durable
+        model, history = run_script_with_history(fs, script)
+        floating = set(db.tm.pending_commit_xids())
+        expected = ModelFS()
+        for xid, snapshot in history:
+            if xid in floating:
+                break  # this commit and everything after it is lost
+            expected = snapshot
+        if window == 0.0:
+            assert not floating  # paper behaviour: nothing ever floats
+        db.simulate_crash()  # the pending queue dies with the process
+        recovered = Database.open(root + "/db")
+        try:
+            assert (harvest_state(InversionFS.attach(recovered))
+                    == expected.state())
+        finally:
+            recovered.close()
+
+
+@given(script=write_scripts)
+@WRITE_SETTINGS
+def test_flushed_group_commits_all_survive(script):
+    """An explicit flush (what close/checkpoint do) makes every queued
+    commit durable: after it, a crash loses nothing."""
+    with tempfile.TemporaryDirectory() as root:
+        db = Database.create(root + "/db")
+        fs = InversionFS.mkfs(db)
+        db.tm.group_commit_window = 60.0
+        model, _history = run_script_with_history(fs, script)
+        db.tm.flush_commits()
+        db.simulate_crash()
+        recovered = Database.open(root + "/db")
+        try:
+            assert (harvest_state(InversionFS.attach(recovered))
+                    == model.state())
+        finally:
+            recovered.close()
+
+
 @given(data=payloads, shorter=payloads)
 @SETTINGS
 def test_overwrite_semantics_match_model(data, shorter):
