@@ -127,3 +127,106 @@ def format_table3(results: dict[str, dict[str, float]],
         lines.append(f"{OP_LABELS[op]:<38}{ours}")
         lines.append(f"{'  (paper)':<38}{paper}")
     return "\n".join(lines)
+
+
+# -- per-transaction cost breakdown (repro.obs accounting) ---------------
+
+#: column headers for :data:`repro.obs.FIELDS`, in the same order.
+TX_COLUMNS = (
+    ("buffer_hits", "buf.hit"),
+    ("buffer_misses", "buf.miss"),
+    ("device_read_ops", "rd.ops"),
+    ("device_pages_read", "rd.pages"),
+    ("device_write_ops", "wr.ops"),
+    ("device_pages_written", "wr.pages"),
+    ("lock_waits", "lk.waits"),
+    ("lock_wait_seconds", "lk.secs"),
+    ("status_forces", "forces"),
+)
+
+
+def _tx_cell(value: float) -> str:
+    if isinstance(value, float) and not value.is_integer():
+        return f"{value:.3f}"
+    return str(int(value))
+
+
+def format_tx_breakdown(breakdown: dict[int, dict[str, float]],
+                        title: str = "Per-transaction cost breakdown") -> str:
+    """Render a :meth:`repro.obs.TxAccountant.breakdown` as a table:
+    one row per xid (in begin order), one column per accounting field,
+    plus a totals row.  This is the paper's Table 4 idea — where did
+    the time go? — at transaction granularity."""
+    lines = [title, "=" * len(title)]
+    header = f"{'xid':>6}" + "".join(f"{h:>10}" for _f, h in TX_COLUMNS)
+    lines.append(header)
+    totals = {field: 0 for field, _h in TX_COLUMNS}
+    for xid, row in breakdown.items():
+        cells = "".join(f"{_tx_cell(row.get(f, 0)):>10}" for f, _h in TX_COLUMNS)
+        lines.append(f"{xid:>6}{cells}")
+        for field, _h in TX_COLUMNS:
+            totals[field] += row.get(field, 0)
+    lines.append("-" * len(header))
+    lines.append(f"{'total':>6}"
+                 + "".join(f"{_tx_cell(totals[f]):>10}" for f, _h in TX_COLUMNS))
+    return "\n".join(lines)
+
+
+def tx_smoke_breakdown():
+    """Run a tiny Inversion workload in a temp directory and return its
+    accountant breakdown — a handful of transactions touching the
+    buffer cache, the devices and the status file.  CI renders this
+    through :func:`format_tx_breakdown` to prove the accounting path
+    stays wired end to end."""
+    import shutil
+    import tempfile
+
+    from repro.core.filesystem import InversionFS
+    from repro.core.library import InversionClient
+    from repro.db.database import Database
+    from repro.sim.clock import SimClock
+
+    tmp = tempfile.mkdtemp(prefix="repro-tx-smoke-")
+    try:
+        db = Database.create(tmp + "/db", clock=SimClock())
+        fs = InversionFS.mkfs(db)
+        client = InversionClient(fs)
+        client.p_mkdir("/smoke")
+        fd = client.p_creat("/smoke/a.txt")
+        client.p_write(fd, b"x" * 40_000)
+        client.p_close(fd)
+        fd = client.p_open("/smoke/a.txt", 0)
+        client.p_read(fd, 40_000)
+        client.p_close(fd)
+        breakdown = db.obs.tx.breakdown()
+        db.close()
+        return breakdown
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.report",
+        description="Render accounting reports outside a full bench run.")
+    parser.add_argument("--tx-smoke", action="store_true",
+                        help="run a tiny workload and print its "
+                             "per-transaction cost breakdown")
+    args = parser.parse_args(argv)
+    if args.tx_smoke:
+        breakdown = tx_smoke_breakdown()
+        if not breakdown:
+            print("no transactions were accounted", flush=True)
+            return 1
+        print(format_tx_breakdown(breakdown))
+        return 0
+    parser.print_help()
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

@@ -29,6 +29,23 @@ from repro.db.snapshot import Snapshot
 from repro.db.transactions import Transaction
 from repro.db.tuples import Column, Schema
 from repro.errors import FileTooLargeError, TableError
+from repro.obs.registry import MetricSpec
+from repro.obs.tracing import NO_SPAN
+
+METRICS = (
+    MetricSpec("chunks.range_reads", "counter", "ops",
+               "Multi-chunk read_range calls (one index range scan "
+               "instead of per-chunk probes).",
+               "repro.core.chunks"),
+    MetricSpec("chunks.flushes", "counter", "ops",
+               "Coalescing-buffer flushes pushing dirty chunks into "
+               "the data table.",
+               "repro.core.chunks"),
+    MetricSpec("chunks.chunks_written", "counter", "chunks",
+               "Chunk versions written by those flushes (inserts and "
+               "no-overwrite updates).",
+               "repro.core.chunks"),
+)
 
 CHUNK_SCHEMA = Schema([
     Column("chunkno", "int4"),
@@ -103,21 +120,28 @@ class ChunkStore:
         :meth:`read_chunk`."""
         if hi < lo:
             return {}
-        chunks: dict[int, bytes] = {}
-        if self._indexed:
-            for _tid, row in self.table.index_range_newest(
-                    ("chunkno",), (lo,), (hi,), snapshot, tx):
-                chunks[row[0]] = row[2]
-        else:
-            for _tid, row in self.table.scan(snapshot, tx):
-                if lo <= row[0] <= hi:
-                    # scan yields live versions then archive; keep the
-                    # first visible one, matching _find_chunk.
-                    chunks.setdefault(row[0], row[2])
-        for chunkno, data in self._dirty.items():
-            if lo <= chunkno <= hi:
-                chunks[chunkno] = data
-        return chunks
+        obs = self.db.obs
+        if obs is not None:
+            obs.chunk_range_read()
+        span = obs.span("chunks.read_range", fileid=self.fileid,
+                        lo=lo, hi=hi) \
+            if obs is not None and obs.tracer.enabled else NO_SPAN
+        with span:
+            chunks: dict[int, bytes] = {}
+            if self._indexed:
+                for _tid, row in self.table.index_range_newest(
+                        ("chunkno",), (lo,), (hi,), snapshot, tx):
+                    chunks[row[0]] = row[2]
+            else:
+                for _tid, row in self.table.scan(snapshot, tx):
+                    if lo <= row[0] <= hi:
+                        # scan yields live versions then archive; keep the
+                        # first visible one, matching _find_chunk.
+                        chunks.setdefault(row[0], row[2])
+            for chunkno, data in self._dirty.items():
+                if lo <= chunkno <= hi:
+                    chunks[chunkno] = data
+            return chunks
 
     # -- writes -------------------------------------------------------------------
 
@@ -142,6 +166,14 @@ class ChunkStore:
         Returns the number of chunks written."""
         if not self._dirty:
             return 0
+        obs = self.db.obs
+        span = obs.span("chunks.flush", fileid=self.fileid,
+                        chunks=len(self._dirty)) \
+            if obs is not None and obs.tracer.enabled else NO_SPAN
+        with span:
+            return self._flush_buffered(tx, obs)
+
+    def _flush_buffered(self, tx: Transaction, obs) -> int:
         snapshot = self.db.snapshot(tx)
         order = sorted(self._dirty)
         existing = self._resolve_existing(order, snapshot, tx)
@@ -166,6 +198,8 @@ class ChunkStore:
         if batch:
             self.table.insert_many(tx, batch)
         self._dirty.clear()
+        if obs is not None:
+            obs.chunk_flush(written)
         return written
 
     def _resolve_existing(self, chunknos, snapshot: Snapshot,

@@ -17,7 +17,27 @@ from dataclasses import dataclass
 
 from repro.core.constants import CHUNK_SIZE
 from repro.core.server import InversionServer
+from repro.obs.registry import MetricSpec
 from repro.sim.network import NetworkModel
+
+METRICS = (
+    MetricSpec("rpc.client.batched_reads", "counter", "ops",
+               "RPCs that fetched more than the caller asked for "
+               "(read-ahead window).",
+               "repro.core.client"),
+    MetricSpec("rpc.client.buffered_reads", "counter", "ops",
+               "p_read calls answered from the client buffer, no RPC "
+               "at all.",
+               "repro.core.client"),
+    MetricSpec("rpc.client.batched_writes", "counter", "ops",
+               "p_write RPCs that shipped more than one buffered "
+               "call's data.",
+               "repro.core.client"),
+    MetricSpec("rpc.client.buffered_writes", "counter", "ops",
+               "p_write calls absorbed into the write buffer, no RPC "
+               "at all.",
+               "repro.core.client"),
+)
 
 _REQ_BASE = 64    # RPC header + method + fixed args
 _RESP_BASE = 32   # status + fixed return
@@ -101,6 +121,11 @@ class RemoteInversionClient:
         self.batched_writes = 0
         #: p_write calls absorbed into the write buffer, no RPC at all.
         self.buffered_writes = 0
+        # Mirror the counters onto the server database's registry — the
+        # client lives outside the Database, so it binds itself.
+        self._obs = getattr(getattr(self.server.fs, "db", None), "obs", None)
+        if self._obs is not None:
+            self._obs.bind_client(self)
 
     def close(self) -> None:
         self._flush_writes()
@@ -167,6 +192,13 @@ class RemoteInversionClient:
             self._flush_fd_writes(fd)
 
     def _call(self, method: str, *args, **kwargs):
+        obs = self._obs
+        if obs is not None and obs.tracer.enabled:
+            with obs.tracer.span("rpc.call", method=method):
+                return self._call_inner(method, *args, **kwargs)
+        return self._call_inner(method, *args, **kwargs)
+
+    def _call_inner(self, method: str, *args, **kwargs):
         request = _REQ_BASE + _arg_bytes(args, kwargs)
         pipelined = (self.write_behind and method == "p_write"
                      and self._last_was_write)

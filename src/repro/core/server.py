@@ -18,6 +18,14 @@ from __future__ import annotations
 from repro.core.filesystem import InversionFS
 from repro.core.library import InversionClient
 from repro.errors import InversionError
+from repro.obs.registry import MetricSpec
+
+METRICS = (
+    MetricSpec("rpc.dispatches", "counter", "calls",
+               "RPC requests dispatched into the file system, by "
+               "method.",
+               "repro.core.server", ("method",)),
+)
 
 
 class InversionServer:
@@ -81,4 +89,11 @@ class InversionServer:
             raise InversionError(f"no session {session_id}")
         if self.fs.db.cpu is not None:
             self.fs.db.cpu.rpc_dispatch()
+        obs = self.fs.db.obs
+        if obs is not None:
+            obs.rpc_dispatch(method)
+            if obs.tracer.enabled:
+                with obs.tracer.span("rpc.dispatch", method=method,
+                                     session=session_id):
+                    return getattr(session, method)(*args, **kwargs)
         return getattr(session, method)(*args, **kwargs)

@@ -41,7 +41,20 @@ from repro.db.page import (
 )
 from repro.db.transactions import Transaction
 from repro.errors import BTreeError
+from repro.obs.registry import MetricSpec
+from repro.obs.tracing import NO_SPAN
 from repro.sim.cpu import CpuModel
+
+METRICS = (
+    MetricSpec("btree.total_descents", "counter", "descents",
+               "Root-to-leaf descents this session (the registry "
+               "re-baselines the process-global class counter at bind "
+               "time).",
+               "repro.db.btree"),
+    MetricSpec("btree.descents", "counter", "descents",
+               "Root-to-leaf descents per index relation this session.",
+               "repro.db.btree", ("relation",)),
+)
 
 _KLEN_FMT = "<H"
 _CHILD_FMT = "<I"
@@ -165,15 +178,20 @@ class BTree:
         BTree.total_descents += 1
         BTree.descents_by_rel[self.relname] = \
             BTree.descents_by_rel.get(self.relname, 0) + 1
-        pageno = self._root()
-        path: list[tuple[int, int]] = []
-        while True:
-            page = self._page(pageno)
-            if self._is_leaf(page):
-                return pageno, path
-            idx, child = self._child_for(page, key)
-            path.append((pageno, idx))
-            pageno = child
+        obs = self.buffers.obs
+        span = obs.span("btree.descend", relation=self.relname) \
+            if obs is not None and obs.tracer.enabled else NO_SPAN
+        with span as sp:
+            pageno = self._root()
+            path: list[tuple[int, int]] = []
+            while True:
+                page = self._page(pageno)
+                if self._is_leaf(page):
+                    sp.set(depth=len(path) + 1)
+                    return pageno, path
+                idx, child = self._child_for(page, key)
+                path.append((pageno, idx))
+                pageno = child
 
     # -- insertion -----------------------------------------------------------------
 

@@ -29,6 +29,8 @@ from dataclasses import dataclass, field
 
 from repro.db.page import Page
 from repro.devices.switch import DeviceSwitch
+from repro.obs.registry import MetricSpec
+from repro.obs.tracing import NO_SPAN
 from repro.sim.cpu import CpuModel
 
 BufferKey = tuple[str, str, int]  # (device name, relation name, page number)
@@ -38,6 +40,61 @@ DEFAULT_BUFFERS = 300
 
 DEFAULT_READAHEAD = 8
 """Pages fetched per device call once a scan turns sequential."""
+
+METRICS = (
+    MetricSpec("buffer.hits", "counter", "pages",
+               "Page requests served from a resident frame.",
+               "repro.db.buffer"),
+    MetricSpec("buffer.misses", "counter", "pages",
+               "Page requests that paid a device read.",
+               "repro.db.buffer"),
+    MetricSpec("buffer.evictions", "counter", "pages",
+               "Frames pushed out in LRU order to admit new pages.",
+               "repro.db.buffer"),
+    MetricSpec("buffer.dirty_writebacks", "counter", "pages",
+               "Dirty pages written back to their device (eviction or "
+               "flush).",
+               "repro.db.buffer"),
+    MetricSpec("buffer.forced_writes", "counter", "pages",
+               "Dirty pages written by an explicit flush (commit force, "
+               "relation flush).",
+               "repro.db.buffer"),
+    MetricSpec("buffer.batched_writes", "counter", "ops",
+               "Multi-page write_pages device calls issued by flushes.",
+               "repro.db.buffer"),
+    MetricSpec("buffer.write_coalesce_hits", "counter", "pages",
+               "Pages that rode along in a batched write beyond the "
+               "first — positioning charges the page-at-a-time path "
+               "would have paid.",
+               "repro.db.buffer"),
+    MetricSpec("buffer.prefetches", "counter", "pages",
+               "Pages fetched ahead of an explicit request by the "
+               "read-ahead window.",
+               "repro.db.buffer"),
+    MetricSpec("buffer.prefetch_hits", "counter", "pages",
+               "Hits served from a prefetched, not-yet-requested frame.",
+               "repro.db.buffer"),
+)
+
+#: pushed per-relation device families — charged at the buffer/device
+#: seam, where both the device name and the relation are known (the
+#: registry's ``device.reads{device=...,relation=...}`` series).
+DEVICE_METRICS = (
+    MetricSpec("device.reads", "counter", "ops",
+               "Device read calls issued by the buffer cache (a batched "
+               "run counts once).",
+               "repro.db.buffer", ("device", "relation")),
+    MetricSpec("device.pages_read", "counter", "pages",
+               "Pages transferred by those reads.",
+               "repro.db.buffer", ("device", "relation")),
+    MetricSpec("device.writes", "counter", "ops",
+               "Device write calls issued by the buffer cache (a "
+               "coalesced flush run counts once).",
+               "repro.db.buffer", ("device", "relation")),
+    MetricSpec("device.pages_written", "counter", "pages",
+               "Pages transferred by those writes.",
+               "repro.db.buffer", ("device", "relation")),
+)
 
 
 @dataclass
@@ -76,6 +133,9 @@ class BufferCache:
     #: flush time; False restores page-at-a-time write-back (the
     #: ablation baseline the commit-I/O bench measures against).
     coalesce_writes: bool = True
+    #: the session's Observability bundle (set by Database); None for
+    #: standalone caches in unit tests.
+    obs: object | None = field(default=None, repr=False)
     stats: BufferStats = field(default_factory=BufferStats)
     _frames: "OrderedDict[BufferKey, _Frame]" = field(
         default_factory=OrderedDict, repr=False)
@@ -104,10 +164,13 @@ class BufferCache:
         A miss at ``last_access + 1`` is treated as a sequential scan
         and pulls a whole read-ahead window in one device call."""
         key = (dev_name, relname, pageno)
+        obs = self.obs
         streak = self._note_access((dev_name, relname), pageno)
         frame = self._frames.get(key)
         if frame is not None:
             self.stats.hits += 1
+            if obs is not None:
+                obs.tx.charge("buffer_hits")
             if key in self._prefetched:
                 self._prefetched.discard(key)
                 self.stats.prefetch_hits += 1
@@ -116,11 +179,18 @@ class BufferCache:
         self.stats.misses += 1
         dev = self.switch.get(dev_name)
         count = self._readahead_count(dev, relname, dev_name, pageno, streak)
-        if count > 1:
-            datas = dev.read_pages(relname, pageno, count)
-            self.stats.prefetches += count - 1
-        else:
-            datas = [dev.read_page(relname, pageno)]
+        span = obs.span("device.read", device=dev_name, relation=relname,
+                        page=pageno, pages=count) \
+            if obs is not None and obs.tracer.enabled else NO_SPAN
+        with span:
+            if count > 1:
+                datas = dev.read_pages(relname, pageno, count)
+                self.stats.prefetches += count - 1
+            else:
+                datas = [dev.read_page(relname, pageno)]
+        if obs is not None:
+            obs.tx.charge("buffer_misses")
+            obs.device_read(dev_name, relname, count)
         if self.cpu is not None:
             for _ in datas:
                 self.cpu.buffer_copy()
@@ -174,6 +244,7 @@ class BufferCache:
         if count < 0:
             raise ValueError(f"negative page count {count}")
         dev = self.switch.get(dev_name)
+        obs = self.obs
         lk = (dev_name, relname)
         # The range counts as `count` sequential accesses for the
         # detector; a later page-at-a-time continuation picks up the
@@ -187,6 +258,8 @@ class BufferCache:
             frame = self._frames.get(key)
             if frame is not None:
                 self.stats.hits += 1
+                if obs is not None:
+                    obs.tx.charge("buffer_hits")
                 if key in self._prefetched:
                     self._prefetched.discard(key)
                     self.stats.prefetch_hits += 1
@@ -207,8 +280,15 @@ class BufferCache:
                 pages.append(self.get_page(dev_name, relname, start + i))
                 i += 1
                 continue
-            datas = dev.read_pages(relname, start + i, run)
+            span = obs.span("device.read", device=dev_name, relation=relname,
+                            page=start + i, pages=run) \
+                if obs is not None and obs.tracer.enabled else NO_SPAN
+            with span:
+                datas = dev.read_pages(relname, start + i, run)
             self.stats.misses += run
+            if obs is not None:
+                obs.tx.charge("buffer_misses", run)
+                obs.device_read(dev_name, relname, run)
             if self.cpu is not None:
                 for _ in datas:
                     self.cpu.buffer_copy()
@@ -266,7 +346,15 @@ class BufferCache:
 
     def _writeback(self, key: BufferKey, frame: _Frame) -> None:
         dev_name, relname, pageno = key
-        self.switch.get(dev_name).write_page(relname, pageno, frame.page.to_bytes())
+        obs = self.obs
+        span = obs.span("device.write", device=dev_name, relation=relname,
+                        page=pageno, pages=1, cause="eviction") \
+            if obs is not None and obs.tracer.enabled else NO_SPAN
+        with span:
+            self.switch.get(dev_name).write_page(relname, pageno,
+                                                 frame.page.to_bytes())
+        if obs is not None:
+            obs.device_write(dev_name, relname, 1)
         frame.dirty = False
         self._dirty_keys.discard(key)
         self.stats.dirty_writebacks += 1
@@ -281,14 +369,23 @@ class BufferCache:
         are unchanged by coalescing — while ``batched_writes`` and
         ``write_coalesce_hits`` expose the batching itself."""
         dev = self.switch.get(dev_name)
-        if len(frames) == 1 or not self.coalesce_writes:
-            for i, frame in enumerate(frames):
-                dev.write_page(relname, start + i, frame.page.to_bytes())
-        else:
-            dev.write_pages(relname, start,
-                            [f.page.to_bytes() for f in frames])
-            self.stats.batched_writes += 1
-            self.stats.write_coalesce_hits += len(frames) - 1
+        obs = self.obs
+        span = obs.span("device.write", device=dev_name, relation=relname,
+                        page=start, pages=len(frames), cause="flush") \
+            if obs is not None and obs.tracer.enabled else NO_SPAN
+        with span:
+            if len(frames) == 1 or not self.coalesce_writes:
+                for i, frame in enumerate(frames):
+                    dev.write_page(relname, start + i, frame.page.to_bytes())
+            else:
+                dev.write_pages(relname, start,
+                                [f.page.to_bytes() for f in frames])
+                self.stats.batched_writes += 1
+                self.stats.write_coalesce_hits += len(frames) - 1
+        if obs is not None:
+            ops = len(frames) if (len(frames) > 1
+                                  and not self.coalesce_writes) else 1
+            obs.device_write(dev_name, relname, len(frames), ops=ops)
         for i, frame in enumerate(frames):
             frame.dirty = False
             self._dirty_keys.discard((dev_name, relname, start + i))
@@ -331,7 +428,13 @@ class BufferCache:
         # scatter of dirty pages into ascending sweeps per relation, as
         # the disk driver's elevator would — and makes adjacent dirty
         # pages coalesce into single batched device writes.
-        return self._flush_sorted(sorted(self._dirty_keys))
+        obs = self.obs
+        span = obs.span("buffer.flush_all") \
+            if obs is not None and obs.tracer.enabled else NO_SPAN
+        with span as sp:
+            written = self._flush_sorted(sorted(self._dirty_keys))
+            sp.set(pages=written)
+        return written
 
     def flush_relation(self, dev_name: str, relname: str) -> int:
         """Force one relation's dirty pages (same elevator order,

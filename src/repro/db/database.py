@@ -33,6 +33,7 @@ from repro.devices.memdisk import MemDisk
 from repro.devices.switch import DeviceSwitch
 from repro.devices.tape import TapeJukebox
 from repro.errors import CatalogError, TableError
+from repro.obs import Observability
 from repro.sim.clock import SimClock
 from repro.sim.cpu import CpuModel, CpuParams, DECSYSTEM_5900
 
@@ -60,9 +61,15 @@ class Database:
         self.path = path
         self.clock = clock
         self.cpu = CpuModel(clock, cpu_params or DECSYSTEM_5900)
+        #: the session's observability bundle — metrics registry, tracer
+        #: and per-transaction accountant (one per Database session, per
+        #: the reset rule in :mod:`repro.obs.registry`).
+        self.obs = Observability(clock)
         self.switch = DeviceSwitch()
-        self.buffers = BufferCache(self.switch, capacity=buffer_pages, cpu=self.cpu)
+        self.buffers = BufferCache(self.switch, capacity=buffer_pages, cpu=self.cpu,
+                                   obs=self.obs)
         self.locks = LockManager()
+        self.locks.obs = self.obs
         self.tm: TransactionManager | None = None
         self.catalog: Catalog | None = None
         #: the predicate rules system; None until first use so the
@@ -89,6 +96,8 @@ class Database:
         db._save_device_config([("magnetic0", "magnetic")])
         db.tm = TransactionManager(root, clock,
                                    group_commit_window=group_commit_window)
+        db.tm.obs = db.obs
+        db.obs.bind_database(db)
         db.catalog = Catalog(db.switch, db.buffers, "magnetic0", cpu=db.cpu)
         tx = db.begin()
         db.catalog.bootstrap_create(tx)
@@ -121,6 +130,8 @@ class Database:
         replay_rename_journal(db.switch, root)
         db.tm = TransactionManager(root, clock,
                                    group_commit_window=group_commit_window)
+        db.tm.obs = db.obs
+        db.obs.bind_database(db)
         # Resume simulated time beyond all recorded history, so that
         # post-reopen commits never sort before pre-crash ones.
         resume_at = db.tm.max_recorded_time()
@@ -184,6 +195,7 @@ class Database:
                 _DEVICE_REGISTRY[(os.path.abspath(self.path), name)] = device
         else:
             self._instantiate_device(name, kind, default=False)
+        self.obs.bind_device(self.switch.get(name))
         self._save_device_config([(name, kind)])
 
     def close(self) -> None:
@@ -202,6 +214,10 @@ class Database:
         tx = self.tm.begin()
         tx._tm = self.tm  # lets catalog helpers build snapshots
         tx._pending_drops = []
+        # The xid becomes this thread's current transaction for cost
+        # attribution; it stays current through commit so the
+        # commit-time page force and status append land on it.
+        self.obs.tx.begin(tx.xid)
         return tx
 
     def commit(self, tx: Transaction) -> None:
@@ -209,19 +225,25 @@ class Database:
         no-overwrite manager has no WAL: durability of a commit is
         'dirty pages on stable storage, then one status-file append'."""
         tx.require_active()
-        if tx.wrote:
-            self.buffers.flush_all()
-        self.tm.commit(tx)
-        for dev_name, relname in getattr(tx, "_pending_drops", []):
-            self.buffers.drop_relation(dev_name, relname)
-            self.switch.get(dev_name).drop_relation(relname)
-        self.locks.release_all(tx)
+        try:
+            if tx.wrote:
+                self.buffers.flush_all()
+            self.tm.commit(tx)
+            for dev_name, relname in getattr(tx, "_pending_drops", []):
+                self.buffers.drop_relation(dev_name, relname)
+                self.switch.get(dev_name).drop_relation(relname)
+            self.locks.release_all(tx)
+        finally:
+            self.obs.tx.end(tx.xid)
 
     def abort(self, tx: Transaction) -> None:
         """Abort: one status append; the transaction's records are
         simply never visible again.  Nothing is undone physically."""
-        self.tm.abort(tx)
-        self.locks.release_all(tx)
+        try:
+            self.tm.abort(tx)
+            self.locks.release_all(tx)
+        finally:
+            self.obs.tx.end(tx.xid)
 
     def snapshot(self, tx: Transaction) -> CurrentSnapshot:
         return CurrentSnapshot(self.tm, tx.xid)

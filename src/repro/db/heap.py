@@ -28,7 +28,16 @@ from repro.db.tuples import (
     unpack_header,
 )
 from repro.errors import TableError
+from repro.obs.registry import MetricSpec
+from repro.obs.tracing import NO_SPAN
 from repro.sim.cpu import CpuModel
+
+METRICS = (
+    MetricSpec("heap.rows_inserted", "counter", "rows",
+               "Record versions appended per heap relation (inserts, "
+               "update-new-versions, vacuum moves).",
+               "repro.db.heap", ("relation",)),
+)
 
 TID_FMT = "<IH"
 TID_SIZE = struct.calcsize(TID_FMT)  # 6
@@ -84,6 +93,9 @@ class HeapFile:
         original transaction stamps intact."""
         if self.cpu is not None:
             self.cpu.tuple_pack()
+        obs = self.buffers.obs
+        if obs is not None:
+            obs.heap_inserted(self.relname)
         record = pack_record(xmin, xmax, self.schema.pack(values))
         npages = self.npages()
         if npages > 0:
@@ -105,20 +117,28 @@ class HeapFile:
         the resulting dirty pages coalesce into one batched device
         write at flush."""
         tx.require_active()
-        tids: list[TID] = []
-        npages = self.npages()
-        pageno = npages - 1 if npages > 0 else None
-        page = self._page(pageno) if pageno is not None else None
-        for values in rows:
-            if self.cpu is not None:
-                self.cpu.tuple_pack()
-            record = pack_record(tx.xid, INVALID_XID, self.schema.pack(values))
-            if page is None or not page.fits(len(record)):
-                pageno, page = self.buffers.new_page(
-                    self.dev_name, self.relname, PAGE_HEAP)
-            slot = page.add_record(record)
-            self.buffers.mark_dirty(self.dev_name, self.relname, pageno)
-            tids.append(TID(pageno, slot))
+        obs = self.buffers.obs
+        span = obs.span("heap.insert_many", relation=self.relname,
+                        rows=len(rows)) \
+            if obs is not None and obs.tracer.enabled else NO_SPAN
+        with span:
+            tids: list[TID] = []
+            npages = self.npages()
+            pageno = npages - 1 if npages > 0 else None
+            page = self._page(pageno) if pageno is not None else None
+            for values in rows:
+                if self.cpu is not None:
+                    self.cpu.tuple_pack()
+                record = pack_record(tx.xid, INVALID_XID,
+                                     self.schema.pack(values))
+                if page is None or not page.fits(len(record)):
+                    pageno, page = self.buffers.new_page(
+                        self.dev_name, self.relname, PAGE_HEAP)
+                slot = page.add_record(record)
+                self.buffers.mark_dirty(self.dev_name, self.relname, pageno)
+                tids.append(TID(pageno, slot))
+        if obs is not None and tids:
+            obs.heap_inserted(self.relname, len(tids))
         if tids:
             tx.wrote = True
         return tids

@@ -17,9 +17,21 @@ from typing import Hashable
 
 from repro.db.transactions import Transaction
 from repro.errors import DeadlockError, LockTimeoutError
+from repro.obs.registry import MetricSpec
 
 SHARED = "S"
 EXCLUSIVE = "X"
+
+METRICS = (
+    MetricSpec("lock.waits", "counter", "waits",
+               "Times a transaction blocked waiting for a lock.",
+               "repro.db.locks"),
+    MetricSpec("lock.wait_seconds", "histogram", "seconds",
+               "Real (wall-clock) seconds per blocking lock wait — "
+               "lock waits are thread scheduling, not simulated I/O, "
+               "so they never advance the sim clock.",
+               "repro.db.locks"),
+)
 
 
 @dataclass
@@ -52,6 +64,8 @@ class LockManager:
         # waits-for edges: xid -> set of xids it waits on
         self._waits_for: dict[int, set[int]] = {}
         self.timeout_s = timeout_s
+        #: the session's Observability bundle (set by Database).
+        self.obs = None
 
     # -- acquisition -------------------------------------------------------
 
@@ -84,8 +98,13 @@ class LockManager:
                 state.waiters.append((tx.xid, mode))
                 try:
                     import time as _time
-                    remaining = deadline - _time.monotonic()
-                    if remaining <= 0 or not self._cond.wait(timeout=remaining):
+                    wait_began = _time.monotonic()
+                    remaining = deadline - wait_began
+                    woke = remaining > 0 and self._cond.wait(timeout=remaining)
+                    if self.obs is not None:
+                        self.obs.lock_wait(tx.xid,
+                                           _time.monotonic() - wait_began)
+                    if not woke:
                         raise LockTimeoutError(
                             f"transaction {tx.xid} timed out waiting for "
                             f"{mode} on {resource!r}")

@@ -29,7 +29,33 @@ from typing import Callable
 
 from repro.devices.base import DeviceManager
 from repro.errors import RecoveryError, TransactionError
+from repro.obs.registry import MetricSpec
+from repro.obs.tracing import NO_SPAN
 from repro.sim.clock import SimClock
+
+METRICS = (
+    MetricSpec("txn.status_forces", "counter", "ops",
+               "Forced status-file appends (one meta-region block write "
+               "plus a device flush each — the per-commit cost group "
+               "commit amortizes).",
+               "repro.db.transactions"),
+    MetricSpec("txn.hwm_forces", "counter", "ops",
+               "Forced xid high-water-mark writes, kept separate from "
+               "commit forces.",
+               "repro.db.transactions"),
+    MetricSpec("txn.commits_recorded", "counter", "txns",
+               "C records durably appended.",
+               "repro.db.transactions"),
+    MetricSpec("txn.aborts_recorded", "counter", "txns",
+               "A records durably appended.",
+               "repro.db.transactions"),
+    MetricSpec("txn.group_batches", "counter", "ops",
+               "Status forces that carried more than one commit record.",
+               "repro.db.transactions"),
+    MetricSpec("txn.max_group", "gauge", "txns",
+               "Largest number of commit records carried by one force.",
+               "repro.db.transactions"),
+)
 
 IN_PROGRESS = "in_progress"
 COMMITTED = "committed"
@@ -123,6 +149,8 @@ class TransactionManager:
         self._lock = threading.Lock()
         self.group_commit_window = group_commit_window
         self.stats = TxStats()
+        #: the session's Observability bundle (set by Database).
+        self.obs = None
         self._records: dict[int, _TxRecord] = {
             BOOTSTRAP_XID: _TxRecord(COMMITTED, 0.0, 0.0),
         }
@@ -259,8 +287,15 @@ class TransactionManager:
         """Durably append ``records`` as one forced multi-record line."""
         if not records:
             return
+        obs = self.obs
         line = " ".join(text for _, text in records) + "\n"
-        self._device.sync_append_meta(STATUS_TAG, line.encode("ascii"))
+        span = obs.span("txn.status_force", records=len(records),
+                        commits=ncommits) \
+            if obs is not None and obs.tracer.enabled else NO_SPAN
+        with span:
+            self._device.sync_append_meta(STATUS_TAG, line.encode("ascii"))
+        if obs is not None:
+            obs.tx.charge("status_forces")
         self.stats.status_forces += 1
         self.stats.commits_recorded += ncommits
         self.stats.aborts_recorded += len(records) - ncommits

@@ -151,12 +151,23 @@ class DeviceManager(ABC):
         """Attach the device to a new simulated clock.  Non-volatile
         devices (NVRAM, WORM, tape) outlive the database session that
         created them; when a database is reopened, its surviving device
-        instances charge their costs to the new session's clock."""
+        instances charge their costs to the new session's clock.
+
+        Adoption also zeroes the session counters: a metric spans
+        exactly one Database session (the reset rule in
+        :mod:`repro.obs.registry`), so a device carried across a
+        reopen must not leak the previous session's operation counts
+        into the new one.  Media state (pages, burned blocks, head and
+        tape positions) is physical and survives."""
         self.clock = clock
+        stats = getattr(self, "stats", None)
+        if stats is not None:
+            self.stats = type(stats)()
         for attr in ("disk", "staging_disk"):
             model = getattr(self, attr, None)
             if model is not None:
                 model.clock = clock
+                model.stats = type(model.stats)()
 
     # -- helpers ---------------------------------------------------------
 

@@ -17,7 +17,19 @@ from dataclasses import dataclass, field
 from repro.db.page import PAGE_SIZE
 from repro.devices.base import DeviceManager
 from repro.errors import DeviceError, DeviceFullError
+from repro.obs.registry import MetricSpec
 from repro.sim.clock import SimClock
+
+METRICS = (
+    MetricSpec("memdisk.reads", "counter", "pages",
+               "Pages copied out of non-volatile RAM (batched reads "
+               "count per page).",
+               "repro.devices.memdisk", ("device",)),
+    MetricSpec("memdisk.writes", "counter", "pages",
+               "Pages copied into non-volatile RAM (batched writes "
+               "count per page).",
+               "repro.devices.memdisk", ("device",)),
+)
 
 
 @dataclass

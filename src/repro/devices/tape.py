@@ -21,7 +21,23 @@ from dataclasses import dataclass, field
 from repro.db.page import PAGE_SIZE
 from repro.devices.base import DeviceManager
 from repro.errors import DeviceError, DeviceFullError
+from repro.obs.registry import MetricSpec
 from repro.sim.clock import SimClock
+
+METRICS = (
+    MetricSpec("tape.loads", "counter", "ops",
+               "Cartridge loads into the single drive.",
+               "repro.devices.tape", ("device",)),
+    MetricSpec("tape.reads", "counter", "pages",
+               "Pages streamed off tape.",
+               "repro.devices.tape", ("device",)),
+    MetricSpec("tape.writes", "counter", "pages",
+               "Pages streamed onto tape.",
+               "repro.devices.tape", ("device",)),
+    MetricSpec("tape.wind_seconds", "counter", "seconds",
+               "Simulated seconds spent winding to target positions.",
+               "repro.devices.tape", ("device",)),
+)
 
 
 @dataclass(frozen=True)

@@ -22,8 +22,30 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.errors import FfsError, FfsFileTooLargeError
+from repro.obs.registry import MetricSpec
 from repro.sim.clock import SimClock
 from repro.sim.disk import BLOCK_SIZE, DiskModel
+
+METRICS = (
+    MetricSpec("ffs.data_reads", "counter", "blocks",
+               "Data-block reads (cache hits included — each still "
+               "returns a block to the caller).",
+               "repro.nfs.ffs"),
+    MetricSpec("ffs.data_writes", "counter", "blocks",
+               "Data-block writes.  Disjoint from ffs.indirect_writes "
+               "and ffs.inode_writes — the three sum to total block "
+               "writes.",
+               "repro.nfs.ffs"),
+    MetricSpec("ffs.inode_writes", "counter", "blocks",
+               "Forced inode writes to the cylinder-group inode area.",
+               "repro.nfs.ffs"),
+    MetricSpec("ffs.indirect_writes", "counter", "blocks",
+               "Indirect (pointer) block writes.",
+               "repro.nfs.ffs"),
+    MetricSpec("ffs.cache_hits", "counter", "blocks",
+               "Block reads served from the FFS buffer cache.",
+               "repro.nfs.ffs"),
+)
 
 MAX_FFS_FILE_SIZE = 4 * 1024 ** 3
 """The paper: "the practical upper limit on file sizes in the current
@@ -104,6 +126,15 @@ class FastFileSystem:
             if was_dirty:
                 self.disk.write_block(victim)
 
+    def bind_metrics(self, registry) -> None:
+        """Mirror this file system's stats onto a metrics registry.
+        The NFS baseline has no Database session, so binding is the
+        harness's (or a test's) call."""
+        for spec in METRICS:
+            attr = spec.name.rsplit(".", 1)[-1]
+            registry.register(spec).mirror(
+                lambda s=self.stats, a=attr: getattr(s, a))
+
     def _read_block(self, block: int) -> bytes:
         if block in self._cache:
             self.stats.cache_hits += 1
@@ -115,9 +146,14 @@ class FastFileSystem:
         return self._data.get(block, bytes(BLOCK_SIZE))
 
     def _write_block(self, block: int, data: bytes, sync: bool,
-                     dirty: bool = True) -> None:
+                     dirty: bool = True, is_data: bool = True) -> None:
+        """Store a block and charge the device.  ``is_data=False`` for
+        metadata blocks whose write is counted by its own counter
+        (indirect_writes) — the stats categories stay disjoint so they
+        sum to total block writes."""
         self._data[block] = bytes(data)
-        self.stats.data_writes += 1
+        if is_data:
+            self.stats.data_writes += 1
         if sync:
             self._cache.pop(block, None)
             self.disk.write_block(block)
@@ -188,7 +224,8 @@ class FastFileSystem:
                 iaddr = self._allocate_block(inode)
                 inode.indirect_blocks.append(iaddr)
                 self.stats.indirect_writes += 1
-                self._write_block(iaddr, bytes(BLOCK_SIZE), sync)
+                self._write_block(iaddr, bytes(BLOCK_SIZE), sync,
+                                  is_data=False)
         return addr
 
     def write(self, inode: Inode, offset: int, data: bytes,

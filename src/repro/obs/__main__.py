@@ -1,0 +1,44 @@
+"""CLI for the metrics docs generator.
+
+  PYTHONPATH=src python -m repro.obs --write-docs   # regenerate METRICS.md
+  PYTHONPATH=src python -m repro.obs --check-docs   # fail (exit 1) on drift
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.obs import docs
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Generate or drift-check METRICS.md from the metric "
+                    "specs declared in code.")
+    group = parser.add_mutually_exclusive_group(required=True)
+    group.add_argument("--write-docs", action="store_true",
+                       help="regenerate METRICS.md from the live specs")
+    group.add_argument("--check-docs", action="store_true",
+                       help="exit non-zero if METRICS.md is stale")
+    parser.add_argument("--path", default=None,
+                        help="override the METRICS.md location")
+    args = parser.parse_args(argv)
+
+    if args.write_docs:
+        path = docs.write_docs(args.path)
+        print(f"wrote {path} ({len(docs.catalog())} metrics)")
+        return 0
+
+    problems = docs.check_docs(args.path)
+    if problems:
+        for line in problems:
+            print(line, file=sys.stderr)
+        return 1
+    print(f"METRICS.md is up to date ({len(docs.catalog())} metrics)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,10 +18,37 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
+from repro.obs.registry import MetricSpec
 from repro.sim.clock import SimClock
 
 BLOCK_SIZE = 8192
 """The unit of disk transfer — one POSTGRES/FFS page."""
+
+METRICS = (
+    MetricSpec("disk.reads", "counter", "ops",
+               "Disk read operations (a batched contiguous run counts once).",
+               "repro.sim.disk", ("device",)),
+    MetricSpec("disk.writes", "counter", "ops",
+               "Disk write operations (a batched contiguous run counts once).",
+               "repro.sim.disk", ("device",)),
+    MetricSpec("disk.seeks", "counter", "ops",
+               "Operations that paid a head seek (non-sequential access).",
+               "repro.sim.disk", ("device",)),
+    MetricSpec("disk.sequential_ops", "counter", "ops",
+               "Operations that hit the next sequential block — transfer "
+               "time only, no positioning charge.",
+               "repro.sim.disk", ("device",)),
+    MetricSpec("disk.bytes_read", "counter", "bytes",
+               "Bytes transferred from the platter.",
+               "repro.sim.disk", ("device",)),
+    MetricSpec("disk.bytes_written", "counter", "bytes",
+               "Bytes transferred to the platter.",
+               "repro.sim.disk", ("device",)),
+    MetricSpec("disk.busy_seconds", "counter", "seconds",
+               "Simulated seconds the drive spent positioning and "
+               "transferring.",
+               "repro.sim.disk", ("device",)),
+)
 
 
 @dataclass(frozen=True)

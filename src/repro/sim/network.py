@@ -17,7 +17,24 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.obs.registry import MetricSpec
 from repro.sim.clock import SimClock
+
+METRICS = (
+    MetricSpec("net.messages", "counter", "msgs",
+               "One-directional messages carried (requests + responses).",
+               "repro.sim.network"),
+    MetricSpec("net.round_trips", "counter", "ops",
+               "Request/response RPC exchanges.",
+               "repro.sim.network"),
+    MetricSpec("net.bytes_sent", "counter", "bytes",
+               "Payload bytes serialized onto the wire.",
+               "repro.sim.network"),
+    MetricSpec("net.busy_seconds", "counter", "seconds",
+               "Simulated seconds of protocol overhead, wire time and "
+               "propagation.",
+               "repro.sim.network"),
+)
 
 
 @dataclass(frozen=True)

@@ -132,3 +132,26 @@ def test_drop_caches_then_reads_pay_disk(ffs):
     reads_before = ffs.disk.stats.reads
     ffs.read(inode, 0, 4 * BLOCK_SIZE)
     assert ffs.disk.stats.reads == reads_before + 4
+
+
+def test_indirect_block_writes_not_double_counted(ffs):
+    """Regression: allocating an indirect block used to bump both
+    indirect_writes and data_writes for the same physical write.  The
+    categories are disjoint: 13 logical data blocks = 13 data writes
+    plus exactly one indirect write, device cost unchanged."""
+    inode = ffs.create("/f")
+    nblocks = 13  # NDIRECT + 1: forces one indirect block
+    ffs.write(inode, 0, bytes(nblocks * BLOCK_SIZE))
+    assert ffs.stats.data_writes == nblocks
+    assert ffs.stats.indirect_writes == 1
+
+
+def test_bind_metrics_mirrors_stats(ffs):
+    from repro.obs.registry import MetricsRegistry
+
+    registry = MetricsRegistry()
+    ffs.bind_metrics(registry)
+    inode = ffs.create("/f")
+    ffs.write(inode, 0, bytes(2 * BLOCK_SIZE))
+    assert registry.value("ffs.data_writes") == ffs.stats.data_writes == 2
+    assert registry.value("ffs.inode_writes") == ffs.stats.inode_writes

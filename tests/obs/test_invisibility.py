@@ -1,0 +1,106 @@
+"""Observability is semantically invisible.
+
+The contract the tentpole hangs on: registry mirrors, per-transaction
+accounting, and even *enabled* tracing never advance the simulated
+clock, never touch a device, and never shift a crash boundary.  These
+tests pin it with the crash-schedule explorer (identical schedules,
+zero violations, tracing on) and with byte-level comparison of a
+workload's simulated costs with tracing on vs off.
+"""
+
+import pytest
+
+from repro.core.filesystem import InversionFS
+from repro.db.database import Database
+from repro.sim.clock import SimClock
+from repro.testkit import CrashScheduleExplorer
+from repro.testkit.workload import (Workload, group_commit_workload,
+                                    payload, write_heavy_workload)
+
+
+class TracedWorkload(Workload):
+    """The same workload, with tracing switched on for every run the
+    explorer builds (profiling pass and each crash point)."""
+
+    def setup(self, db, fs) -> None:
+        super().setup(db, fs)
+        db.obs.tracer.enable()
+
+
+def traced(workload: Workload) -> TracedWorkload:
+    return TracedWorkload(**vars(workload))
+
+
+@pytest.mark.parametrize("factory", [write_heavy_workload,
+                                     group_commit_workload],
+                         ids=["write_heavy", "group_commit"])
+def test_explorer_schedule_identical_with_tracing(tmp_path, factory):
+    plain = CrashScheduleExplorer(
+        str(tmp_path / "plain"), factory()).explore(max_points=15)
+    assert plain.violations == [], "\n".join(
+        f"point {v.point}: {v.detail}" for v in plain.violations)
+
+    with_tracing = CrashScheduleExplorer(
+        str(tmp_path / "traced"), traced(factory())).explore(max_points=15)
+    assert with_tracing.violations == [], "\n".join(
+        f"point {v.point}: {v.detail}" for v in with_tracing.violations)
+
+    # Same durable-write trace → same crash points, point for point.
+    assert with_tracing.total_writes == plain.total_writes
+    assert with_tracing.points_tested == plain.points_tested
+
+
+def _run_workload(workdir, trace: bool):
+    """A small mixed workload; returns every simulated-cost observable:
+    final sim time and the root device's full disk-stat vector."""
+    clock = SimClock()
+    db = Database.create(str(workdir), clock=clock)
+    fs = InversionFS.mkfs(db)
+    if trace:
+        db.obs.tracer.enable()
+    tx = fs.begin()
+    fs.mkdir(tx, "/d")
+    fs.write_file(tx, "/d/a", payload(0, "a", 60_000))
+    fs.commit(tx)
+    tx = fs.begin()
+    fs.write_file(tx, "/d/b", payload(0, "b", 9_000))
+    fs.commit(tx)
+    db.buffers.invalidate_all()
+    fs.read_file("/d/a")
+    # Exercise the registry while the run is live — collection must
+    # not perturb anything either.
+    snapshot = db.obs.metrics.collect()
+    assert snapshot["buffer.hits"] != {}
+    root = db.switch.get(db.catalog.root_device)
+    stats = vars(root.disk.stats).copy()
+    spans = db.obs.tracer.spans_emitted
+    now = clock.now()
+    db.close()
+    return now, stats, spans
+
+
+def test_costs_byte_identical_with_tracing_enabled(tmp_path):
+    plain_now, plain_stats, plain_spans = _run_workload(
+        tmp_path / "plain", trace=False)
+    traced_now, traced_stats, traced_spans = _run_workload(
+        tmp_path / "traced", trace=True)
+    assert plain_spans == 0
+    assert traced_spans > 0                 # tracing actually ran
+    assert traced_now == plain_now          # == , not approx: bit-identical
+    assert traced_stats == plain_stats
+
+
+def test_registry_reset_does_not_disturb_mirrors(tmp_path):
+    """An explicit registry reset mid-run zeroes pushed series only;
+    the mirrored simulation counters and costs are untouched."""
+    clock = SimClock()
+    db = Database.create(str(tmp_path / "d"), clock=clock)
+    fs = InversionFS.mkfs(db)
+    tx = fs.begin()
+    fs.write_file(tx, "/f", payload(0, "f", 30_000))
+    fs.commit(tx)
+    before = db.obs.metrics.value("txn.commits_recorded")
+    db.obs.metrics.reset()
+    assert db.obs.metrics.value("txn.commits_recorded") == before
+    assert db.obs.metrics.get("device.writes").total() == 0  # pushed: cleared
+    db.close()

@@ -1,0 +1,164 @@
+"""MetricsRegistry: specs, pushed vs mirrored series, the reset rule."""
+
+import pytest
+
+from repro.obs.registry import (HistogramValue, Metric, MetricSpec,
+                                MetricsRegistry)
+
+
+def spec(name="t.hits", kind="counter", unit="ops", labels=()):
+    return MetricSpec(name, kind, unit, "test metric", "tests", labels)
+
+
+# -- MetricSpec validation --------------------------------------------------
+
+
+def test_bad_kind_rejected():
+    with pytest.raises(ValueError):
+        MetricSpec("x", "timer", "ops", "h", "m")
+
+
+def test_missing_help_rejected():
+    with pytest.raises(ValueError):
+        MetricSpec("x", "counter", "ops", "", "m")
+
+
+def test_missing_unit_rejected():
+    with pytest.raises(ValueError):
+        MetricSpec("x", "counter", "", "h", "m")
+
+
+# -- pushed series ----------------------------------------------------------
+
+
+def test_counter_inc_with_labels():
+    m = Metric(spec(labels=("device", "relation")))
+    m.inc(device="d0", relation="r")
+    m.inc(3, device="d0", relation="r")
+    m.inc(device="d1", relation="r")
+    assert m.value(device="d0", relation="r") == 4
+    assert m.value(device="d1", relation="r") == 1
+    assert m.total() == 5
+
+
+def test_wrong_labels_rejected():
+    m = Metric(spec(labels=("device",)))
+    with pytest.raises(ValueError):
+        m.inc(disk="d0")
+    with pytest.raises(ValueError):
+        m.inc()
+
+
+def test_kind_mismatch_rejected():
+    counter = Metric(spec(kind="counter"))
+    gauge = Metric(spec(name="t.g", kind="gauge"))
+    hist = Metric(spec(name="t.h", kind="histogram", unit="seconds"))
+    with pytest.raises(TypeError):
+        counter.set(1)
+    with pytest.raises(TypeError):
+        gauge.inc()
+    with pytest.raises(TypeError):
+        hist.inc()
+
+
+def test_gauge_set_overwrites():
+    m = Metric(spec(name="t.g", kind="gauge"))
+    m.set(5)
+    m.set(2)
+    assert m.value() == 2
+
+
+def test_histogram_aggregates():
+    m = Metric(spec(name="t.h", kind="histogram", unit="seconds"))
+    for v in (1.0, 3.0, 2.0):
+        m.observe(v)
+    h = m.value()
+    assert (h.count, h.sum, h.min, h.max) == (3, 6.0, 1.0, 3.0)
+    assert h.mean == 2.0
+    assert m.total() == 3  # histograms contribute their counts
+
+
+def test_unset_series_reads_zero():
+    assert Metric(spec()).value() == 0
+    h = Metric(spec(name="t.h", kind="histogram", unit="seconds")).value()
+    assert isinstance(h, HistogramValue) and h.count == 0
+
+
+# -- mirrored series --------------------------------------------------------
+
+
+def test_mirror_reads_live_value():
+    class Stats:
+        hits = 0
+
+    stats = Stats()
+    m = Metric(spec())
+    m.mirror(lambda: stats.hits)
+    assert m.value() == 0
+    stats.hits = 7
+    assert m.value() == 7
+
+
+def test_mirror_wins_over_pushed():
+    m = Metric(spec())
+    m.inc(10)
+    m.mirror(lambda: 3)
+    assert m.value() == 3
+
+
+def test_mirror_series_dynamic_labels():
+    counts = {}
+    m = Metric(spec(name="t.descents", labels=("relation",)))
+    m.mirror_series(lambda: {(rel,): n for rel, n in counts.items()})
+    assert m.series() == {}
+    assert m.value(relation="pg_class") == 0
+    counts["pg_class"] = 4
+    assert m.series() == {("pg_class",): 4}
+    assert m.value(relation="pg_class") == 4
+    assert m.total() == 4
+
+
+# -- registry ---------------------------------------------------------------
+
+
+def test_register_idempotent_for_identical_spec():
+    reg = MetricsRegistry()
+    a = reg.register(spec())
+    b = reg.register(spec())
+    assert a is b
+
+
+def test_register_conflicting_spec_rejected():
+    reg = MetricsRegistry()
+    reg.register(spec())
+    with pytest.raises(ValueError):
+        reg.register(spec(unit="pages"))
+
+
+def test_collect_snapshots_all_series():
+    reg = MetricsRegistry()
+    reg.register(spec(labels=("device",))).inc(2, device="d0")
+    reg.register(spec(name="t.g", kind="gauge")).set(9)
+    snap = reg.collect()
+    assert snap["t.hits"] == {("d0",): 2}
+    assert snap["t.g"] == {(): 9}
+
+
+def test_describe_sorted_by_name():
+    reg = MetricsRegistry()
+    reg.register(spec(name="z.last"))
+    reg.register(spec(name="a.first"))
+    assert [s.name for s in reg.describe()] == ["a.first", "z.last"]
+
+
+def test_reset_zeroes_pushed_but_not_mirrors():
+    """The one sanctioned explicit reset touches pushed series only —
+    mirrored stats belong to their owning component (the reset rule)."""
+    reg = MetricsRegistry()
+    pushed = reg.register(spec(labels=("device",)))
+    pushed.inc(5, device="d0")
+    mirrored = reg.register(spec(name="t.m"))
+    mirrored.mirror(lambda: 11)
+    reg.reset()
+    assert pushed.value(device="d0") == 0
+    assert mirrored.value() == 11

@@ -1,0 +1,104 @@
+"""The one reset rule: a metric spans exactly one Database session.
+
+Components that physically outlive a session must not leak counts into
+the next one: non-volatile devices zero their stats on ``rebind_clock``
+adoption, and the registry re-baselines the process-global B-tree
+descent attributes at bind time.
+"""
+
+from repro.core.filesystem import InversionFS
+from repro.db.btree import BTree
+from repro.db.database import Database
+from repro.sim.clock import SimClock
+from repro.testkit.workload import payload
+
+
+def test_surviving_device_stats_zeroed_on_reopen(tmp_path):
+    db = Database.create(str(tmp_path / "d"), clock=SimClock())
+    InversionFS.mkfs(db)
+    db.add_device("m0", "memdisk")
+    dev = db.switch.get("m0")
+    dev.create_relation("r")
+    page = dev.extend("r")
+    dev.write_page("r", page, b"x" * 8192)
+    dev.read_page("r", page)
+    assert dev.stats.writes > 0 and dev.stats.reads > 0
+    assert db.obs.metrics.value("memdisk.writes", device="m0") > 0
+    db.close()
+
+    db2 = Database.open(str(tmp_path / "d"))
+    dev2 = db2.switch.get("m0")
+    assert dev2 is dev                     # the instance survived ...
+    assert dev2.stats.writes == 0          # ... its session counters did not
+    assert dev2.stats.reads == 0
+    assert db2.obs.metrics.value("memdisk.writes", device="m0") == 0
+    assert dev2.read_page("r", page) == b"x" * 8192  # media state is physical
+    db2.close()
+
+
+def test_disk_model_stats_zeroed_on_reopen(tmp_path):
+    """rebind_clock also recreates the embedded DiskModel stats (and
+    any staging disk's), not just the device's own counters."""
+    db = Database.create(str(tmp_path / "d"), clock=SimClock())
+    InversionFS.mkfs(db)
+    db.add_device("jb", "jukebox")
+    dev = db.switch.get("jb")
+    dev.create_relation("r")
+    page = dev.extend("r")
+    dev.write_page("r", page, b"y" * 8192)
+    assert dev.staging_disk.stats.writes > 0
+    db.close()
+
+    db2 = Database.open(str(tmp_path / "d"))
+    dev2 = db2.switch.get("jb")
+    assert dev2 is dev
+    assert dev2.staging_disk.stats.writes == 0
+    assert db2.obs.metrics.value("disk.writes", device="jb.staging") == 0
+    db2.close()
+
+
+def test_btree_descents_rebaselined_per_session(tmp_path):
+    """The legacy BTree class attributes are process-global (benchmarks
+    pin them as absolutes); the registry reports session-relative
+    deltas, starting at zero even mid-process."""
+    db = Database.create(str(tmp_path / "d"), clock=SimClock())
+    fs = InversionFS.mkfs(db)
+    tx = fs.begin()
+    fs.mkdir(tx, "/d")
+    fs.write_file(tx, "/d/f", payload(0, "f", 20_000))
+    fs.commit(tx)
+    session_descents = db.obs.metrics.value("btree.total_descents")
+    assert session_descents > 0
+    assert BTree.total_descents >= session_descents
+    series = db.obs.metrics.get("btree.descents").series()
+    assert series                          # per-relation deltas appear
+    assert all(n > 0 for n in series.values())
+    db.close()
+
+    db2 = Database.open(str(tmp_path / "d"))
+    assert BTree.total_descents > 0        # class attr keeps counting ...
+    assert db2.obs.metrics.value("btree.total_descents") == 0  # ... we don't
+    assert db2.obs.metrics.get("btree.descents").series() == {}
+    fs2 = InversionFS.attach(db2)
+    fs2.read_file("/d/f")
+    assert db2.obs.metrics.value("btree.total_descents") > 0
+    db2.close()
+
+
+def test_flush_and_invalidate_never_reset_counters(tmp_path):
+    """`flush_all`/`invalidate_all` move data, not counters — the
+    explicit non-goal the reset rule documents."""
+    db = Database.create(str(tmp_path / "d"), clock=SimClock())
+    fs = InversionFS.mkfs(db)
+    tx = fs.begin()
+    fs.write_file(tx, "/f", payload(0, "f", 30_000))
+    fs.commit(tx)
+    hits = db.buffers.stats.hits
+    writes = db.obs.metrics.get("device.writes").total()
+    assert hits > 0 and writes > 0
+    db.buffers.flush_all()
+    db.buffers.invalidate_all()
+    assert db.buffers.stats.hits == hits
+    assert db.obs.metrics.value("buffer.hits") == hits
+    assert db.obs.metrics.get("device.writes").total() >= writes
+    db.close()
