@@ -1,0 +1,90 @@
+"""Multi-user scale acceptance: deterministic scaling and contention bounds.
+
+Asserts the multi-user experiment's two headline claims — disjoint-file
+throughput at least doubles going from 1 to 8 clients, and the hot-file
+workload's waits stay bounded with nobody starved — plus the
+determinism gate: two runs with the same scheduler seed produce
+byte-identical results (the event-trace hash is part of the JSON).  The
+run also emits ``BENCH_multiuser.json`` at the repo root, which CI
+archives and EXPERIMENTS.md quotes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.bench.multiuser import (
+    CLIENT_COUNTS,
+    TXNS_PER_CLIENT,
+    run_clients,
+    run_multiuser,
+)
+
+BENCH_PATH = os.path.join(os.path.dirname(__file__), "..",
+                          "BENCH_multiuser.json")
+
+
+@pytest.fixture(scope="module")
+def multiuser() -> dict:
+    results = run_multiuser()
+    with open(BENCH_PATH, "w", encoding="utf-8") as f:
+        json.dump(results, f, indent=2)
+        f.write("\n")
+    return results
+
+
+def test_disjoint_throughput_scales(multiuser):
+    """The scale claim: 8 disjoint clients push at least twice the
+    single-client transaction rate — commit clustering turns eight
+    per-transaction sweeps into one, the shared metadata pages are
+    written once per burst, and the batched records share one force."""
+    assert multiuser["scaling"]["speedup_8_over_1"] >= 2.0
+    rates = [r["txns_per_sec"] for r in multiuser["disjoint"]]
+    assert rates == sorted(rates), "throughput must rise monotonically"
+
+
+def test_commit_clustering_batches_every_round(multiuser):
+    """At N clients each commit burst shares one status force: commits
+    per force equals the client count, exactly."""
+    for row in multiuser["disjoint"]:
+        assert row["commits_per_force"] == float(row["clients"]), row
+        assert row["status_forces"] == TXNS_PER_CLIENT
+
+
+def test_disjoint_workload_never_conflicts(multiuser):
+    for row in multiuser["disjoint"]:
+        contention = row["contention"]
+        assert contention["lock_waits"] == 0
+        assert contention["lock_deadlocks"] == 0
+        assert contention["lock_timeouts"] == 0
+
+
+def test_hot_file_contention_profile(multiuser):
+    """The hot file serializes: waits grow with clients but stay
+    bounded, no deadlocks (single lock order) and nobody starves."""
+    hot = multiuser["hot"]
+    waits = [r["contention"]["lock_waits"] for r in hot]
+    assert waits[0] == 0 and all(w > 0 for w in waits[1:])
+    for row in hot:
+        assert row["contention"]["lock_deadlocks"] == 0
+        assert row["contention"]["lock_timeouts"] == 0
+        assert row["fairness"]["starved"] is False
+        assert row["fairness"]["max_park_s"] <= 1.0
+
+
+def test_every_configuration_commits_all_transactions(multiuser):
+    for row in multiuser["disjoint"] + multiuser["hot"]:
+        assert row["transactions"] == row["clients"] * TXNS_PER_CLIENT
+    assert [r["clients"] for r in multiuser["disjoint"]] == list(CLIENT_COUNTS)
+
+
+def test_determinism_gate(multiuser):
+    """Two runs of one configuration with the same seed are identical
+    to the byte: same event-trace hash, same every-counter."""
+    again = run_clients(4, hot=True)
+    baseline = next(r for r in multiuser["hot"] if r["clients"] == 4)
+    assert again == baseline
+    assert again["trace_hash"] == baseline["trace_hash"]

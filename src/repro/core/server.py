@@ -15,6 +15,8 @@ charges per-request dispatch CPU.  The network is *not* modelled here —
 
 from __future__ import annotations
 
+import inspect
+
 from repro.core.filesystem import InversionFS
 from repro.core.library import InversionClient
 from repro.errors import InversionError
@@ -38,10 +40,35 @@ class InversionServer:
         "p_rename", "p_stat", "p_readdir", "p_query",
     })
 
+    #: method -> Signature, for request validation (class-level: the
+    #: signatures are properties of InversionClient, not of any server
+    #: instance).
+    _SIGNATURES: dict[str, inspect.Signature] = {}
+
     def __init__(self, fs: InversionFS) -> None:
         self.fs = fs
         self._sessions: dict[int, InversionClient] = {}
         self._next_session = 1
+
+    @classmethod
+    def _signature(cls, method: str) -> inspect.Signature:
+        sig = cls._SIGNATURES.get(method)
+        if sig is None:
+            sig = cls._SIGNATURES[method] = inspect.signature(
+                getattr(InversionClient, method))
+        return sig
+
+    def _validate(self, method: str, args: tuple, kwargs: dict) -> None:
+        """Reject malformed requests at the RPC boundary: a remote
+        caller's bad arity must surface as a protocol error
+        (:class:`InversionError`), not as a bare TypeError escaping
+        from deep inside the library."""
+        try:
+            # ``None`` stands in for the bound ``self`` slot.
+            self._signature(method).bind(None, *args, **kwargs)
+        except TypeError as exc:
+            raise InversionError(
+                f"bad arguments for RPC method {method!r}: {exc}") from None
 
     def connect(self) -> int:
         """Open a session; returns a connection id."""
@@ -87,6 +114,7 @@ class InversionServer:
         session = self._sessions.get(session_id)
         if session is None:
             raise InversionError(f"no session {session_id}")
+        self._validate(method, args, kwargs)
         if self.fs.db.cpu is not None:
             self.fs.db.cpu.rpc_dispatch()
         obs = self.fs.db.obs

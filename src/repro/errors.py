@@ -180,6 +180,32 @@ class MigrationError(InversionError):
 
 
 # ---------------------------------------------------------------------------
+# Multi-session scheduler errors
+# ---------------------------------------------------------------------------
+
+
+class SchedError(ReproError):
+    """Base class for deterministic multi-session scheduler errors."""
+
+
+class SchedAdmissionError(SchedError):
+    """Backpressure: the scheduler's in-flight limit is reached and its
+    bounded admission queue is full, so a new session is refused rather
+    than queued without bound."""
+
+
+class SchedStalledError(SchedError):
+    """The event loop found unfinished sessions but nothing runnable —
+    a session program bug (e.g. a transaction left open with an empty
+    request queue), surfaced instead of spinning forever."""
+
+
+class SessionFailedError(SchedError):
+    """A session exhausted its deadlock-victim retry budget (or raised
+    a non-retryable error) and the scheduler ran in strict mode."""
+
+
+# ---------------------------------------------------------------------------
 # Simulation / baseline errors
 # ---------------------------------------------------------------------------
 

@@ -65,6 +65,8 @@ class Observability:
         self._m_dev_pages_written = None
         self._m_lock_waits = None
         self._m_lock_wait_seconds = None
+        self._m_lock_deadlocks = None
+        self._m_lock_timeouts = None
         self._m_heap_rows = None
         self._m_chunk_range_reads = None
         self._m_chunk_flushes = None
@@ -106,6 +108,8 @@ class Observability:
             self.metrics.register(spec)
         self._m_lock_waits = self.metrics.get("lock.waits")
         self._m_lock_wait_seconds = self.metrics.get("lock.wait_seconds")
+        self._m_lock_deadlocks = self.metrics.get("lock.deadlocks")
+        self._m_lock_timeouts = self.metrics.get("lock.timeouts")
         from repro.core import chunks as chunks_mod
         from repro.db import heap as heap_mod
         self._m_heap_rows = self.metrics.register(heap_mod.METRICS[0])
@@ -225,3 +229,11 @@ class Observability:
             self._m_lock_wait_seconds.observe(seconds)
         self.tx.charge_xid(xid, "lock_waits")
         self.tx.charge_xid(xid, "lock_wait_seconds", seconds)
+
+    def lock_deadlock(self, xid: int) -> None:
+        if self._m_lock_deadlocks is not None:
+            self._m_lock_deadlocks.inc()
+
+    def lock_timeout(self, xid: int) -> None:
+        if self._m_lock_timeouts is not None:
+            self._m_lock_timeouts.inc()

@@ -58,6 +58,17 @@ class TxAccountant:
         if getattr(self._local, "xid", None) == xid:
             self._local.xid = None
 
+    def activate(self, xid: int | None) -> None:
+        """Make ``xid`` the calling thread's current transaction without
+        creating a row (``None`` deactivates).  The cooperative
+        scheduler calls this at every context switch so charges land on
+        the session being advanced, not on whichever session last
+        called :meth:`begin` — on one thread the begin/end protocol
+        alone cannot tell interleaved sessions apart."""
+        self._local.xid = xid
+        if xid is not None:
+            self._rows.setdefault(xid, dict.fromkeys(FIELDS, 0))
+
     def current_xid(self) -> int | None:
         return getattr(self._local, "xid", None)
 

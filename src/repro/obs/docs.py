@@ -26,6 +26,7 @@ OWNING_MODULES = (
     "repro.core.chunks",
     "repro.core.client",
     "repro.core.server",
+    "repro.sched.scheduler",
     "repro.sim.disk",
     "repro.sim.network",
     "repro.sim.nvram",

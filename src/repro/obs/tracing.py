@@ -157,6 +157,17 @@ class Tracer:
             stack = self._local.stack = []
         return stack
 
+    def swap_stack(self, stack: list[int]) -> list[int]:
+        """Replace the calling thread's open-span stack, returning the
+        previous one.  The cooperative multi-session scheduler switches
+        sessions on a single thread; swapping stacks at each context
+        switch keeps every session's spans parented within its own
+        request tree instead of under whatever span the previous
+        session left open."""
+        old = self._stack()
+        self._local.stack = stack
+        return old
+
     def _next_id(self) -> int:
         self._id += 1
         return self._id

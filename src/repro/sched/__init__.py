@@ -1,0 +1,22 @@
+"""Deterministic multi-session scheduling.
+
+The paper's promise — "a standard database two-phase locking protocol
+[GRAY76] allows concurrent access to files" — only earns its keep when
+more than one session is in flight.  This package interleaves N client
+sessions over one :class:`~repro.core.server.InversionServer` without
+real threads: a seeded cooperative event loop advances sessions one
+RPC at a time on the simulated clock, parks lock waiters while other
+sessions run, retries deadlock victims with capped exponential
+backoff, and bounds admission so overload produces backpressure
+instead of unbounded queues.  Same seed ⇒ identical interleaving,
+which keeps the crash-schedule explorer and the byte-identical bench
+gates working under concurrency.
+"""
+
+from repro.sched.scheduler import (Apply, Call, MultiUserScheduler, Ref,
+                                   SchedStats, Session, Txn)
+
+__all__ = [
+    "Apply", "Call", "MultiUserScheduler", "Ref", "SchedStats", "Session",
+    "Txn",
+]

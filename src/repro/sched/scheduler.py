@@ -1,0 +1,747 @@
+"""The deterministic multi-session scheduler.
+
+One :class:`MultiUserScheduler` drives N client sessions against one
+:class:`~repro.core.server.InversionServer` on a single thread.  Each
+session is a *program*: a list of :class:`Call` requests (auto-commit)
+and :class:`Txn` blocks (begin → calls → commit, retried as a unit when
+chosen as a deadlock victim).  The event loop advances one session by
+one request per slice, picking the next session with a seeded RNG —
+same seed, same programs ⇒ byte-identical interleaving, event trace,
+and simulated-clock history.
+
+Yield points are the natural concurrency seams of the system:
+
+- **RPC boundaries** — every slice is one ``server.dispatch`` call, so
+  sessions interleave between requests exactly as network clients do;
+- **lock waits** — the scheduler installs a
+  :class:`SchedulerWaitStrategy` on the database's
+  :class:`~repro.db.locks.LockManager`; a session that blocks on a
+  lock *parks* and the loop runs other sessions' requests (advancing
+  the simulated clock) until the lock frees, times out in simulated
+  seconds, or the waits-for graph picks a victim.  Lock waits finally
+  advance simulated time and land in the per-xid
+  :class:`~repro.obs.accounting.TxAccountant` breakdown;
+- **I/O** — simulated device time is charged inside each slice, so the
+  clock the fairness guard and backoff timers read reflects real
+  (simulated) work.
+
+Admission control bounds the in-flight session count: sessions beyond
+``max_inflight`` queue (FIFO) up to ``admission_queue`` deep, and
+further submissions fail fast with
+:class:`~repro.errors.SchedAdmissionError` — backpressure, not an
+unbounded queue.  A fairness guard forces any runnable session whose
+wait exceeds ``fairness_bound`` simulated seconds to run next, so no
+session starves behind an unlucky RNG streak.
+
+Context switches on one thread need two swaps the threaded world gets
+for free: the per-xid accountant's "current transaction" is re-pointed
+at the incoming session's open xid, and the tracer's open-span stack is
+swapped to the session's own (each session's spans form their own
+request trees).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+from dataclasses import dataclass, field
+
+from repro.errors import (DeadlockError, LockTimeoutError,
+                          SchedAdmissionError, SchedStalledError,
+                          SessionFailedError)
+from repro.obs.registry import HistogramValue, MetricSpec
+
+METRICS = (
+    MetricSpec("sched.slices", "counter", "slices",
+               "Requests dispatched by the scheduler (one slice = one "
+               "request of one session).",
+               "repro.sched.scheduler"),
+    MetricSpec("sched.context_switches", "counter", "switches",
+               "Slices that ran a different session than the previous "
+               "slice.",
+               "repro.sched.scheduler"),
+    MetricSpec("sched.lock_parks", "counter", "parks",
+               "Times a session parked in the scheduler waiting for a "
+               "lock while other sessions ran.",
+               "repro.sched.scheduler"),
+    MetricSpec("sched.retries", "counter", "retries",
+               "Transactions re-run after their session was chosen as "
+               "a deadlock victim or timed out on a lock.",
+               "repro.sched.scheduler"),
+    MetricSpec("sched.backoff_seconds", "histogram", "seconds",
+               "Simulated seconds slept before each victim retry "
+               "(capped exponential).",
+               "repro.sched.scheduler"),
+    MetricSpec("sched.admission_waits", "counter", "sessions",
+               "Sessions that queued for admission because the "
+               "in-flight limit was reached.",
+               "repro.sched.scheduler"),
+    MetricSpec("sched.rejected", "counter", "sessions",
+               "Session submissions refused by backpressure (admission "
+               "queue full).",
+               "repro.sched.scheduler"),
+    MetricSpec("sched.idle_advances", "counter", "ops",
+               "Wait quanta burned with every other session parked or "
+               "asleep (a parked waiter advancing the clock toward its "
+               "own timeout).",
+               "repro.sched.scheduler"),
+)
+
+# Session states.
+QUEUED = "queued"        # waiting for admission
+READY = "ready"          # runnable, waiting to be picked
+RUNNING = "running"      # currently dispatching a request
+PARKED = "parked"        # blocked on a lock inside a dispatch
+SLEEPING = "sleeping"    # backing off before a victim retry
+DONE = "done"
+FAILED = "failed"
+
+
+class Ref:
+    """Placeholder argument: the result of an earlier request in the
+    same session, by program ordinal (``Call``/``Apply`` items are
+    numbered 0.. in program order).  ``Call("p_write", Ref(0), b"x")``
+    writes to the fd returned by the session's first request."""
+
+    __slots__ = ("ordinal",)
+
+    def __init__(self, ordinal: int) -> None:
+        self.ordinal = ordinal
+
+    def __repr__(self) -> str:
+        return f"Ref({self.ordinal})"
+
+
+class Call:
+    """One client request: a ``p_*`` method dispatched through the
+    server.  Top-level Calls auto-commit (the library wraps them in a
+    one-shot transaction); inside a :class:`Txn` they run under the
+    session's open transaction."""
+
+    __slots__ = ("method", "args", "kwargs")
+
+    def __init__(self, method: str, *args, **kwargs) -> None:
+        self.method = method
+        self.args = args
+        self.kwargs = kwargs
+
+    @property
+    def label(self) -> str:
+        return self.method
+
+    def __repr__(self) -> str:
+        return f"Call({self.method!r})"
+
+
+class Apply:
+    """A direct file-system operation ``fn(fs, tx)`` run under the
+    session's open transaction — the seam the crash testkit uses to
+    drive its model ops through the scheduler.  Only valid inside a
+    :class:`Txn` (it needs the open transaction)."""
+
+    __slots__ = ("_label", "fn")
+
+    def __init__(self, label: str, fn) -> None:
+        self._label = label
+        self.fn = fn
+
+    @property
+    def label(self) -> str:
+        return self._label
+
+    def __repr__(self) -> str:
+        return f"Apply({self._label!r})"
+
+
+class Txn:
+    """A transaction block: ``p_begin``, the items (one per slice),
+    then ``p_commit`` (or ``p_abort`` when ``abort=True``).  On
+    :class:`~repro.errors.DeadlockError` or
+    :class:`~repro.errors.LockTimeoutError` the whole block is aborted,
+    the session backs off (capped exponential, simulated seconds), and
+    the block re-runs from ``p_begin`` — the automatic victim retry the
+    paper's client library left to applications."""
+
+    __slots__ = ("items", "abort", "tag")
+
+    def __init__(self, items, abort: bool = False, tag=None) -> None:
+        self.items = list(items)
+        self.abort = abort
+        self.tag = tag
+
+
+@dataclass
+class SchedStats:
+    """Scheduler-lifetime counters, mirrored onto the session's metrics
+    registry under the ``sched.*`` families."""
+
+    slices: int = 0
+    context_switches: int = 0
+    lock_parks: int = 0
+    retries: int = 0
+    backoff_seconds: HistogramValue = field(default_factory=HistogramValue)
+    admission_waits: int = 0
+    rejected: int = 0
+    idle_advances: int = 0
+
+
+class _Unit:
+    """One compiled program item (a Txn block or a lone Call)."""
+
+    __slots__ = ("txn", "items", "ordinals", "attempt")
+
+    def __init__(self, txn: Txn | None, items: list, ordinals: list[int]) -> None:
+        self.txn = txn          # None for a lone auto-commit Call
+        self.items = items
+        self.ordinals = ordinals
+        self.attempt = 0
+
+
+class Session:
+    """One client session: its program, its server connection, and the
+    bookkeeping the fairness report is built from."""
+
+    def __init__(self, sid: int, name: str, units: list[_Unit],
+                 submitted_at: float) -> None:
+        self.sid = sid
+        self.name = name
+        self.units = units
+        self.state = QUEUED
+        self.conn: int | None = None
+        #: program counter: current unit / phase within the unit
+        #: (-1 = p_begin pending, 0..n-1 = item index, n = commit).
+        self.unit_idx = 0
+        self.phase = -1
+        #: ordinal -> result of each completed request.
+        self.values: dict[int, object] = {}
+        self.wake_time = 0.0
+        self.ready_since = submitted_at
+        self.submitted_at = submitted_at
+        self.admission_wait = 0.0
+        self.error: str | None = None
+        # fairness bookkeeping (simulated seconds)
+        self.slices = 0
+        self.retries = 0
+        self.park_seconds = 0.0
+        self.max_park = 0.0
+        self.max_ready_wait = 0.0
+        #: the session's own open-span stack (swapped in per slice).
+        self.span_stack: list[int] = []
+        #: xid of the transaction begun by the current Txn unit, kept
+        #: for the commit hook (the crash testkit's oracle seam).
+        self._last_xid: int | None = None
+
+    @property
+    def finished(self) -> bool:
+        return self.state in (DONE, FAILED)
+
+    def report_row(self) -> dict:
+        return {
+            "name": self.name,
+            "state": self.state,
+            "slices": self.slices,
+            "retries": self.retries,
+            "admission_wait_s": self.admission_wait,
+            "lock_park_s": self.park_seconds,
+            "max_park_s": self.max_park,
+            "max_ready_wait_s": self.max_ready_wait,
+            "error": self.error,
+        }
+
+
+class SchedulerWaitStrategy:
+    """The lock manager wait path under the scheduler: the waiting
+    session parks and the event loop runs *other* sessions' requests —
+    which is how a lock wait spends simulated time doing the system's
+    other work instead of wall time doing nothing.  Timeouts are in
+    simulated seconds."""
+
+    def __init__(self, sched: "MultiUserScheduler") -> None:
+        self.sched = sched
+
+    def suspended_xids(self) -> set:
+        """xids of sessions parked beneath the current one on the
+        scheduler's call stack.  The lock manager exempts them from the
+        FIFO no-barge rule: a stack-suspended waiter cannot acquire
+        until control unwinds through the requester, so queueing behind
+        it would deadlock the event loop, not the data."""
+        sched = self.sched
+        out = set()
+        for session in sched._running[:-1]:
+            tx = sched.server._sessions[session.conn]._tx
+            if tx is not None:
+                out.add(tx.xid)
+        return out
+
+    def start(self, lm, xid: int, resource, mode: str) -> dict:
+        sched = self.sched
+        now = sched.clock.now()
+        session = sched._running[-1] if sched._running else None
+        if session is not None:
+            session.state = PARKED
+            sched.stats.lock_parks += 1
+            sched._event("park", session.name, f"{mode} {resource!r}")
+        return {"start": now, "deadline": now + lm.timeout_s,
+                "session": session, "span": sched._park_span(resource, mode)}
+
+    def wait_round(self, lm, ctx: dict) -> bool:
+        sched = self.sched
+        if sched.clock.now() >= ctx["deadline"]:
+            return False
+        acct = sched.db.obs.tx
+        waiter_xid = acct.current_xid()
+        # The lock manager's mutex is held here; release it so the
+        # sessions we are about to run can take locks themselves, then
+        # restore both the mutex and the waiter's accounting identity.
+        lm._cond.release()
+        try:
+            sched._step_while_parked(ctx["deadline"])
+        finally:
+            acct.activate(waiter_xid)
+            lm._cond.acquire()
+        return sched.clock.now() < ctx["deadline"]
+
+    def finish(self, lm, ctx: dict, xid: int) -> float:
+        sched = self.sched
+        elapsed = sched.clock.now() - ctx["start"]
+        session = ctx["session"]
+        if session is not None:
+            session.state = RUNNING
+            session.park_seconds += elapsed
+            if elapsed > session.max_park:
+                session.max_park = elapsed
+            sched._event("unpark", session.name, f"{elapsed:.6f}")
+        span = ctx.get("span")
+        if span is not None:
+            span.__exit__(None, None, None)
+        return elapsed
+
+
+class MultiUserScheduler:
+    """Seeded cooperative event loop over N sessions of one server.
+
+    Construction installs the scheduler's lock wait strategy on the
+    server database's lock manager and mirrors the ``sched.*`` metric
+    families onto its registry; :meth:`close` undoes both.
+    """
+
+    def __init__(self, server, seed: int = 0, max_inflight: int = 8,
+                 admission_queue: int = 16, wait_quantum: float = 1e-4,
+                 backoff_base: float = 0.005, backoff_cap: float = 0.08,
+                 max_retries: int = 10, fairness_bound: float = 0.5,
+                 cluster_commits: bool = True) -> None:
+        self.server = server
+        self.db = server.fs.db
+        self.clock = self.db.clock
+        self.seed = seed
+        self.rng = random.Random(seed)
+        self.max_inflight = max_inflight
+        self.admission_queue = admission_queue
+        self.wait_quantum = wait_quantum
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.max_retries = max_retries
+        self.fairness_bound = fairness_bound
+        self.cluster_commits = cluster_commits
+        self.stats = SchedStats()
+        self.sessions: list[Session] = []
+        self._admitted: list[Session] = []
+        self._admission_q: list[Session] = []
+        #: call stack of sessions currently inside a dispatch (the top
+        #: is the innermost; everything below is parked on a lock).
+        self._running: list[Session] = []
+        self._last_ran: Session | None = None
+        #: commit-burst drain flag (see :meth:`_pick`).
+        self._draining = False
+        #: deterministic event trace: (sim_time, kind, session, detail).
+        self.trace: list[tuple] = []
+        #: hook called as fn(session, tag, xid) right after a Txn's
+        #: commit dispatch returns (the crash testkit's oracle seam).
+        self.commit_hook = None
+        self._closed = False
+        self._old_wait_strategy = self.db.locks.wait_strategy
+        self.db.locks.wait_strategy = SchedulerWaitStrategy(self)
+        self._bind_metrics()
+
+    # -- wiring ----------------------------------------------------------
+
+    def _bind_metrics(self) -> None:
+        registry = self.db.obs.metrics
+        stats = self.stats
+        for spec in METRICS:
+            attr = spec.name.rsplit(".", 1)[-1]
+            registry.register(spec).mirror(lambda s=stats, a=attr: getattr(s, a))
+
+    def close(self) -> None:
+        """Restore the lock manager's previous wait strategy and tear
+        down any server sessions still connected."""
+        if self._closed:
+            return
+        self._closed = True
+        self.db.locks.wait_strategy = self._old_wait_strategy
+        for session in self.sessions:
+            if session.conn is not None and not session.finished:
+                self.server.disconnect(session.conn)
+                session.conn = None
+
+    def __enter__(self) -> "MultiUserScheduler":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- admission -------------------------------------------------------
+
+    def add_session(self, program, name: str | None = None) -> Session:
+        """Submit a session program.  Admits it immediately while fewer
+        than ``max_inflight`` sessions are in flight, queues it FIFO up
+        to ``admission_queue`` deep, and refuses it (backpressure) past
+        that."""
+        sid = len(self.sessions)
+        name = name or f"s{sid}"
+        units = self._compile(program)
+        session = Session(sid, name, units, self.clock.now())
+        if len(self._admitted) < self.max_inflight:
+            self.sessions.append(session)
+            self._admit(session)
+        elif len(self._admission_q) < self.admission_queue:
+            self.sessions.append(session)
+            self._admission_q.append(session)
+            self.stats.admission_waits += 1
+            self._event("queue", session.name, f"depth={len(self._admission_q)}")
+        else:
+            self.stats.rejected += 1
+            self._event("reject", name, f"queue_full={self.admission_queue}")
+            raise SchedAdmissionError(
+                f"session {name!r} refused: {len(self._admitted)} in "
+                f"flight and admission queue full "
+                f"({self.admission_queue} deep)")
+        return session
+
+    @staticmethod
+    def _compile(program) -> list[_Unit]:
+        units: list[_Unit] = []
+        ordinal = 0
+        for item in program:
+            if isinstance(item, Txn):
+                ords = list(range(ordinal, ordinal + len(item.items)))
+                ordinal += len(item.items)
+                units.append(_Unit(item, item.items, ords))
+            elif isinstance(item, Call):
+                units.append(_Unit(None, [item], [ordinal]))
+                ordinal += 1
+            elif isinstance(item, Apply):
+                raise TypeError(
+                    f"{item!r} outside a Txn: Apply items need the "
+                    f"session's open transaction")
+            else:
+                raise TypeError(f"unknown program item {item!r}")
+        return units
+
+    def _admit(self, session: Session) -> None:
+        session.conn = self.server.connect()
+        session.state = READY
+        now = self.clock.now()
+        session.admission_wait = now - session.submitted_at
+        session.ready_since = now
+        self._admitted.append(session)
+        self._event("admit", session.name, f"conn={session.conn}")
+
+    def _retire(self, session: Session, state: str) -> None:
+        session.state = state
+        self._admitted.remove(session)
+        if session.conn is not None:
+            # disconnect aborts any transaction a failed session left
+            # open, releasing its locks for the survivors.
+            self.server.disconnect(session.conn)
+            session.conn = None
+        self._event(state, session.name, session.error or "")
+        if self._admission_q:
+            self._admit(self._admission_q.pop(0))
+
+    # -- the event loop --------------------------------------------------
+
+    def run(self, strict: bool = True) -> dict:
+        """Run every session to completion; returns the fairness
+        report.  ``strict`` raises :class:`SessionFailedError` if any
+        session exhausted its retry budget."""
+        while True:
+            self._wake_sleepers()
+            if all(s.finished for s in self.sessions):
+                break
+            ready = [s for s in self._admitted if s.state == READY]
+            if ready:
+                self._run_slice(self._pick(ready))
+                continue
+            sleepers = [s for s in self._admitted if s.state == SLEEPING]
+            if sleepers:
+                target = min(s.wake_time for s in sleepers)
+                self.clock.advance(max(0.0, target - self.clock.now()))
+                continue
+            raise SchedStalledError(
+                "unfinished sessions but nothing runnable: "
+                + ", ".join(f"{s.name}={s.state}" for s in self.sessions
+                            if not s.finished))
+        failed = [s for s in self.sessions if s.state == FAILED]
+        if strict and failed:
+            raise SessionFailedError(
+                "; ".join(f"{s.name}: {s.error}" for s in failed))
+        return self.fairness_report()
+
+    def _wake_sleepers(self) -> None:
+        now = self.clock.now()
+        for session in self._admitted:
+            if session.state == SLEEPING and session.wake_time <= now:
+                session.state = READY
+                session.ready_since = now
+
+    def _pick(self, ready: list[Session]) -> Session:
+        """Seeded random choice with a starvation guard: any session
+        runnable for longer than ``fairness_bound`` simulated seconds
+        preempts the lottery, oldest wait first.
+
+        With ``cluster_commits`` (the default), sessions whose next
+        request is ``p_commit`` are held back while any other ready
+        session still has writing work — the classic group-commit
+        delay, expressed as scheduling policy.  Writes from every
+        session accumulate in the buffer cache, then the commits run
+        back-to-back: the first committer's flush sweeps all of them in
+        one sorted pass, the rest find their pages already clean, and
+        the batched commit records share a single status force.  The
+        starvation guard bounds the delay."""
+        now = self.clock.now()
+        overdue = [s for s in ready
+                   if now - s.ready_since >= self.fairness_bound]
+        if overdue:
+            return min(overdue, key=lambda s: (s.ready_since, s.sid))
+        ordered = sorted(ready, key=lambda s: s.sid)
+        if self.cluster_commits:
+            gated = [s for s in ordered if self._at_commit_gate(s)]
+            if self._draining:
+                # Drain mode: finish the whole commit burst back-to-back
+                # before any session starts its next transaction —
+                # otherwise the first committer's successor slices would
+                # outrank the remaining gated commits and the batch
+                # would trickle out one commit at a time.
+                if gated:
+                    ordered = gated
+                else:
+                    self._draining = False
+            elif gated and len(gated) == len(ordered):
+                self._draining = True
+                ordered = gated
+            elif gated:
+                ordered = [s for s in ordered if not self._at_commit_gate(s)]
+        return ordered[self.rng.randrange(len(ordered))]
+
+    @staticmethod
+    def _at_commit_gate(session: Session) -> bool:
+        """True when the session's next request is the ``p_commit`` of
+        a committing Txn (aborts are not gated: they force their status
+        record immediately, so delaying them batches nothing)."""
+        unit = session.units[session.unit_idx]
+        return (unit.txn is not None and not unit.txn.abort
+                and session.phase == len(unit.items))
+
+    def _step_while_parked(self, deadline: float) -> None:
+        """One scheduling step on behalf of a parked lock waiter: run
+        another session's request if any is ready, else advance the
+        clock toward the next wake-up (or burn one quantum toward the
+        waiter's own timeout)."""
+        self._wake_sleepers()
+        ready = [s for s in self._admitted if s.state == READY]
+        if ready:
+            self._run_slice(self._pick(ready))
+            return
+        now = self.clock.now()
+        sleepers = [s for s in self._admitted if s.state == SLEEPING]
+        if sleepers:
+            target = min(min(s.wake_time for s in sleepers), deadline)
+            if target > now:
+                self.clock.advance(target - now)
+                return
+        # Nothing runnable at all: the waiter's timeout is the only
+        # event left, so jump straight to it (plus one quantum so the
+        # deadline test is unambiguous) instead of burning quanta.
+        self.stats.idle_advances += 1
+        self.clock.advance(max(self.wait_quantum,
+                               deadline + self.wait_quantum - now))
+
+    # -- slices ----------------------------------------------------------
+
+    def _resolve(self, session: Session, value):
+        if isinstance(value, Ref):
+            if value.ordinal not in session.values:
+                raise SchedStalledError(
+                    f"{session.name}: Ref({value.ordinal}) before its "
+                    f"request completed")
+            return session.values[value.ordinal]
+        return value
+
+    def _next_request(self, session: Session) -> tuple[str, tuple, dict, int | None]:
+        """The (method, args, kwargs, ordinal) of the session's next
+        request, given its unit/phase counters."""
+        unit = session.units[session.unit_idx]
+        if unit.txn is None:
+            item = unit.items[0]
+            args = tuple(self._resolve(session, a) for a in item.args)
+            kwargs = {k: self._resolve(session, v)
+                      for k, v in item.kwargs.items()}
+            return item.method, args, kwargs, unit.ordinals[0]
+        if session.phase == -1:
+            return "p_begin", (), {}, None
+        if session.phase == len(unit.items):
+            return ("p_abort" if unit.txn.abort else "p_commit"), (), {}, None
+        item = unit.items[session.phase]
+        if isinstance(item, Apply):
+            return "__apply__", (item,), {}, unit.ordinals[session.phase]
+        args = tuple(self._resolve(session, a) for a in item.args)
+        kwargs = {k: self._resolve(session, v) for k, v in item.kwargs.items()}
+        return item.method, args, kwargs, unit.ordinals[session.phase]
+
+    def _run_slice(self, session: Session) -> None:
+        """Dispatch one request of ``session`` — the scheduler's unit
+        of interleaving."""
+        unit = session.units[session.unit_idx]
+        method, args, kwargs, ordinal = self._next_request(session)
+        self.stats.slices += 1
+        session.slices += 1
+        if self._last_ran is not session:
+            self.stats.context_switches += 1
+        self._last_ran = session
+        now = self.clock.now()
+        if session.state == READY:
+            waited = now - session.ready_since
+            if waited > session.max_ready_wait:
+                session.max_ready_wait = waited
+        session.state = RUNNING
+        self._running.append(session)
+        self._event("slice", session.name, method)
+        obs = self.db.obs
+        tx = self.server._sessions[session.conn]._tx
+        obs.tx.activate(tx.xid if tx is not None else None)
+        tracing = obs.tracer.enabled
+        old_stack = obs.tracer.swap_stack(session.span_stack) if tracing \
+            else None
+        span = obs.tracer.span("sched.slice", session=session.name,
+                               method=method) if tracing else None
+        try:
+            if span is not None:
+                span.__enter__()
+            try:
+                result = self._dispatch(session, method, args, kwargs)
+            finally:
+                if span is not None:
+                    span.__exit__(None, None, None)
+        except (DeadlockError, LockTimeoutError) as exc:
+            self._handle_victim(session, unit, exc)
+            return
+        finally:
+            self._running.pop()
+            if tracing:
+                obs.tracer.swap_stack(old_stack)
+            if session.state == RUNNING:
+                session.state = READY
+                session.ready_since = self.clock.now()
+        if ordinal is not None:
+            session.values[ordinal] = result
+        self._advance_pc(session, unit, method)
+
+    def _dispatch(self, session: Session, method: str, args: tuple,
+                  kwargs: dict):
+        if method == "__apply__":
+            item = args[0]
+            tx = self.server._sessions[session.conn]._tx
+            return item.fn(self.server.fs, tx)
+        return self.server.dispatch(session.conn, method, *args, **kwargs)
+
+    def _advance_pc(self, session: Session, unit: _Unit, method: str) -> None:
+        if unit.txn is None:
+            done_unit = True
+        elif session.phase == len(unit.items):
+            if self.commit_hook is not None and not unit.txn.abort:
+                self.commit_hook(session, unit.txn.tag, session._last_xid)
+            done_unit = True
+        else:
+            if session.phase == -1:
+                # remember the xid begun here for the commit hook.
+                tx = self.server._sessions[session.conn]._tx
+                session._last_xid = tx.xid if tx is not None else None
+            session.phase += 1
+            done_unit = False
+        if done_unit:
+            unit.attempt = 0
+            session.unit_idx += 1
+            session.phase = -1
+            if session.unit_idx >= len(session.units):
+                self._retire(session, DONE)
+
+    def _handle_victim(self, session: Session, unit: _Unit, exc) -> None:
+        """Deadlock-victim (or lock-timeout) recovery: abort the open
+        transaction, roll the unit back, back off (capped exponential,
+        simulated seconds), and retry the unit from its beginning."""
+        self._event("victim", session.name, type(exc).__name__)
+        conn_session = self.server._sessions[session.conn]
+        if conn_session._tx is not None:
+            self.server.dispatch(session.conn, "p_abort")
+        for ordinal in unit.ordinals:
+            session.values.pop(ordinal, None)
+        session.phase = -1
+        unit.attempt += 1
+        if unit.attempt > self.max_retries:
+            session.error = (f"retry budget exhausted after "
+                             f"{self.max_retries} attempts: {exc}")
+            self._retire(session, FAILED)
+            return
+        self.stats.retries += 1
+        session.retries += 1
+        backoff = min(self.backoff_cap,
+                      self.backoff_base * (2 ** (unit.attempt - 1)))
+        self.stats.backoff_seconds.observe(backoff)
+        session.state = SLEEPING
+        session.wake_time = self.clock.now() + backoff
+        self._event("retry", session.name,
+                    f"attempt={unit.attempt} backoff={backoff:.6f}")
+
+    # -- tracing / reporting --------------------------------------------
+
+    def _park_span(self, resource, mode: str):
+        tracer = self.db.obs.tracer
+        if not tracer.enabled:
+            return None
+        span = tracer.span("sched.park", resource=repr(resource), mode=mode)
+        span.__enter__()
+        return span
+
+    def _event(self, kind: str, session: str, detail: str = "") -> None:
+        self.trace.append((round(self.clock.now(), 9), kind, session, detail))
+
+    def trace_hash(self) -> str:
+        """SHA-256 over the event trace — the determinism gate: two
+        runs with the same seed and programs must produce the same
+        hash."""
+        blob = json.dumps(self.trace, separators=(",", ":")).encode()
+        return hashlib.sha256(blob).hexdigest()
+
+    def fairness_report(self) -> dict:
+        """Per-session scheduling statistics plus the starvation
+        verdict: the longest any session sat runnable-but-not-run, to
+        compare against ``fairness_bound``."""
+        rows = [s.report_row() for s in self.sessions]
+        max_ready_wait = max((r["max_ready_wait_s"] for r in rows),
+                             default=0.0)
+        max_park = max((r["max_park_s"] for r in rows), default=0.0)
+        return {
+            "seed": self.seed,
+            "sessions": rows,
+            "max_ready_wait_s": max_ready_wait,
+            "max_park_s": max_park,
+            "fairness_bound_s": self.fairness_bound,
+            "starved": max_ready_wait > self.fairness_bound + self.wait_quantum,
+            "slices": self.stats.slices,
+            "context_switches": self.stats.context_switches,
+            "lock_parks": self.stats.lock_parks,
+            "retries": self.stats.retries,
+            "idle_advances": self.stats.idle_advances,
+        }

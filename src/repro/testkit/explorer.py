@@ -190,6 +190,15 @@ class CrashScheduleExplorer:
         db.wrap_devices(lambda dev: FaultyDevice(dev, controller))
         return controller
 
+    def _make_runner(self, db: Database, fs: InversionFS):
+        """One runner per run: the single-session lock-step runner, or —
+        when the workload declares per-client ``sessions`` — the
+        scheduler-driven concurrent runner (same interface)."""
+        if self.workload.sessions:
+            from repro.testkit.concurrent import ConcurrentWorkloadRunner
+            return ConcurrentWorkloadRunner(db, fs, self.workload)
+        return WorkloadRunner(db, fs, self.workload)
+
     # -- passes ----------------------------------------------------------
 
     def count_write_boundaries(self) -> int:
@@ -199,7 +208,7 @@ class CrashScheduleExplorer:
         run_dir = os.path.join(self.base_dir, "profile")
         db, fs = self._build(run_dir)
         controller = self._arm(db, crash_after=None)
-        runner = WorkloadRunner(db, fs, self.workload)
+        runner = self._make_runner(db, fs)
         runner.run()
         controller.disarm()
         final = harvest_state(fs)
@@ -215,7 +224,7 @@ class CrashScheduleExplorer:
         run_dir = os.path.join(self.base_dir, f"run{point:05d}")
         db, fs = self._build(run_dir)
         controller = self._arm(db, crash_after=point)
-        runner = WorkloadRunner(db, fs, self.workload)
+        runner = self._make_runner(db, fs)
         try:
             runner.run()
         except SimulatedCrashError:

@@ -62,10 +62,29 @@ class Workload:
     #: group-commit window (simulated seconds) applied to the database
     #: under test; 0.0 keeps the paper's one-force-per-commit behaviour.
     group_commit_window: float = 0.0
+    #: per-client step lists (TxStep only).  Non-empty makes this a
+    #: *concurrent* workload: ``steps`` is ignored and the explorer runs
+    #: the sessions through the deterministic multi-session scheduler
+    #: (:class:`~repro.testkit.concurrent.ConcurrentWorkloadRunner`).
+    sessions: tuple = ()
+    #: seed for the scheduler's interleaving lottery.
+    sched_seed: int = 0
+    #: model ops committed once during :meth:`setup`, before the run is
+    #: armed for crashes — shared fixtures concurrent sessions contend
+    #: on (e.g. a pre-created hot file, so no two sessions race to
+    #: create the same path, which 2PL serializes into a clean
+    #: FileExistsError for the loser rather than a retryable conflict).
+    setup_ops: tuple = ()
 
     def setup(self, db, fs) -> None:
         for devname, kind in self.devices:
             db.add_device(devname, kind)
+        if self.setup_ops:
+            from repro.testkit.oracle import apply_fs_op
+            tx = fs.begin()
+            for op in self.setup_ops:
+                apply_fs_op(fs, tx, op)
+            fs.commit(tx)
         if self.group_commit_window:
             db.tm.group_commit_window = self.group_commit_window
 
@@ -154,10 +173,38 @@ def group_commit_workload(seed: int = 0) -> Workload:
     ], group_commit_window=0.25)
 
 
+def concurrent_workload(seed: int = 0) -> Workload:
+    """Three interleaved client sessions under a group-commit window:
+    each owns a private subtree (disjoint chunk-table locks) and all
+    three overwrite one pre-created hot file (serialized by its
+    exclusive lock, superseding each other in commit order).  Every
+    interleaving is semantically valid, so the differential oracle —
+    fed at commit order by the scheduler's commit hook — must match at
+    every crash point."""
+    p = lambda tag, size: payload(seed, tag, size)  # noqa: E731
+    return Workload("concurrent", [], sessions=(
+        (TxStep((("mkdir", "/c0"),
+                 ("write", "/c0/a", p("0a", 3000)))),
+         TxStep((("write", "/hot", p("0h", 1800)),)),
+         TxStep((("write", "/c0/b", p("0b", 9000)),))),
+        (TxStep((("mkdir", "/c1"),
+                 ("write", "/c1/a", p("1a", 500)))),
+         TxStep((("write", "/hot", p("1h", 2600)),)),
+         TxStep((("write", "/c1/a", p("1b", 4000)),), abort=True),
+         TxStep((("write", "/c1/b", p("1c", 1200)),))),
+        (TxStep((("write", "/hot", p("2h", 700)),)),
+         TxStep((("mkdir", "/c2"),
+                 ("write", "/c2/a", p("2a", 14000)))),
+         TxStep((("write", "/hot", p("2i", 2100)),))),
+    ), setup_ops=(("write", "/hot", p("seed", 1000)),),
+        group_commit_window=0.25, sched_seed=seed)
+
+
 ALL_WORKLOADS = {
     "commit": commit_workload,
     "vacuum": vacuum_workload,
     "migration": migration_workload,
     "write_heavy": write_heavy_workload,
     "group_commit": group_commit_workload,
+    "concurrent": concurrent_workload,
 }

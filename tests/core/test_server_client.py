@@ -132,3 +132,35 @@ def test_write_behind_cheaper_than_synchronous(fs, clock):
     pipelined.close()
     sync.close()
     assert piped < serial
+
+
+def test_bad_arity_rejected_before_dispatch(fs):
+    """Malformed argument lists fail with a protocol error naming the
+    method — not a TypeError from deep inside the library."""
+    server = InversionServer(fs)
+    session = server.connect()
+    server.dispatch(session, "p_begin")
+    with pytest.raises(InversionError, match="p_creat"):
+        server.dispatch(session, "p_creat")             # missing path
+    with pytest.raises(InversionError, match="p_read"):
+        server.dispatch(session, "p_read", 1, 2, 3, 4)  # too many args
+    with pytest.raises(InversionError, match="p_write"):
+        server.dispatch(session, "p_write", 1, b"d", bogus=True)
+    # the session survives rejected requests and still works.
+    fd = server.dispatch(session, "p_creat", "/valid")
+    server.dispatch(session, "p_write", fd, b"ok")
+    server.dispatch(session, "p_close", fd)
+    server.dispatch(session, "p_commit")
+    assert fs.read_file("/valid") == b"ok"
+
+
+def test_allowed_methods_match_client_surface(fs):
+    """Every method the server exposes exists on InversionClient with
+    an inspectable signature (the validation cache depends on it)."""
+    import inspect
+    from repro.core.library import InversionClient
+    server = InversionServer(fs)
+    for method in server.ALLOWED:
+        fn = getattr(InversionClient, method)
+        assert callable(fn)
+        inspect.signature(fn)  # must not raise

@@ -104,3 +104,120 @@ def test_two_phase_semantics_via_transaction_record():
     assert len(a.held_locks) == 2
     lm.release_all(a)
     assert lm.holders("r1") == {} and lm.holders("r2") == {}
+
+
+def test_upgrade_deadlock_exactly_one_victim():
+    """Two shared holders both upgrading to exclusive: each waits on
+    the other's shared hold — a cycle.  Exactly one is chosen as the
+    victim; the survivor's upgrade succeeds once the victim's locks
+    are gone."""
+    lm = LockManager(timeout_s=10.0)
+    a, b = tx(1), tx(2)
+    lm.acquire(a, "r", SHARED)
+    lm.acquire(b, "r", SHARED)
+    outcome = {}
+    started = threading.Event()
+
+    def upgrade(t, key):
+        started.wait()
+        try:
+            lm.acquire(t, "r", EXCLUSIVE)
+            outcome[key] = "upgraded"
+        except DeadlockError:
+            outcome[key] = "victim"
+            lm.release_all(t)
+
+    threads = [threading.Thread(target=upgrade, args=(a, "a")),
+               threading.Thread(target=upgrade, args=(b, "b"))]
+    for thread in threads:
+        thread.start()
+    started.set()
+    for thread in threads:
+        thread.join(timeout=10)
+    assert sorted(outcome.values()) == ["upgraded", "victim"]
+    survivor = a if outcome["a"] == "upgraded" else b
+    assert lm.holders("r") == {survivor.xid: EXCLUSIVE}
+    lm.release_all(survivor)
+
+
+def test_fifo_no_barge_past_exclusive_waiter():
+    """A shared request arriving behind a queued exclusive waiter must
+    not barge in front of it, even though it is compatible with the
+    current shared holder — FIFO admission prevents writer
+    starvation."""
+    import time
+    lm = LockManager(timeout_s=10.0)
+    holder, writer, reader = tx(1), tx(2), tx(3)
+    lm.acquire(holder, "r", SHARED)
+    order = []
+
+    def want_x():
+        lm.acquire(writer, "r", EXCLUSIVE)
+        order.append("writer")
+
+    def want_s():
+        lm.acquire(reader, "r", SHARED)
+        order.append("reader")
+
+    t_writer = threading.Thread(target=want_x)
+    t_writer.start()
+    deadline = time.time() + 5
+    while lm.waiter_xids("r") != [writer.xid] and time.time() < deadline:
+        time.sleep(0.01)
+    assert lm.waiter_xids("r") == [writer.xid]
+
+    t_reader = threading.Thread(target=want_s)
+    t_reader.start()
+    deadline = time.time() + 5
+    while len(lm.waiter_xids("r")) != 2 and time.time() < deadline:
+        time.sleep(0.01)
+    # the reader queues behind the writer instead of barging past it.
+    assert lm.waiter_xids("r") == [writer.xid, reader.xid]
+    assert lm.holders("r") == {holder.xid: SHARED}
+
+    lm.release_all(holder)
+    t_writer.join(timeout=10)
+    assert order == ["writer"]          # the writer went first
+    lm.release_all(writer)
+    t_reader.join(timeout=10)
+    assert order == ["writer", "reader"]
+    lm.release_all(reader)
+
+
+def test_error_messages_name_resource_and_holders():
+    """Deadlock and timeout errors carry the contended resource and
+    the holders' xids and modes — the contention-debugging breadcrumb."""
+    lm = LockManager(timeout_s=0.05)
+    a, b = tx(1), tx(2)
+    lm.acquire(a, ("rel", 42), EXCLUSIVE)
+    with pytest.raises(LockTimeoutError) as excinfo:
+        lm.acquire(b, ("rel", 42), SHARED)
+    message = str(excinfo.value)
+    assert "('rel', 42)" in message
+    assert "{1:X}" in message
+
+    lm2 = LockManager(timeout_s=10.0)
+    c, d = tx(7), tx(8)
+    lm2.acquire(c, "r1", EXCLUSIVE)
+    lm2.acquire(d, "r2", EXCLUSIVE)
+    cycle = {}
+
+    def close_cycle():
+        try:
+            lm2.acquire(c, "r2", EXCLUSIVE)
+            cycle["c"] = "ok"
+        except DeadlockError as exc:
+            cycle["c"] = str(exc)
+        finally:
+            lm2.release_all(c)
+
+    thread = threading.Thread(target=close_cycle)
+    thread.start()
+    import time
+    time.sleep(0.1)
+    with pytest.raises(DeadlockError) as excinfo2:
+        lm2.acquire(d, "r1", EXCLUSIVE)
+    lm2.release_all(d)
+    thread.join(timeout=5)
+    message = str(excinfo2.value)
+    assert "r1" in message and "{7:X}" in message

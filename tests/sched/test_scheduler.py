@@ -1,0 +1,293 @@
+"""The deterministic multi-session scheduler.
+
+Covers the sched subsystem's contracts: seeded determinism (same seed ⇒
+identical event trace), admission control and backpressure, deadlock-
+victim retry with capped backoff, commit clustering, the fairness
+report, and simulated lock waits landing in the per-xid accounting.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.server import InversionServer
+from repro.errors import SchedAdmissionError, SessionFailedError
+from repro.sched import Apply, Call, MultiUserScheduler, Ref, Txn
+from repro.sched.scheduler import DONE, FAILED
+
+
+def _write(path: str, data: bytes) -> Apply:
+    return Apply(f"write {path}",
+                 lambda fs, tx, path=path, data=data:
+                 fs.write_file(tx, path, data))
+
+
+def _disjoint_programs(nclients: int, ntxns: int = 3) -> list[list[Txn]]:
+    return [[Txn([_write(f"/f{c}", b"%d:%d" % (c, t) * 50)],
+                 tag=f"c{c}t{t}") for t in range(ntxns)]
+            for c in range(nclients)]
+
+
+def _seed_files(fs, nclients: int, extra: tuple = ()) -> None:
+    tx = fs.begin()
+    for c in range(nclients):
+        fs.write_file(tx, f"/f{c}", b"seed")
+    for path in extra:
+        fs.write_file(tx, path, b"seed")
+    fs.commit(tx)
+    fs.db.tm.flush_commits()
+
+
+def _run(fs, programs, **kw):
+    server = InversionServer(fs)
+    sched = MultiUserScheduler(server, **kw)
+    try:
+        for i, program in enumerate(programs):
+            sched.add_session(program, name=f"s{i}")
+        report = sched.run()
+    finally:
+        sched.close()
+    return sched, report
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self, tmp_path):
+        hashes = []
+        for run in range(2):
+            from repro.db.database import Database
+            from repro.core.filesystem import InversionFS
+            db = Database.create(str(tmp_path / f"d{run}"))
+            fs = InversionFS.mkfs(db)
+            _seed_files(fs, 3)
+            sched, _ = _run(fs, _disjoint_programs(3), seed=7)
+            hashes.append(sched.trace_hash())
+            db.close()
+        assert hashes[0] == hashes[1]
+
+    def test_different_seed_different_trace(self, tmp_path):
+        hashes = []
+        for run, seed in enumerate((0, 1)):
+            from repro.db.database import Database
+            from repro.core.filesystem import InversionFS
+            db = Database.create(str(tmp_path / f"d{run}"))
+            fs = InversionFS.mkfs(db)
+            _seed_files(fs, 3)
+            sched, _ = _run(fs, _disjoint_programs(3), seed=seed)
+            hashes.append(sched.trace_hash())
+            db.close()
+        assert hashes[0] != hashes[1]
+
+    def test_results_correct_under_interleaving(self, fs):
+        _seed_files(fs, 4)
+        _run(fs, _disjoint_programs(4, ntxns=2), seed=3)
+        for c in range(4):
+            assert fs.read_file(f"/f{c}") == b"%d:1" % c * 50
+
+
+class TestAdmission:
+    def test_queue_then_backpressure(self, fs):
+        _seed_files(fs, 4)
+        programs = _disjoint_programs(4, ntxns=1)
+        server = InversionServer(fs)
+        sched = MultiUserScheduler(server, max_inflight=2, admission_queue=1)
+        try:
+            a = sched.add_session(programs[0], name="a")
+            b = sched.add_session(programs[1], name="b")
+            queued = sched.add_session(programs[2], name="q")
+            assert a.conn is not None and b.conn is not None
+            assert queued.conn is None          # waiting in the queue
+            assert sched.stats.admission_waits == 1
+            with pytest.raises(SchedAdmissionError):
+                sched.add_session(programs[3], name="refused")
+            assert sched.stats.rejected == 1
+            sched.run()
+        finally:
+            sched.close()
+        # the queued session was admitted when a slot freed, and ran.
+        assert queued.state == DONE
+        assert queued.admission_wait >= 0.0
+        assert fs.read_file("/f2") == b"2:0" * 50
+
+    def test_admission_queue_preserves_fifo(self, fs):
+        _seed_files(fs, 5)
+        programs = _disjoint_programs(5, ntxns=1)
+        server = InversionServer(fs)
+        sched = MultiUserScheduler(server, max_inflight=1, admission_queue=4)
+        try:
+            order = []
+            for i, program in enumerate(programs):
+                session = sched.add_session(program, name=f"s{i}")
+                session._order_probe = order  # noqa: SLF001 (test hook)
+            sched.run()
+        finally:
+            sched.close()
+        admits = [s for (_, kind, s, _) in sched.trace if kind == "admit"]
+        assert admits == [f"s{i}" for i in range(5)]
+
+
+class TestVictimRetry:
+    def test_deadlock_victim_retries_and_completes(self, fs):
+        """Opposite lock orders deadlock; the victim backs off, retries
+        the whole transaction, and both sessions finish."""
+        _seed_files(fs, 0, extra=("/x", "/y"))
+        programs = [
+            [Txn([_write("/x", b"a" * 64), _write("/y", b"a" * 64)],
+                 tag="xy")],
+            [Txn([_write("/y", b"b" * 64), _write("/x", b"b" * 64)],
+                 tag="yx")],
+        ]
+        # seed 3 interleaves the first writes before either second
+        # write, producing the cycle (deterministically — same seed,
+        # same interleaving).
+        sched, report = _run(fs, programs, seed=3)
+        assert all(s.state == DONE for s in sched.sessions)
+        assert sched.stats.retries >= 1
+        assert sched.stats.backoff_seconds.count == sched.stats.retries
+        assert sched.stats.backoff_seconds.max <= sched.backoff_cap
+        assert report["retries"] == sched.stats.retries
+        # 2PL serializability: both files carry the same writer's bytes.
+        assert fs.read_file("/x")[:1] == fs.read_file("/y")[:1]
+
+    def test_retry_budget_exhaustion_fails_strictly(self, fs):
+        """With no retries allowed, the deadlock victim fails and
+        strict mode surfaces it."""
+        _seed_files(fs, 0, extra=("/x", "/y"))
+        programs = [
+            [Txn([_write("/x", b"a" * 64), _write("/y", b"a" * 64)])],
+            [Txn([_write("/y", b"b" * 64), _write("/x", b"b" * 64)])],
+        ]
+        server = InversionServer(fs)
+        sched = MultiUserScheduler(server, seed=3, max_retries=0)
+        try:
+            for i, program in enumerate(programs):
+                sched.add_session(program, name=f"s{i}")
+            with pytest.raises(SessionFailedError, match="retry budget"):
+                sched.run()
+            # non-strict reruns report instead of raising
+        finally:
+            sched.close()
+        failed = [s for s in sched.sessions if s.state == FAILED]
+        done = [s for s in sched.sessions if s.state == DONE]
+        assert len(failed) == 1 and len(done) == 1
+
+
+class TestLockWaits:
+    def test_hot_file_waits_park_and_land_in_accounting(self, fs):
+        """Contending sessions park on the scheduler (no threads), the
+        waits advance the simulated clock, and the wait time lands in
+        the per-xid accounting and lock metrics."""
+        _seed_files(fs, 0, extra=("/hot",))
+        programs = [
+            [Txn([_write("/hot", bytes([65 + c]) * 512)], tag=f"h{c}")
+             for _ in range(2)]
+            for c in range(3)
+        ]
+        sched, report = _run(fs, programs, seed=2)
+        db = fs.db
+        assert sched.stats.lock_parks > 0
+        assert report["lock_parks"] == sched.stats.lock_parks
+        assert db.locks.stats.waits > 0
+        hist = db.obs.metrics.value("lock.wait_seconds")
+        assert hist.count == db.locks.stats.waits
+        assert hist.sum > 0.0
+        waited_xids = [xid for xid, row in db.obs.tx.breakdown().items()
+                       if row.get("lock_wait_seconds")]
+        assert waited_xids, "no per-xid lock wait recorded"
+
+    def test_fairness_report_shape(self, fs):
+        _seed_files(fs, 3)
+        sched, report = _run(fs, _disjoint_programs(3), seed=0)
+        assert report["starved"] is False
+        assert report["max_ready_wait_s"] >= 0.0
+        assert len(report["sessions"]) == 3
+        for row in report["sessions"]:
+            assert row["state"] == DONE
+            assert row["slices"] > 0
+
+
+class TestCommitClustering:
+    def test_commits_batch_under_group_window(self, fs):
+        """With clustering on and a group-commit window open, each
+        round's commits drain back-to-back and share one status
+        force."""
+        _seed_files(fs, 4)
+        fs.db.tm.group_commit_window = 0.05
+        forces0 = fs.db.tm.stats.status_forces
+        _run(fs, _disjoint_programs(4, ntxns=3), seed=0)
+        fs.db.tm.flush_commits()
+        fs.db.tm.group_commit_window = 0.0
+        forces = fs.db.tm.stats.status_forces - forces0
+        assert forces < 12              # 12 commits in fewer forces
+        assert fs.db.tm.stats.max_group == 4
+
+    def test_clustering_can_be_disabled(self, fs):
+        _seed_files(fs, 4)
+        fs.db.tm.group_commit_window = 0.05
+        forces0 = fs.db.tm.stats.status_forces
+        _run(fs, _disjoint_programs(4, ntxns=3), seed=0,
+             cluster_commits=False)
+        fs.db.tm.flush_commits()
+        fs.db.tm.group_commit_window = 0.0
+        forces = fs.db.tm.stats.status_forces - forces0
+        assert fs.db.tm.stats.max_group < 4 or forces > 3
+
+
+class TestPrograms:
+    def test_call_and_ref_plumb_results(self, fs):
+        """Call units auto-commit one RPC each; Ref feeds an earlier
+        result (the fd) into later calls."""
+        program = [
+            Call("p_begin"),
+            Call("p_creat", "/ref"),
+            Call("p_write", Ref(1), b"via ref"),
+            Call("p_close", Ref(1)),
+            Call("p_commit"),
+        ]
+        sched, _ = _run(fs, [program], seed=0)
+        assert fs.read_file("/ref") == b"via ref"
+
+    def test_abort_txn_leaves_no_trace(self, fs):
+        _seed_files(fs, 1)
+        programs = [[
+            Txn([_write("/f0", b"kept")], tag="keep"),
+            Txn([_write("/f0", b"discarded")], abort=True, tag="drop"),
+        ]]
+        _run(fs, programs, seed=0)
+        assert fs.read_file("/f0") == b"kept"
+
+    def test_commit_hook_sees_commit_order(self, fs):
+        _seed_files(fs, 3)
+        server = InversionServer(fs)
+        sched = MultiUserScheduler(server, seed=4)
+        committed = []
+        sched.commit_hook = lambda session, tag, xid: committed.append(
+            (tag, xid))
+        try:
+            for i, program in enumerate(_disjoint_programs(3, ntxns=2)):
+                sched.add_session(program, name=f"s{i}")
+            sched.run()
+        finally:
+            sched.close()
+        assert len(committed) == 6
+        xids = [xid for _, xid in committed]
+        assert xids == sorted(xids, key=lambda x: fs.db.tm.commit_time(x))
+
+
+class TestMetrics:
+    def test_sched_metrics_mirrored_and_unbound_on_close(self, fs):
+        _seed_files(fs, 2)
+        server = InversionServer(fs)
+        sched = MultiUserScheduler(server, seed=0)
+        try:
+            for i, program in enumerate(_disjoint_programs(2)):
+                sched.add_session(program, name=f"s{i}")
+            sched.run()
+            registry = fs.db.obs.metrics
+            assert registry.value("sched.slices") == sched.stats.slices
+            assert registry.value("sched.context_switches") == \
+                sched.stats.context_switches
+        finally:
+            sched.close()
+        # the wait strategy is restored on close
+        from repro.db.locks import ThreadWaitStrategy
+        assert isinstance(fs.db.locks.wait_strategy, ThreadWaitStrategy)
