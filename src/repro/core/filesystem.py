@@ -106,6 +106,26 @@ class InversionFS:
                 self._forget_handle(handle)
         self.db.abort(tx)
 
+    def prepare(self, tx: Transaction, gid: str) -> None:
+        """2PC phase one: flush any open handles written under ``tx``
+        (like :meth:`commit` would), then force the data pages and the
+        ``P`` record.  The transaction keeps its locks until
+        :meth:`finish_prepared` delivers the coordinator's decision."""
+        for handle in list(self._handles):
+            if handle.tx is tx and handle._open:
+                handle.flush()
+        self.db.prepare(tx, gid)
+
+    def finish_prepared(self, tx: Transaction, commit: bool) -> None:
+        """2PC phase two for a prepared transaction."""
+        if not commit:
+            for handle in list(self._handles):
+                if handle.tx is tx and handle._open:
+                    handle.store.discard()
+                    handle._open = False
+                    self._forget_handle(handle)
+        self.db.finish_prepared(tx, commit)
+
     # -- snapshots -----------------------------------------------------------------
 
     def _snap(self, tx: Transaction | None,

@@ -76,6 +76,25 @@ class InversionClient:
         self.fs.abort(self._tx)
         self._tx = None
 
+    def p_prepare(self, gid: str) -> None:
+        """2PC phase one: make the open transaction PREPARED under
+        global id ``gid``.  After this the only legal next calls are
+        :meth:`p_resolve` (the coordinator's decision) or nothing at
+        all — an in-doubt transaction survives even disconnect."""
+        if self._tx is None:
+            raise TransactionError("no transaction in progress")
+        self._detach_handles()
+        self.fs.prepare(self._tx, gid)
+
+    def p_resolve(self, commit: bool) -> None:
+        """2PC phase two: commit or abort the prepared transaction."""
+        if self._tx is None:
+            raise TransactionError("no transaction in progress")
+        if not commit:
+            self._drop_handles()
+        self.fs.finish_prepared(self._tx, commit)
+        self._tx = None
+
     def in_transaction(self) -> bool:
         return self._tx is not None
 

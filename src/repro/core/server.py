@@ -19,6 +19,7 @@ import inspect
 
 from repro.core.filesystem import InversionFS
 from repro.core.library import InversionClient
+from repro.db.transactions import PREPARED
 from repro.errors import InversionError
 from repro.obs.registry import MetricSpec
 
@@ -33,9 +34,11 @@ METRICS = (
 class InversionServer:
     """Dispatches RPC requests into the file system."""
 
-    #: methods a remote client may invoke.
+    #: methods a remote client may invoke.  ``p_prepare``/``p_resolve``
+    #: are the 2PC participant half-calls a shard coordinator drives.
     ALLOWED = frozenset({
-        "p_begin", "p_commit", "p_abort", "p_creat", "p_open", "p_close",
+        "p_begin", "p_commit", "p_abort", "p_prepare", "p_resolve",
+        "p_creat", "p_open", "p_close",
         "p_read", "p_write", "p_lseek", "p_mkdir", "p_unlink", "p_rmdir",
         "p_rename", "p_stat", "p_readdir", "p_query",
     })
@@ -86,11 +89,24 @@ class InversionServer:
         deadlock every other session touching the same files.  Surviving
         descriptors are then closed so attribute updates left pending by
         auto-commit writes are reconciled rather than silently dropped
-        (their chunk data already committed; only fileatt lagged)."""
+        (their chunk data already committed; only fileatt lagged).
+
+        One exception: a PREPARED (in-doubt 2PC) transaction must
+        *survive* its session.  Its fate belongs to the coordinator's
+        decision log, so aborting it here would break cross-shard
+        atomicity; it keeps its locks and its prepared record until
+        ``resolve_prepared``/``resolve_in_doubt`` delivers the
+        decision.  Descriptor reconciliation is skipped too — it would
+        open an auto-commit transaction that blocks on the prepared
+        transaction's own locks."""
         session = self._sessions.pop(session_id, None)
         if session is None:
             return
         tx = session._tx
+        if tx is not None and tx.state == PREPARED:
+            session._tx = None
+            session._fds.clear()
+            return
         if tx is not None:
             try:
                 session.p_abort()

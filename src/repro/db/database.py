@@ -245,6 +245,28 @@ class Database:
         finally:
             self.obs.tx.end(tx.xid)
 
+    def prepare(self, tx: Transaction, gid: str) -> None:
+        """2PC phase one: force the transaction's dirty pages, then its
+        ``P`` record.  Locks stay held and the transaction stays
+        charge-attributable until :meth:`finish_prepared`."""
+        tx.require_active()
+        if tx.wrote:
+            self.buffers.flush_all()
+        self.tm.prepare(tx, gid)
+
+    def finish_prepared(self, tx: Transaction, commit: bool) -> None:
+        """2PC phase two: apply the coordinator's decision to a live
+        prepared transaction, then release its locks."""
+        try:
+            self.tm.resolve_prepared(tx, commit)
+            if commit:
+                for dev_name, relname in getattr(tx, "_pending_drops", []):
+                    self.buffers.drop_relation(dev_name, relname)
+                    self.switch.get(dev_name).drop_relation(relname)
+            self.locks.release_all(tx)
+        finally:
+            self.obs.tx.end(tx.xid)
+
     def snapshot(self, tx: Transaction) -> CurrentSnapshot:
         return CurrentSnapshot(self.tm, tx.xid)
 

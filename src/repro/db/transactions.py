@@ -49,6 +49,9 @@ METRICS = (
     MetricSpec("txn.aborts_recorded", "counter", "txns",
                "A records durably appended.",
                "repro.db.transactions"),
+    MetricSpec("txn.prepares_recorded", "counter", "txns",
+               "P (two-phase-commit prepare) records durably appended.",
+               "repro.db.transactions"),
     MetricSpec("txn.group_batches", "counter", "ops",
                "Status forces that carried more than one commit record.",
                "repro.db.transactions"),
@@ -60,6 +63,12 @@ METRICS = (
 IN_PROGRESS = "in_progress"
 COMMITTED = "committed"
 ABORTED = "aborted"
+PREPARED = "prepared"
+"""Two-phase commit limbo: the transaction's data pages and its ``P``
+record are durable, but the commit decision belongs to a cross-shard
+coordinator.  A prepared transaction is invisible (``is_committed`` is
+False) and keeps its locks until the decision arrives — possibly after
+a crash, via :meth:`TransactionManager.resolve_in_doubt`."""
 
 STATUS_TAG = "pg_status"
 XID_HWM_TAG = "pg_xid_hwm"
@@ -76,6 +85,8 @@ class _TxRecord:
     state: str
     start_time: float
     commit_time: float | None = None
+    #: global transaction id while PREPARED (``<coordinator>.<xid>``).
+    gid: str | None = None
 
 
 @dataclass
@@ -94,6 +105,8 @@ class TxStats:
     commits_recorded: int = 0
     #: ``A`` records durably appended.
     aborts_recorded: int = 0
+    #: ``P`` (two-phase-commit prepare) records durably appended.
+    prepares_recorded: int = 0
     #: status forces that carried more than one commit record.
     group_batches: int = 0
     #: largest number of commit records carried by one force.
@@ -157,6 +170,7 @@ class TransactionManager:
         self._next_xid = FIRST_NORMAL_XID
         self._durable_hwm = FIRST_NORMAL_XID
         self._recovered_in_progress = 0
+        self._recovered_in_doubt = 0
         self._torn_tail = 0
         #: queued (xid, record-text) pairs not yet durably appended.
         self._pending: list[tuple[int, str]] = []
@@ -169,8 +183,10 @@ class TransactionManager:
     def _parse_line(line: str) -> list[tuple[int, _TxRecord]]:
         """Parse one status-file line, which may carry several records
         (a group-commit force appends all its ``C`` records as one
-        line).  ``C`` consumes 4 tokens, ``A`` consumes 3; raises on
-        anything left over or malformed."""
+        line).  ``C`` and ``P`` consume 4 tokens, ``A`` consumes 3;
+        raises on anything left over or malformed.  A later ``C``/``A``
+        for the same xid supersedes its ``P`` (the coordinator's
+        decision resolved the in-doubt transaction)."""
         tokens = line.split()
         out: list[tuple[int, _TxRecord]] = []
         i = 0
@@ -185,6 +201,11 @@ class TransactionManager:
                 xid = int(tokens[i + 1])
                 out.append((xid, _TxRecord(ABORTED, float(tokens[i + 2]))))
                 i += 3
+            elif kind == "P":
+                xid = int(tokens[i + 1])
+                out.append((xid, _TxRecord(PREPARED, float(tokens[i + 3]),
+                                           gid=tokens[i + 2])))
+                i += 4
             else:
                 raise ValueError(f"unknown record kind {kind!r}")
         return out
@@ -221,9 +242,20 @@ class TransactionManager:
                     out.append((xid, _TxRecord(ABORTED,
                                                float(tokens[i + 2]))))
                     i += 3
+                elif kind == "P" and i + 4 <= len(tokens):
+                    # A torn P record is discarded like any torn tail
+                    # record (it is the last record of the file), which
+                    # presumes the transaction aborted — safe, because
+                    # the 2PC coordinator only records its commit
+                    # decision *after* every prepare force returned.
+                    xid = int(tokens[i + 1])
+                    out.append((xid, _TxRecord(PREPARED,
+                                               float(tokens[i + 3]),
+                                               gid=tokens[i + 2])))
+                    i += 4
                 else:
                     # The torn record: salvage its xid if readable.
-                    if kind in ("C", "A") and i + 2 <= len(tokens):
+                    if kind in ("C", "A", "P") and i + 2 <= len(tokens):
                         max_glimpsed = max(max_glimpsed, int(tokens[i + 1]))
                     break
             except ValueError:
@@ -264,6 +296,11 @@ class TransactionManager:
         self._recovered_in_progress = sum(
             1 for xid in range(FIRST_NORMAL_XID, max_seen + 1)
             if xid not in self._records)
+        # Prepared transactions with no later C/A record are *in doubt*:
+        # their fate belongs to the 2PC coordinator's decision log, and
+        # cluster-level recovery must resolve them before serving reads.
+        self._recovered_in_doubt = sum(
+            1 for rec in self._records.values() if rec.state == PREPARED)
         # Force the high-water mark ahead of need, while nobody is
         # waiting on the lock — begin() then allocates from headroom
         # instead of stalling on a stride boundary.
@@ -283,10 +320,14 @@ class TransactionManager:
     # -- group commit ----------------------------------------------------
 
     def _append_status(self, records: list[tuple[int, str]],
-                       ncommits: int) -> None:
-        """Durably append ``records`` as one forced multi-record line."""
+                       ncommits: int, naborts: int | None = None) -> None:
+        """Durably append ``records`` as one forced multi-record line.
+        ``naborts`` defaults to the non-commit remainder; prepare
+        forces pass 0 so P records are counted in their own family."""
         if not records:
             return
+        if naborts is None:
+            naborts = len(records) - ncommits
         obs = self.obs
         line = " ".join(text for _, text in records) + "\n"
         span = obs.span("txn.status_force", records=len(records),
@@ -298,7 +339,8 @@ class TransactionManager:
             obs.tx.charge("status_forces")
         self.stats.status_forces += 1
         self.stats.commits_recorded += ncommits
-        self.stats.aborts_recorded += len(records) - ncommits
+        self.stats.aborts_recorded += naborts
+        self.stats.prepares_recorded += len(records) - ncommits - naborts
         if ncommits > self.stats.max_group:
             self.stats.max_group = ncommits
         if ncommits > 1:
@@ -387,6 +429,91 @@ class TransactionManager:
         for hook in tx.abort_hooks:
             hook()
 
+    # -- two-phase commit -------------------------------------------------
+
+    def prepare(self, tx: Transaction, gid: str) -> None:
+        """2PC phase one: durably record that this shard can commit
+        ``tx`` whenever the coordinator of global transaction ``gid``
+        says so.  The caller must have forced the transaction's dirty
+        pages first (data-then-status, exactly like :meth:`commit`).
+        The ``P`` record is forced immediately — never queued behind
+        the group-commit window — because the coordinator's decision
+        depends on it being durable; any queued batch is flushed first
+        so the status file stays in append order."""
+        tx.require_active()
+        if " " in gid or "\n" in gid:
+            raise TransactionError(f"malformed gid {gid!r}")
+        with self._lock:
+            self._flush_pending()
+            rec = self._records[tx.xid]
+            rec.state = PREPARED
+            rec.gid = gid
+            if tx.wrote:
+                text = f"P {tx.xid} {gid} {rec.start_time!r}"
+                self._append_status([(tx.xid, text)], 0, 0)
+            tx.state = PREPARED
+
+    def resolve_prepared(self, tx: Transaction, commit: bool) -> None:
+        """2PC phase two for a live prepared transaction: force the
+        final ``C``/``A`` record per the coordinator's decision.  The
+        commit record bypasses the group-commit queue — the decision is
+        already durable on the coordinator, so delaying the local
+        record would only widen the in-doubt window."""
+        if tx.state != PREPARED:
+            raise TransactionError(
+                f"transaction {tx.xid} is {tx.state}, not prepared")
+        with self._lock:
+            rec = self._records[tx.xid]
+            rec.gid = None
+            if commit:
+                rec.state = COMMITTED
+                rec.commit_time = self._clock.now()
+                if tx.wrote:
+                    text = (f"C {tx.xid} {rec.start_time!r} "
+                            f"{rec.commit_time!r}")
+                    self._append_status([(tx.xid, text)], 1)
+                tx.state = COMMITTED
+            else:
+                rec.state = ABORTED
+                if tx.wrote:
+                    self._append_status(
+                        [(tx.xid, f"A {tx.xid} {rec.start_time!r}")], 0)
+                tx.state = ABORTED
+        if not commit:
+            for hook in tx.abort_hooks:
+                hook()
+
+    def resolve_in_doubt(self, xid: int, commit: bool) -> None:
+        """Recovery-time resolution of an in-doubt transaction (one
+        whose ``P`` record survived a crash with no final record).  The
+        cluster recovery consults the coordinator's decision log and
+        calls this; there is no live :class:`Transaction` object."""
+        with self._lock:
+            rec = self._records.get(xid)
+            if rec is None or rec.state != PREPARED:
+                state = "unknown" if rec is None else rec.state
+                raise TransactionError(
+                    f"transaction {xid} is {state}, not in doubt")
+            rec.gid = None
+            if commit:
+                rec.state = COMMITTED
+                rec.commit_time = self._clock.now()
+                self._append_status(
+                    [(xid, f"C {xid} {rec.start_time!r} "
+                           f"{rec.commit_time!r}")], 1)
+            else:
+                rec.state = ABORTED
+                self._append_status(
+                    [(xid, f"A {xid} {rec.start_time!r}")], 0)
+
+    def in_doubt(self) -> dict[int, str]:
+        """xid → gid for every prepared transaction awaiting its
+        coordinator's decision (in-memory or recovered from a ``P``
+        record)."""
+        with self._lock:
+            return {xid: rec.gid for xid, rec in self._records.items()
+                    if rec.state == PREPARED and rec.gid is not None}
+
     # -- visibility queries ---------------------------------------------------
 
     def state(self, xid: int) -> str:
@@ -442,5 +569,6 @@ class TransactionManager:
         aborted = sum(1 for r in self._records.values() if r.state == ABORTED)
         return {"committed": committed, "aborted": aborted,
                 "presumed_aborted": self._recovered_in_progress,
+                "in_doubt": self._recovered_in_doubt,
                 "torn_tail": self._torn_tail,
                 "next_xid": self._next_xid}

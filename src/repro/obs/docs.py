@@ -27,6 +27,7 @@ OWNING_MODULES = (
     "repro.core.client",
     "repro.core.server",
     "repro.sched.scheduler",
+    "repro.shard.cluster",
     "repro.sim.disk",
     "repro.sim.network",
     "repro.sim.nvram",

@@ -1,0 +1,302 @@
+"""The sharded client library.
+
+:class:`ShardedInversionClient` exposes the same ``p_*`` surface as
+:class:`~repro.core.library.InversionClient`, but in front of a
+:class:`~repro.shard.cluster.ShardedCluster`.  The design rule is that
+**the common case stays strictly single-shard**: path resolution, read,
+write, create, and a single-file commit each touch exactly one shard
+(the router is a pure function of the path's top-level component), so
+a transaction whose writes stay inside one subtree pays zero
+coordination messages — its commit is the ordinary local commit.
+
+Cluster transactions enlist shards lazily: the first request routed to
+a shard inside an open transaction sends that shard a ``p_begin``.  At
+``p_commit`` the client counts the shards that actually *wrote*; one
+writer (or none) commits locally, two or more run the two-phase
+protocol (:mod:`repro.shard.twophase`).
+
+Two operations are inherently multi-shard and are composed here:
+
+- ``p_readdir("/")`` — the root directory exists on every shard; the
+  listing is the sorted union of the shards' root listings.
+- ``p_rename`` across shards — there is no shared storage to move, so
+  the client *moves the bytes*: copy the file (or subtree, depth
+  first) to the destination shard, then unlink the source, all inside
+  one cluster transaction whose 2PC commit makes the move atomic:
+  every observer sees the old name or the new name, never both and
+  never neither.
+"""
+
+from __future__ import annotations
+
+from repro.core.constants import O_RDONLY, O_RDWR, SEEK_SET
+from repro.errors import (
+    BadFileDescriptorError,
+    FileExistsError_,
+    FileNotFoundError_,
+    TransactionError,
+)
+from repro.shard.twophase import TwoPhaseCoordinator
+
+_DIRECTORY = "directory"
+
+
+class ShardedInversionClient:
+    """One application's session with a sharded cluster: lazy per-shard
+    server connections, one cluster-level transaction at a time."""
+
+    def __init__(self, cluster) -> None:
+        self.cluster = cluster
+        self.coordinator = TwoPhaseCoordinator(cluster)
+        #: shard → server connection id (opened on first use).
+        self._conns: dict[int, int] = {}
+        self._in_tx = False
+        #: shards enlisted in the open transaction, enlistment order.
+        self._tx_shards: list[int] = []
+        #: cluster fd → (shard, inner fd).
+        self._fds: dict[int, tuple[int, int]] = {}
+        self._next_fd = 3
+
+    # -- plumbing --------------------------------------------------------
+
+    def _route(self, path: str) -> int:
+        return self.cluster.router.route(path)
+
+    def _conn(self, shard: int) -> int:
+        conn = self._conns.get(shard)
+        if conn is None:
+            conn = self.cluster.servers[shard].connect()
+            self._conns[shard] = conn
+        return conn
+
+    def _call(self, shard: int, method: str, *args, **kwargs):
+        """One request to one shard, enlisting it in the open cluster
+        transaction first.  Any message to a shard other than the
+        transaction's first shard counts as cross-shard traffic."""
+        conn = self._conn(shard)
+        if self._in_tx:
+            if shard not in self._tx_shards:
+                self._tx_shards.append(shard)
+                if shard != self._tx_shards[0]:
+                    self.cluster.stats.cross_shard_messages += 1
+                self.cluster.dispatch(shard, conn, "p_begin")
+            if shard != self._tx_shards[0]:
+                self.cluster.stats.cross_shard_messages += 1
+        return self.cluster.dispatch(shard, conn, method, *args, **kwargs)
+
+    def _tx_wrote(self, shard: int) -> bool:
+        """Did this shard's local transaction write?  Open handles with
+        buffered-but-unflushed data count: their flush at prepare or
+        commit will mark the transaction as writing."""
+        server = self.cluster.servers[shard]
+        session = server._sessions[self._conns[shard]]
+        tx = session._tx
+        if tx is None:
+            return False
+        if tx.wrote:
+            return True
+        fs = self.cluster.fss[shard]
+        return any(h.tx is tx and h._open and h._wrote
+                   for h in fs._handles)
+
+    def xid_on(self, shard: int) -> int | None:
+        """The session's open xid on ``shard``, if any (the sharded
+        scheduler's lock-suspension seam)."""
+        conn = self._conns.get(shard)
+        if conn is None:
+            return None
+        session = self.cluster.servers[shard]._sessions.get(conn)
+        if session is None or session._tx is None:
+            return None
+        return session._tx.xid
+
+    def close(self) -> None:
+        for shard, conn in list(self._conns.items()):
+            self.cluster.servers[shard].disconnect(conn)
+        self._conns.clear()
+        self._in_tx = False
+        self._tx_shards = []
+        self._fds.clear()
+
+    # -- transactions ----------------------------------------------------
+
+    def p_begin(self) -> None:
+        if self._in_tx:
+            raise TransactionError(
+                "only one transaction may be active at any time")
+        self._in_tx = True
+        self._tx_shards = []
+
+    def p_abort(self) -> None:
+        if not self._in_tx:
+            raise TransactionError("no transaction in progress")
+        try:
+            self.coordinator.abort_group(self._conns, self._tx_shards)
+        finally:
+            self._in_tx = False
+            self._tx_shards = []
+
+    def p_commit(self) -> None:
+        if not self._in_tx:
+            raise TransactionError("no transaction in progress")
+        participants = list(self._tx_shards)
+        try:
+            writers = [s for s in participants if self._tx_wrote(s)]
+            if len(writers) >= 2:
+                self.coordinator.commit_group(self._conns, participants,
+                                              writers)
+                self.cluster.stats.cross_shard_txns += 1
+            else:
+                # At most one shard wrote: the local commit *is* the
+                # atomic commit point; read-only enlistments have
+                # nothing durable to coordinate.
+                for shard in participants:
+                    self.cluster.dispatch(shard, self._conns[shard],
+                                          "p_commit")
+                if participants:
+                    self.cluster.stats.single_shard_txns += 1
+        finally:
+            self._in_tx = False
+            self._tx_shards = []
+
+    def in_transaction(self) -> bool:
+        return self._in_tx
+
+    # -- file descriptors -------------------------------------------------
+
+    def _register_fd(self, shard: int, inner_fd: int) -> int:
+        fd = self._next_fd
+        self._next_fd += 1
+        self._fds[fd] = (shard, inner_fd)
+        return fd
+
+    def _fd(self, fd: int) -> tuple[int, int]:
+        entry = self._fds.get(fd)
+        if entry is None:
+            raise BadFileDescriptorError(f"bad file descriptor {fd}")
+        return entry
+
+    def p_creat(self, path: str, mode: int = O_RDWR,
+                device: str | None = None, owner: str = "root",
+                ftype: str = "plain") -> int:
+        shard = self._route(path)
+        inner = self._call(shard, "p_creat", path, mode, device=device,
+                           owner=owner, ftype=ftype)
+        return self._register_fd(shard, inner)
+
+    def p_open(self, fname: str, mode: int = O_RDONLY,
+               timestamp: float | None = None) -> int:
+        shard = self._route(fname)
+        inner = self._call(shard, "p_open", fname, mode, timestamp)
+        return self._register_fd(shard, inner)
+
+    def p_close(self, fd: int) -> None:
+        shard, inner = self._fd(fd)
+        self._call(shard, "p_close", inner)
+        del self._fds[fd]
+
+    def p_read(self, fd: int, length: int) -> bytes:
+        shard, inner = self._fd(fd)
+        return self._call(shard, "p_read", inner, length)
+
+    def p_write(self, fd: int, buf: bytes) -> int:
+        shard, inner = self._fd(fd)
+        return self._call(shard, "p_write", inner, buf)
+
+    def p_lseek(self, fd: int, offset_high: int, offset_low: int,
+                whence: int = SEEK_SET) -> int:
+        shard, inner = self._fd(fd)
+        return self._call(shard, "p_lseek", inner, offset_high,
+                          offset_low, whence)
+
+    # -- namespace --------------------------------------------------------
+
+    def p_mkdir(self, path: str, owner: str = "root") -> None:
+        self._call(self._route(path), "p_mkdir", path, owner=owner)
+
+    def p_unlink(self, path: str) -> None:
+        self._call(self._route(path), "p_unlink", path)
+
+    def p_rmdir(self, path: str) -> None:
+        self._call(self._route(path), "p_rmdir", path)
+
+    def p_stat(self, path: str, timestamp: float | None = None):
+        return self._call(self._route(path), "p_stat", path, timestamp)
+
+    def p_readdir(self, path: str,
+                  timestamp: float | None = None) -> list[str]:
+        if path.strip("/"):
+            return self._call(self._route(path), "p_readdir", path,
+                              timestamp)
+        # The root is the one directory that spans shards: its listing
+        # is the union of every shard's root entries (disjoint by
+        # construction — each top-level name lives only on its owner).
+        names: list[str] = []
+        for shard in range(self.cluster.nshards):
+            names.extend(self._call(shard, "p_readdir", "/", timestamp))
+        return sorted(names)
+
+    # -- rename (the cross-shard composite) -------------------------------
+
+    def p_rename(self, old: str, new: str) -> None:
+        src, dst = self._route(old), self._route(new)
+        if src == dst:
+            self._call(src, "p_rename", old, new)
+            return
+        if self._in_tx:
+            self._rename_across(old, new, src, dst)
+            return
+        # Auto-commit: the move happens in its own cluster transaction
+        # (two writers → 2PC), mirroring the library's per-call
+        # transaction for single-shard requests.
+        self.p_begin()
+        try:
+            self._rename_across(old, new, src, dst)
+        except BaseException:
+            self.p_abort()
+            raise
+        self.p_commit()
+
+    def _rename_across(self, old: str, new: str, src: int, dst: int) -> None:
+        if not old.strip("/"):
+            raise FileNotFoundError_("cannot rename the root directory")
+        st = self._call(src, "p_stat", old)  # raises if old is missing
+        try:
+            self._call(dst, "p_stat", new)
+        except FileNotFoundError_:
+            pass
+        else:
+            raise FileExistsError_(f"{new!r} already exists")
+        if st.type == _DIRECTORY:
+            self._move_dir(old, new, src, dst)
+        else:
+            self._move_file(old, new, src, dst, size=st.size)
+
+    def _move_file(self, old: str, new: str, src: int, dst: int,
+                   size: int | None = None) -> None:
+        if size is None:
+            size = self._call(src, "p_stat", old).size
+        fd = self._call(src, "p_open", old, O_RDONLY)
+        data = self._call(src, "p_read", fd, size) if size else b""
+        self._call(src, "p_close", fd)
+        nfd = self._call(dst, "p_creat", new)
+        if data:
+            self._call(dst, "p_write", nfd, data)
+        self._call(dst, "p_close", nfd)
+        self._call(src, "p_unlink", old)
+
+    def _move_dir(self, old: str, new: str, src: int, dst: int) -> None:
+        """Depth-first subtree move.  Every child of ``old`` lives on
+        the source shard (routing is by top-level component), so the
+        recursion never fans out to more shards."""
+        self._call(dst, "p_mkdir", new)
+        for name in self._call(src, "p_readdir", old):
+            child_old = old.rstrip("/") + "/" + name
+            child_new = new.rstrip("/") + "/" + name
+            child_st = self._call(src, "p_stat", child_old)
+            if child_st.type == _DIRECTORY:
+                self._move_dir(child_old, child_new, src, dst)
+            else:
+                self._move_file(child_old, child_new, src, dst,
+                                size=child_st.size)
+        self._call(src, "p_rmdir", old)

@@ -1,0 +1,117 @@
+"""The shard router: which server owns a path.
+
+Partitioning follows HopsFS's central insight: route by the *top-level
+path component*, so that resolving any path deeper than ``/`` touches
+exactly one shard.  A file's naming entries, its ``fileatt`` row and
+its per-file chunk table all live in the owning shard's database
+(chunk tables are created by that shard's ``InversionFS``, so they are
+pinned to it by construction).  Only ``/`` itself is special: it
+exists on every shard, and ``readdir("/")`` is the sorted union of the
+shards' root listings.
+
+Routing is a **pure function** of ``(path, policy, nshards)`` — no
+lookup state, no caches — which is what the Hypothesis suite asserts:
+the same path always maps to the same shard, and every path below a
+top-level directory maps to that directory's shard.
+
+Two policies:
+
+- :class:`HashPartitionPolicy` — SHA-256 of the top-level component,
+  mod shard count.  Balanced and assignment-free.
+- :class:`SubtreePartitionPolicy` — an explicit ``component → shard``
+  map for administrator-placed subtrees, falling back to the hash for
+  unmapped components (so it is total and still pure).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.errors import InversionError
+
+
+class ShardRouteError(InversionError):
+    """A path (or policy configuration) the router cannot route."""
+
+
+def top_component(path: str) -> str | None:
+    """The first path component of an absolute path, or None for the
+    root itself."""
+    if not path.startswith("/"):
+        raise ShardRouteError(f"path {path!r} is not absolute")
+    stripped = path.strip("/")
+    if not stripped:
+        return None
+    return stripped.split("/", 1)[0]
+
+
+def _hash_shard(component: str, nshards: int) -> int:
+    digest = hashlib.sha256(component.encode("utf-8")).digest()
+    return int.from_bytes(digest[:4], "big") % nshards
+
+
+class HashPartitionPolicy:
+    """Hash the top-level component (PYTHONHASHSEED-independent)."""
+
+    kind = "hash"
+
+    def shard_of(self, component: str, nshards: int) -> int:
+        return _hash_shard(component, nshards)
+
+    def config(self) -> dict:
+        return {"policy": self.kind}
+
+
+class SubtreePartitionPolicy:
+    """Explicit top-level assignments, hash fallback for the rest."""
+
+    kind = "subtree"
+
+    def __init__(self, assignments: dict[str, int]) -> None:
+        self.assignments = dict(assignments)
+
+    def shard_of(self, component: str, nshards: int) -> int:
+        assigned = self.assignments.get(component)
+        if assigned is None:
+            return _hash_shard(component, nshards)
+        if not 0 <= assigned < nshards:
+            raise ShardRouteError(
+                f"subtree {component!r} assigned to shard {assigned}, "
+                f"but the cluster has {nshards}")
+        return assigned
+
+    def config(self) -> dict:
+        return {"policy": self.kind, "assignments": self.assignments}
+
+
+def policy_from_config(config: dict):
+    """Rebuild a policy from its ``cluster.json`` representation."""
+    kind = config.get("policy", "hash")
+    if kind == "hash":
+        return HashPartitionPolicy()
+    if kind == "subtree":
+        return SubtreePartitionPolicy(config.get("assignments", {}))
+    raise ShardRouteError(f"unknown partition policy {kind!r}")
+
+
+class ShardRouter:
+    """Pure routing function over one policy and a fixed shard count."""
+
+    def __init__(self, policy, nshards: int) -> None:
+        if nshards < 1:
+            raise ShardRouteError(f"need at least one shard, got {nshards}")
+        self.policy = policy
+        self.nshards = nshards
+
+    def route(self, path: str) -> int:
+        """The shard owning ``path``.  The root directory itself is
+        pinned to shard 0 (it exists everywhere; 0 is the canonical
+        copy for stat)."""
+        component = top_component(path)
+        if component is None:
+            return 0
+        shard = self.policy.shard_of(component, self.nshards)
+        if not 0 <= shard < self.nshards:
+            raise ShardRouteError(
+                f"policy routed {path!r} to shard {shard} of {self.nshards}")
+        return shard

@@ -32,7 +32,8 @@ from repro.core.filesystem import InversionFS
 from repro.db.database import Database
 from repro.errors import ReproError, SimulatedCrashError
 from repro.testkit.faults import CrashController, FaultPlan, FaultyDevice
-from repro.testkit.oracle import ModelFS, apply_fs_op, harvest_state
+from repro.testkit.oracle import (ModelFS, apply_client_op, apply_fs_op,
+                                  harvest_state)
 from repro.testkit.workload import MigrateStep, TxStep, VacuumStep, Workload
 
 
@@ -294,6 +295,214 @@ class CrashScheduleExplorer:
         """Crash-test the workload at every write boundary (or, with
         ``max_points``, an evenly spaced deterministic sample that
         always includes the first and last boundaries)."""
+        total = self.count_write_boundaries()
+        report = ExplorationReport(self.workload.name, total)
+        for point in select_points(total, max_points):
+            report.results.append(self.run_crash_point(point))
+        return report
+
+
+class ShardedWorkloadRunner:
+    """Executes a sharded workload's steps through one
+    :class:`~repro.shard.client.ShardedInversionClient`, each
+    :class:`~repro.testkit.workload.TxStep` as one explicit cluster
+    transaction — so a step that touches two subtrees commits through
+    2PC, and the in-flight step's fate at a crash is decided by the
+    prepare records and the coordinator's decision log.
+
+    Sharded workloads run without a group-commit window (2PC forces
+    bypass the batching queue anyway), so the oracle is strictly
+    two-valued at every boundary: the durable base, or the base plus
+    the one in-flight group."""
+
+    def __init__(self, cluster, workload: Workload) -> None:
+        self.cluster = cluster
+        self.workload = workload
+        self.client = cluster.client()
+        # setup ops committed before the run was armed: part of the base.
+        self.oracle = ModelFS()
+        self.oracle.apply_many(workload.setup_ops)
+        #: ops of the group in flight when a crash fired, or None.
+        self.pending: tuple | None = None
+
+    def run(self) -> None:
+        for step in self.workload.steps:
+            if not isinstance(step, TxStep):
+                raise TypeError(
+                    f"sharded workloads take TxStep only, got {step!r}")
+            self.pending = None
+            self._run_tx(step)
+        self.pending = None
+
+    def _run_tx(self, step: TxStep) -> None:
+        client = self.client
+        client.p_begin()
+        if not step.abort:
+            self.pending = step.ops
+        for op in step.ops:
+            apply_client_op(client, op)
+        if step.abort:
+            client.p_abort()
+        else:
+            client.p_commit()
+            self.pending = None
+            self.oracle.apply_many(step.ops)
+
+    def completed_state(self) -> dict:
+        return self.oracle.state()
+
+
+def harvest_cluster(cluster) -> dict[str, bytes | None]:
+    """The committed visible state of a whole cluster, in the model's
+    shape.  Each shard's root lists only the top-level entries it owns,
+    so the union over shards is disjoint by construction."""
+    state: dict[str, bytes | None] = {}
+    for fs in cluster.fss:
+        state.update(harvest_state(fs))
+    return state
+
+
+class ShardedCrashExplorer:
+    """The crash-schedule explorer, cluster edition.
+
+    One :class:`~repro.testkit.faults.CrashController` is shared by
+    every device proxy on every shard, so the cluster's durable writes
+    form a single global ordering — "crash at write #k" is a
+    cluster-wide coordinate that lands, across the sweep, on every
+    prepare force, every coordinator decision force, and every
+    phase-two commit record, on coordinator and participant shards
+    alike.  After each crash the cluster reopens through
+    :meth:`~repro.shard.cluster.ShardedCluster.open` (which resolves
+    in-doubt prepared transactions against the decision log) and must
+    match the two-valued oracle: the in-flight group committed
+    everywhere or nowhere.  Half a cross-shard rename — either name
+    missing from both shards, or present on both — is a violation."""
+
+    def __init__(self, base_dir: str, workload: Workload,
+                 torn_append: bool = False, seed: int = 0) -> None:
+        if not workload.shards:
+            raise ValueError(
+                f"workload {workload.name!r} is not sharded "
+                f"(shards={workload.shards})")
+        self.base_dir = str(base_dir)
+        self.workload = workload
+        self.torn_append = torn_append
+        self.seed = seed
+
+    # -- plumbing --------------------------------------------------------
+
+    def _build(self, run_dir: str):
+        from repro.shard.cluster import ShardedCluster
+        cluster = ShardedCluster.create(
+            run_dir, self.workload.shards, policy="subtree",
+            assignments=dict(self.workload.assignments))
+        client = cluster.client()
+        for op in self.workload.setup_ops:
+            # auto-commit, one op per transaction, before arming.
+            apply_client_op(client, op)
+        client.close()
+        return cluster
+
+    def _arm(self, cluster, crash_after: int | None) -> CrashController:
+        plan = FaultPlan(crash_after=crash_after,
+                         torn_append=self.torn_append, seed=self.seed)
+        controller = CrashController(plan)
+        cluster.wrap_devices(lambda dev: FaultyDevice(dev, controller))
+        return controller
+
+    # -- passes ----------------------------------------------------------
+
+    def count_write_boundaries(self) -> int:
+        run_dir = os.path.join(self.base_dir, "profile")
+        cluster = self._build(run_dir)
+        controller = self._arm(cluster, crash_after=None)
+        runner = ShardedWorkloadRunner(cluster, self.workload)
+        runner.run()
+        controller.disarm()
+        final = harvest_cluster(cluster)
+        expected = runner.completed_state()
+        if final != expected:
+            raise AssertionError(
+                f"sharded workload {self.workload.name!r} diverges from "
+                f"the oracle even without a crash: {_diff(final, expected)}")
+        cluster.close()
+        return controller.writes
+
+    def run_crash_point(self, point: int) -> CrashPointResult:
+        from repro.shard.cluster import ShardedCluster
+        run_dir = os.path.join(self.base_dir, f"run{point:05d}")
+        cluster = self._build(run_dir)
+        controller = self._arm(cluster, crash_after=point)
+        runner = ShardedWorkloadRunner(cluster, self.workload)
+        try:
+            runner.run()
+        except SimulatedCrashError:
+            pass
+        controller.disarm()
+        if not controller.crashed:
+            cluster.close()
+            return CrashPointResult(point, completed=True, state_ok=True,
+                                    checker_clean=True, ambiguous=False)
+        cluster.simulate_crash()
+
+        try:
+            recovered = ShardedCluster.open(run_dir)
+        except Exception as exc:
+            return CrashPointResult(point, completed=False, state_ok=False,
+                                    checker_clean=False, ambiguous=False,
+                                    detail=f"reopen failed: {exc!r}")
+        try:
+            try:
+                state = harvest_cluster(recovered)
+            except ReproError as exc:
+                return CrashPointResult(point, completed=False,
+                                        state_ok=False, checker_clean=False,
+                                        ambiguous=False,
+                                        detail=f"harvest raised: {exc!r}")
+            # The two allowed worlds.  Unlike the single-server torn
+            # case, *both* sides are reachable without tears: a crash
+            # between the last prepare and the decision force aborts
+            # the group, one between the decision force and the last
+            # phase-two record commits it through in-doubt recovery.
+            allowed = [runner.oracle.state()]
+            if runner.pending is not None:
+                allowed.append(runner.oracle.preview(runner.pending).state())
+            state_ok = state in allowed
+            ambiguous = state_ok and len(allowed) > 1 and state != allowed[0]
+            corruptions = 0
+            checker_detail = ""
+            try:
+                for shard, fs in enumerate(recovered.fss):
+                    check = ConsistencyChecker(fs).check_all()
+                    if not check.clean:
+                        corruptions += len(check.corruptions)
+                        if not checker_detail:
+                            checker_detail = (f"shard{shard}: "
+                                              f"{check.corruptions[0]}")
+            except ReproError as exc:
+                return CrashPointResult(point, completed=False,
+                                        state_ok=state_ok,
+                                        checker_clean=False,
+                                        ambiguous=ambiguous,
+                                        detail=f"checker raised: {exc!r}")
+            recovery = {
+                "shards": [db.tm.recovery_report() for db in recovered.dbs],
+                "in_doubt_commits": recovered.stats.in_doubt_commits,
+                "in_doubt_aborts": recovered.stats.in_doubt_aborts,
+            }
+            detail = ""
+            if not state_ok:
+                detail = _diff(state, allowed[0])
+            elif corruptions:
+                detail = f"{corruptions} corruptions; first: {checker_detail}"
+            return CrashPointResult(point, completed=False, state_ok=state_ok,
+                                    checker_clean=corruptions == 0,
+                                    ambiguous=ambiguous, recovery=recovery,
+                                    detail=detail)
+        finally:
+            recovered.close()
+
+    def explore(self, max_points: int | None = None) -> ExplorationReport:
         total = self.count_write_boundaries()
         report = ExplorationReport(self.workload.name, total)
         for point in select_points(total, max_points):

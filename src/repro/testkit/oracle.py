@@ -158,6 +158,35 @@ def apply_fs_op(fs, tx, op: tuple) -> None:
         raise ValueError(f"unknown op kind {kind!r}")
 
 
+def apply_client_op(client, op: tuple) -> None:
+    """Apply one model op through a client library surface (the sharded
+    client, or any object speaking ``p_*``) — same semantics as
+    :func:`apply_fs_op`, but routed the way an application's requests
+    are.  ``write`` mirrors ``write_file``: from offset zero, never
+    truncating."""
+    from repro.core.constants import O_RDWR
+    from repro.errors import FileNotFoundError_
+    kind, args = op[0], op[1:]
+    if kind == "mkdir":
+        client.p_mkdir(args[0])
+    elif kind == "write":
+        path, data = args
+        try:
+            fd = client.p_open(path, O_RDWR)
+        except FileNotFoundError_:
+            fd = client.p_creat(path)
+        client.p_write(fd, data)
+        client.p_close(fd)
+    elif kind == "unlink":
+        client.p_unlink(args[0])
+    elif kind == "rmdir":
+        client.p_rmdir(args[0])
+    elif kind == "rename":
+        client.p_rename(args[0], args[1])
+    else:
+        raise ValueError(f"unknown op kind {kind!r}")
+
+
 def harvest_state(fs) -> dict[str, bytes | None]:
     """The committed visible state of a mounted fs, in the model's
     shape: every path under ``/`` mapped to its full contents (files)

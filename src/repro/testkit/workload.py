@@ -69,6 +69,14 @@ class Workload:
     sessions: tuple = ()
     #: seed for the scheduler's interleaving lottery.
     sched_seed: int = 0
+    #: shard count; non-zero makes this a *sharded* workload, run by
+    #: :class:`~repro.testkit.explorer.ShardedCrashExplorer` against a
+    #: cluster instead of one server.
+    shards: int = 0
+    #: subtree placement for sharded workloads, as (component, shard)
+    #: pairs — explicit so the cross-shard steps are cross-shard by
+    #: construction, not by hash luck.
+    assignments: tuple = ()
     #: model ops committed once during :meth:`setup`, before the run is
     #: armed for crashes — shared fixtures concurrent sessions contend
     #: on (e.g. a pre-created hot file, so no two sessions race to
@@ -200,6 +208,34 @@ def concurrent_workload(seed: int = 0) -> Workload:
         group_commit_window=0.25, sched_seed=seed)
 
 
+def cross_shard_workload(seed: int = 0) -> Workload:
+    """Two explicitly-placed subtrees on two shards, driven through the
+    sharded client: multi-shard atomic groups (2PC), a cross-shard file
+    rename, a cross-shard *directory* rename, an abort, and plain
+    single-shard transactions in between.  Every durable write — data
+    forces, prepare records, the coordinator's decision force, phase-two
+    commit records — is a crash boundary; at each one the recovered
+    cluster must equal the oracle with the in-flight group either fully
+    committed or fully absent.  A boundary where half a rename survives
+    (source gone, target missing — or both present) is the violation
+    this workload exists to catch."""
+    p = lambda tag, size: payload(seed, tag, size)  # noqa: E731
+    return Workload("cross_shard", [
+        TxStep((("write", "/a/x", p("x0", 3000)),
+                ("write", "/b/y", p("y0", 1500)))),        # 2 writers: 2PC
+        TxStep((("rename", "/a/x", "/b/x"),)),             # cross-shard mv
+        TxStep((("mkdir", "/a/d"),
+                ("write", "/a/d/f", p("f0", 2500)),
+                ("write", "/a/d/g", p("g0", 800)))),       # single-shard
+        TxStep((("write", "/b/n", p("n0", 9000)),), abort=True),
+        TxStep((("rename", "/a/d", "/b/d"),
+                ("write", "/a/w", p("w0", 1200)))),        # dir mv + write
+        TxStep((("unlink", "/b/x"),
+                ("write", "/b/y", p("y1", 400)))),         # single-shard
+    ], setup_ops=(("mkdir", "/a"), ("mkdir", "/b")),
+        shards=2, assignments=(("a", 0), ("b", 1)))
+
+
 ALL_WORKLOADS = {
     "commit": commit_workload,
     "vacuum": vacuum_workload,
@@ -207,4 +243,10 @@ ALL_WORKLOADS = {
     "write_heavy": write_heavy_workload,
     "group_commit": group_commit_workload,
     "concurrent": concurrent_workload,
+}
+
+#: sharded workloads are explored by ShardedCrashExplorer; they are
+#: kept out of ALL_WORKLOADS so single-server tooling never sees them.
+SHARDED_WORKLOADS = {
+    "cross_shard": cross_shard_workload,
 }

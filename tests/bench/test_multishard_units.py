@@ -1,0 +1,42 @@
+"""The multi-shard benchmark at small scale: counters, determinism,
+and the shape of the scaling story (CI-sized smoke of task 6)."""
+
+from repro.bench.multishard import run_multishard, run_shards
+
+
+def test_disjoint_config_sends_no_cross_shard_messages():
+    r = run_shards(2, clients=6, txns=2)
+    assert r["routing"]["cross_shard_messages"] == 0
+    assert r["routing"]["single_shard_txns"] == 12
+    assert r["routing"]["cross_shard_txns"] == 0
+    assert r["transactions"] == 12
+    assert r["status_forces"] == 12        # one force per local commit
+
+
+def test_twophase_config_pays_per_transaction():
+    r = run_shards(2, clients=4, txns=2, twophase=True)
+    routing = r["routing"]
+    assert routing["cross_shard_txns"] == 8
+    assert routing["prepares"] == 16       # two writers per txn
+    assert routing["decisions"] == 8       # one decision force per txn
+    assert routing["cross_shard_messages"] > 0
+    assert routing["messages_per_txn"] == \
+        routing["cross_shard_messages"] / 8
+
+
+def test_runs_are_byte_identical():
+    a = run_multishard(shard_counts=(1, 2), clients=4, txns=2)
+    b = run_multishard(shard_counts=(1, 2), clients=4, txns=2)
+    assert a == b
+    for ra, rb in zip(a["disjoint"], b["disjoint"]):
+        assert ra["trace_hash"] == rb["trace_hash"]
+
+
+def test_shards_speed_up_disjoint_work():
+    result = run_multishard(shard_counts=(1, 2), clients=8, txns=2)
+    speedups = result["scaling"]["speedups_over_one_shard"]
+    assert speedups["1"] == 1.0
+    assert speedups["2"] > 1.3
+    # crossing the partition is slower than staying home
+    assert result["twophase"]["txns_per_sec"] < \
+        result["disjoint"][1]["txns_per_sec"]

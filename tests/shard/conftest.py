@@ -1,0 +1,22 @@
+"""Shared fixtures for the sharded-cluster suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.shard import ShardedCluster
+
+
+@pytest.fixture
+def cluster2(tmp_path) -> ShardedCluster:
+    """A two-shard cluster with two explicitly placed subtrees (``/a``
+    on shard 0, ``/b`` on shard 1), both directories created."""
+    cluster = ShardedCluster.create(str(tmp_path / "cluster"), 2,
+                                    policy="subtree",
+                                    assignments={"a": 0, "b": 1})
+    boot = cluster.client()
+    boot.p_mkdir("/a")
+    boot.p_mkdir("/b")
+    boot.close()
+    yield cluster
+    cluster.close()

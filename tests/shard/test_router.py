@@ -1,0 +1,98 @@
+"""Routing is a pure function — asserted by hand and by Hypothesis."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.shard import (
+    HashPartitionPolicy,
+    ShardRouteError,
+    ShardRouter,
+    SubtreePartitionPolicy,
+    top_component,
+)
+from repro.shard.router import policy_from_config
+
+NAMES = st.text(
+    alphabet=st.characters(min_codepoint=33, max_codepoint=126,
+                           exclude_characters="/"),
+    min_size=1, max_size=12)
+NSHARDS = st.integers(min_value=1, max_value=16)
+
+
+def test_top_component():
+    assert top_component("/") is None
+    assert top_component("///") is None
+    assert top_component("/a") == "a"
+    assert top_component("/a/b/c") == "a"
+    assert top_component("/dir/") == "dir"
+    with pytest.raises(ShardRouteError):
+        top_component("relative/path")
+
+
+def test_root_pinned_to_shard_zero():
+    router = ShardRouter(HashPartitionPolicy(), 8)
+    assert router.route("/") == 0
+
+
+def test_subtree_assignment_honored():
+    router = ShardRouter(SubtreePartitionPolicy({"a": 3, "b": 1}), 4)
+    assert router.route("/a") == 3
+    assert router.route("/a/deep/path") == 3
+    assert router.route("/b/x") == 1
+
+
+def test_subtree_assignment_out_of_range():
+    router = ShardRouter(SubtreePartitionPolicy({"a": 7}), 2)
+    with pytest.raises(ShardRouteError):
+        router.route("/a/file")
+
+
+def test_router_rejects_empty_cluster():
+    with pytest.raises(ShardRouteError):
+        ShardRouter(HashPartitionPolicy(), 0)
+
+
+@settings(max_examples=100, deadline=None)
+@given(name=NAMES, nshards=NSHARDS)
+def test_route_is_deterministic_and_in_range(name, nshards):
+    router = ShardRouter(HashPartitionPolicy(), nshards)
+    shard = router.route(f"/{name}")
+    assert 0 <= shard < nshards
+    assert router.route(f"/{name}") == shard
+    # a second router with the same config is the same function
+    assert ShardRouter(HashPartitionPolicy(), nshards).route(f"/{name}") \
+        == shard
+
+
+@settings(max_examples=100, deadline=None)
+@given(name=NAMES, tail=st.lists(NAMES, min_size=0, max_size=3),
+       nshards=NSHARDS)
+def test_whole_subtree_routes_to_one_shard(name, tail, nshards):
+    """Every path below a top-level directory lands on its shard — the
+    invariant that keeps deep resolution single-shard."""
+    router = ShardRouter(HashPartitionPolicy(), nshards)
+    path = "/" + "/".join([name] + tail)
+    assert router.route(path) == router.route(f"/{name}")
+
+
+@settings(max_examples=50, deadline=None)
+@given(name=NAMES, nshards=NSHARDS,
+       assigned=st.dictionaries(NAMES, st.integers(0, 15), max_size=4))
+def test_config_round_trip(name, nshards, assigned):
+    """A policy rebuilt from its cluster.json form routes identically
+    (out-of-range explicit assignments excepted — those raise)."""
+    for policy in (HashPartitionPolicy(),
+                   SubtreePartitionPolicy(assigned)):
+        rebuilt = policy_from_config(policy.config())
+        try:
+            expected = policy.shard_of(name, nshards)
+        except ShardRouteError:
+            with pytest.raises(ShardRouteError):
+                rebuilt.shard_of(name, nshards)
+        else:
+            assert rebuilt.shard_of(name, nshards) == expected
+
+
+def test_unknown_policy_rejected():
+    with pytest.raises(ShardRouteError):
+        policy_from_config({"policy": "range"})
