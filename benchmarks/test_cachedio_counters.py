@@ -1,0 +1,69 @@
+"""Client-cache acceptance: deterministic counter bounds.
+
+The cached-I/O experiment is exact by construction (simulated clock,
+message counters), so the acceptance criteria are asserted literally:
+warm re-reads/re-stats ship zero network messages, and the path-heavy
+deep-tree workload runs at least 3x faster cached than uncached.  The
+run also emits ``BENCH_cachedio.json`` at the repo root, which CI
+archives and diffs against a double run for determinism.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.bench.cachedio import (HOT_PASSES, TREE_LEAVES, TREE_PASSES,
+                                  run_cachedio)
+
+BENCH_PATH = os.path.join(os.path.dirname(__file__), "..",
+                          "BENCH_cachedio.json")
+
+
+@pytest.fixture(scope="module")
+def cachedio() -> dict:
+    results = run_cachedio()
+    with open(BENCH_PATH, "w", encoding="utf-8") as f:
+        json.dump(results, f, indent=2)
+        f.write("\n")
+    return results
+
+
+def test_warm_passes_ship_zero_messages(cachedio):
+    """After warm-up, every re-stat, rewind and re-read is served from
+    the client cache: not one message crosses the simulated wire."""
+    hot = cachedio["hot"]
+    assert hot["hot_messages"] == 0, hot
+    assert hot["hot_elapsed_s"] == 0.0, hot
+
+
+def test_every_hot_pass_hit_all_tiers(cachedio):
+    hot = cachedio["hot"]
+    assert hot["cache_hits"]["att"] == HOT_PASSES, hot
+    assert hot["cache_hits"]["seek"] == HOT_PASSES, hot
+    assert hot["cache_hits"]["chunk"] >= HOT_PASSES, hot
+
+
+def test_deep_tree_speedup_at_least_3x(cachedio):
+    tree = cachedio["deep_tree"]
+    assert tree["speedup"] >= 3.0, tree
+
+
+def test_deep_tree_cached_pays_one_pass(cachedio):
+    """Cached, only the first pass reaches the server: the message
+    count equals one uncached pass, and the uncached run pays it every
+    pass."""
+    tree = cachedio["deep_tree"]
+    per_pass = 2 * TREE_LEAVES          # request + reply per stat
+    assert tree["cached"]["net_messages"] == per_pass, tree
+    assert tree["uncached"]["net_messages"] == per_pass * TREE_PASSES, tree
+
+
+def test_committed_artifact_matches_fresh_run(cachedio):
+    """BENCH_cachedio.json at the repo root is exactly what a fresh run
+    produces (the fixture just rewrote it; a drift here means the file
+    was hand-edited or the workload changed without regenerating)."""
+    with open(BENCH_PATH, encoding="utf-8") as f:
+        assert json.load(f) == cachedio

@@ -1,0 +1,172 @@
+"""The client-cache experiment (BENCH_cachedio.json).
+
+Two workloads over the client/server protocol with the lease-coherent
+client cache (:mod:`repro.cache`) enabled:
+
+* **hot** — a file is written, statted and read once (warming the
+  path, fileatt and chunk tiers), then re-statted and re-read many
+  times.  Every warm pass is served entirely from the cache: the
+  SEEK_SET rewind is absorbed client-side and the reads and stats ship
+  **zero** network messages.
+* **deep_tree** — a path-heavy workload: repeated ``p_stat`` passes
+  over leaf files at the bottom of a deep directory chain, cached
+  versus uncached.  Uncached, every pass pays the full per-message
+  Ethernet overhead for every leaf; cached, only the first pass does,
+  so N passes cost about one pass and the speedup approaches N.
+
+The numbers are deterministic — simulated clock and message counters,
+never wall time — so CI asserts on them exactly (byte-identical across
+runs).
+
+Run directly::
+
+    PYTHONPATH=src python -m repro.bench.cachedio [output.json]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+from repro.bench.harness import build_inversion_cs
+from repro.core.constants import CHUNK_SIZE
+
+#: the hot file: 8 chunks, read back whole.
+HOT_CHUNKS = 8
+HOT_FILE_SIZE = HOT_CHUNKS * CHUNK_SIZE
+HOT_FILE = "/hot/data"
+
+#: warm re-read/re-stat passes measured after warm-up.
+HOT_PASSES = 16
+
+#: the deep tree: leaves this many directories down, statted this many
+#: passes over.
+TREE_DEPTH = 8
+TREE_LEAVES = 8
+TREE_PASSES = 5
+
+
+def _payload(nbytes: int) -> bytes:
+    unit = b"0123456789abcdef"
+    return (unit * (nbytes // len(unit) + 1))[:nbytes]
+
+
+def run_hot() -> dict:
+    """Write once, warm once, then re-stat + rewind + re-read
+    ``HOT_PASSES`` times — the warm passes must ship zero messages."""
+    built = build_inversion_cs(cache_paths=64, cache_chunks=HOT_CHUNKS)
+    try:
+        client = built.adapter.client
+        clock = built.adapter.clock
+        data = _payload(HOT_FILE_SIZE)
+        client.p_mkdir("/hot")
+        fd = client.p_creat(HOT_FILE)
+        client.p_write(fd, data)
+        client.p_close(fd)
+        # Warm-up: the stat fills the path and fileatt tiers, the full
+        # read fills every chunk.
+        client.p_stat(HOT_FILE)
+        fd = client.p_open(HOT_FILE, 0)
+        if client.p_read(fd, HOT_FILE_SIZE) != data:
+            raise AssertionError("wrong bytes in warm-up read")
+        warm_messages = client.network.stats.messages
+        t0 = clock.now()
+        for _ in range(HOT_PASSES):
+            client.p_stat(HOT_FILE)
+            client.p_lseek(fd, 0, 0)
+            if client.p_read(fd, HOT_FILE_SIZE) != data:
+                raise AssertionError("wrong bytes in hot read")
+        hot_messages = client.network.stats.messages - warm_messages
+        hot_elapsed = clock.now() - t0
+        if hot_messages != 0:
+            raise AssertionError(
+                f"hot passes were not free: {hot_messages} messages")
+        client.p_close(fd)
+        stats = client._cache.stats
+        return {
+            "file_size": HOT_FILE_SIZE,
+            "passes": HOT_PASSES,
+            "warmup_messages": warm_messages,
+            "hot_messages": hot_messages,
+            "hot_elapsed_s": hot_elapsed,
+            "cache_hits": dict(sorted(stats.hits.items())),
+            "cache_misses": dict(sorted(stats.misses.items())),
+        }
+    finally:
+        built.close()
+
+
+def _tree_paths() -> tuple[str, list[str]]:
+    parts = [f"d{i}" for i in range(TREE_DEPTH)]
+    deepest = "/" + "/".join(parts)
+    leaves = [f"{deepest}/leaf{j}" for j in range(TREE_LEAVES)]
+    return deepest, leaves
+
+
+def run_tree(cached: bool) -> dict:
+    """``TREE_PASSES`` stat passes over the leaves of a deep chain."""
+    built = build_inversion_cs(cache_paths=256 if cached else 0)
+    try:
+        client = built.adapter.client
+        clock = built.adapter.clock
+        _, leaves = _tree_paths()
+        path = ""
+        for i in range(TREE_DEPTH):
+            path += f"/d{i}"
+            client.p_mkdir(path)
+        for leaf in leaves:
+            client.p_close(client.p_creat(leaf))
+        m0 = client.network.stats.messages
+        t0 = clock.now()
+        for _ in range(TREE_PASSES):
+            for leaf in leaves:
+                att = client.p_stat(leaf)
+                if att.size != 0:
+                    raise AssertionError(f"unexpected size for {leaf}")
+        return {
+            "cached": cached,
+            "depth": TREE_DEPTH,
+            "leaves": TREE_LEAVES,
+            "passes": TREE_PASSES,
+            "elapsed_s": clock.now() - t0,
+            "net_messages": client.network.stats.messages - m0,
+        }
+    finally:
+        built.close()
+
+
+def run_cachedio() -> dict:
+    """The full experiment: zero-RPC hot reads plus the deep-tree
+    path-lookup speedup."""
+    hot = run_hot()
+    uncached = run_tree(cached=False)
+    cached = run_tree(cached=True)
+    speedup = uncached["elapsed_s"] / cached["elapsed_s"]
+    return {
+        "experiment": ("lease-coherent client cache: hot re-read/re-stat "
+                       "and deep-tree path lookups"),
+        "hot": hot,
+        "deep_tree": {
+            "uncached": uncached,
+            "cached": cached,
+            "speedup": speedup,
+        },
+    }
+
+
+def main(argv: list[str]) -> int:
+    out = argv[0] if argv else "BENCH_cachedio.json"
+    results = run_cachedio()
+    with open(out, "w", encoding="utf-8") as f:
+        json.dump(results, f, indent=2)
+        f.write("\n")
+    tree = results["deep_tree"]
+    print(f"wrote {out}: hot passes {results['hot']['hot_messages']} "
+          f"messages, deep-tree speedup {tree['speedup']:.2f}x "
+          f"({tree['uncached']['elapsed_s']:.3f}s -> "
+          f"{tree['cached']['elapsed_s']:.3f}s)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -76,11 +76,14 @@ def build_inversion_cs(buffer_pages: int = DEFAULT_BUFFERS,
                        readahead_window: int = DEFAULT_READAHEAD,
                        read_batch_chunks: int = 1,
                        write_batch_chunks: int = 1,
-                       group_commit_window: float = 0.0) -> BuiltConfig:
+                       group_commit_window: float = 0.0,
+                       cache_paths: int = 0,
+                       cache_chunks: int = 0) -> BuiltConfig:
     """Client/server Inversion: every p_* call crosses the simulated
     TCP/IP Ethernet.  ``read_batch_chunks`` > 1 turns on the client's
     multi-chunk read RPC, ``write_batch_chunks`` > 1 the symmetric
-    multi-chunk write RPC (both off by default — the paper's
+    multi-chunk write RPC, and ``cache_paths``/``cache_chunks`` > 0
+    the lease-coherent client cache (all off by default — the paper's
     protocol)."""
     workdir = _fresh_dir()
     clock = SimClock()
@@ -93,7 +96,9 @@ def build_inversion_cs(buffer_pages: int = DEFAULT_BUFFERS,
     network = NetworkModel(clock=clock, params=ETHERNET_10MBIT)
     client = RemoteInversionClient(server, network,
                                    read_batch_chunks=read_batch_chunks,
-                                   write_batch_chunks=write_batch_chunks)
+                                   write_batch_chunks=write_batch_chunks,
+                                   cache_paths=cache_paths,
+                                   cache_chunks=cache_chunks)
     adapter = InversionAdapter(client, db)
 
     def cleanup() -> None:

@@ -142,6 +142,7 @@ TX_COLUMNS = (
     ("lock_waits", "lk.waits"),
     ("lock_wait_seconds", "lk.secs"),
     ("status_forces", "forces"),
+    ("client_cache_hits", "cc.hits"),
 )
 
 
@@ -175,29 +176,46 @@ def format_tx_breakdown(breakdown: dict[int, dict[str, float]],
 def tx_smoke_breakdown():
     """Run a tiny Inversion workload in a temp directory and return its
     accountant breakdown — a handful of transactions touching the
-    buffer cache, the devices and the status file.  CI renders this
-    through :func:`format_tx_breakdown` to prove the accounting path
-    stays wired end to end."""
+    buffer cache, the devices, the status file and the client cache.
+    CI renders this through :func:`format_tx_breakdown` to prove the
+    accounting path stays wired end to end.
+
+    The workload runs over the client/server protocol with the
+    lease-coherent cache enabled so the ``cc.hits`` column is
+    exercised: the file is written, read once from the server (filling
+    the cache), then re-read after an absorbed SEEK_SET — those five
+    cached chunks are charged back to the transaction whose device
+    reads filled them."""
     import shutil
     import tempfile
 
+    from repro.core.client import RemoteInversionClient
     from repro.core.filesystem import InversionFS
-    from repro.core.library import InversionClient
+    from repro.core.server import InversionServer
     from repro.db.database import Database
     from repro.sim.clock import SimClock
+    from repro.sim.network import ETHERNET_10MBIT, NetworkModel
 
     tmp = tempfile.mkdtemp(prefix="repro-tx-smoke-")
     try:
-        db = Database.create(tmp + "/db", clock=SimClock())
+        clock = SimClock()
+        db = Database.create(tmp + "/db", clock=clock)
         fs = InversionFS.mkfs(db)
-        client = InversionClient(fs)
+        server = InversionServer(fs)
+        network = NetworkModel(clock=clock, params=ETHERNET_10MBIT)
+        client = RemoteInversionClient(server, network,
+                                       cache_paths=64, cache_chunks=32)
         client.p_mkdir("/smoke")
         fd = client.p_creat("/smoke/a.txt")
         client.p_write(fd, b"x" * 40_000)
         client.p_close(fd)
+        client.p_stat("/smoke/a.txt")
         fd = client.p_open("/smoke/a.txt", 0)
         client.p_read(fd, 40_000)
+        client.p_lseek(fd, 0, 0)
+        client.p_read(fd, 40_000)
         client.p_close(fd)
+        client.close()
         breakdown = db.obs.tx.breakdown()
         db.close()
         return breakdown

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 
 from repro.core.constants import CHUNK_SIZE
 from repro.core.server import InversionServer
+from repro.errors import FileNotFoundError_
 from repro.obs.registry import MetricSpec
 from repro.sim.network import NetworkModel
 
@@ -96,6 +97,18 @@ class RemoteInversionClient:
     operations), so this client's own operations always observe its
     writes in program order; only the per-message overhead is
     amortized.
+
+    ``cache_paths`` / ``cache_chunks`` (both off by default) enable the
+    lease-coherent client cache (:mod:`repro.cache`): name→oid and
+    negative lookups, fileatt rows, and chunk payloads are served
+    locally with **zero** network messages, and SEEK_SET seeks on
+    cached descriptors are absorbed client-side (a corrective seek is
+    sent lazily only if the server is consulted again).  Unlike the
+    read-ahead buffer above, cached entries are *coherent* across
+    clients: the server piggybacks invalidation notices on every reply
+    (emitted at writer commit time), and a revoked lease drops the
+    whole cache.  Serving and filling happen only outside explicit
+    transactions — transactional traffic always reaches the server.
     """
 
     server: InversionServer
@@ -103,6 +116,13 @@ class RemoteInversionClient:
     write_behind: bool = True
     read_batch_chunks: int = 1
     write_batch_chunks: int = 1
+    #: client-cache capacities (0 = caching off): max path/att/negative
+    #: entries and max cached chunks.  Enabling either wires leases.
+    cache_paths: int = 0
+    cache_chunks: int = 0
+    #: optional shared :class:`repro.cache.CacheStats` so several
+    #: clients of one database aggregate into one ``cache.*`` family.
+    cache_stats: object = None
 
     def __post_init__(self) -> None:
         self._session = self.server.connect()
@@ -126,10 +146,27 @@ class RemoteInversionClient:
         self._obs = getattr(getattr(self.server.fs, "db", None), "obs", None)
         if self._obs is not None:
             self._obs.bind_client(self)
+        self._cache = None
+        #: fd -> oid, for descriptors whose resolution the cache knows
+        #: (set at p_open from a piggybacked grant or a cached path).
+        self._fdpath: dict[int, int] = {}
+        if self.cache_paths > 0 or self.cache_chunks > 0:
+            from repro.cache import ClientCache, bind_cache_stats
+            leases = self.server.enable_leases()
+            leases.subscribe(self._session)
+            self._cache = ClientCache(
+                leases, self._session,
+                max_paths=max(1, self.cache_paths),
+                max_chunks=max(1, self.cache_chunks),
+                stats=self.cache_stats)
+            if self._obs is not None:
+                bind_cache_stats(self._obs.metrics, self._cache.stats)
 
     def close(self) -> None:
         self._flush_writes()
         self.server.disconnect(self._session)
+        if self._cache is not None:
+            self._cache.revoke()
 
     # -- read-batching bookkeeping ----------------------------------------
 
@@ -148,7 +185,7 @@ class RemoteInversionClient:
 
     def _forget_fd(self, fd) -> None:
         for store in (self._pos, self._srv_pos, self._streak, self._rdbuf,
-                      self._wrbuf):
+                      self._wrbuf, self._fdpath):
             store.pop(fd, None)
 
     def _drop_buffers(self) -> None:
@@ -191,12 +228,74 @@ class RemoteInversionClient:
         for fd in list(self._wrbuf):
             self._flush_fd_writes(fd)
 
+    # -- client-cache plumbing --------------------------------------------
+
+    def _cache_ready(self):
+        """The cache, if it may serve right now: present, lease intact,
+        and the session outside any explicit transaction.  Drains the
+        lease channel first (poll-before-serve)."""
+        cache = self._cache
+        if cache is None or cache.revoked:
+            return None
+        if self.server.in_transaction(self._session):
+            return None
+        cache.poll()
+        if cache.revoked:
+            return None
+        return cache
+
+    def _cached_read(self, fd: int, pos: int, length: int):
+        """Serve a read entirely from cached chunks, or None.  Each
+        served chunk is accounted to the xid that originally paid for
+        the device read."""
+        cache = self._cache_ready()
+        if cache is None:
+            return None
+        oid = self._fdpath.get(fd)
+        if oid is None:
+            return None
+        served = cache.serve_read(oid, pos, length)
+        if served is None:
+            cache.stats.miss("chunk")
+            return None
+        data, owners = served
+        for owner in owners:
+            cache.stats.hit("chunk")
+            if owner is not None and self._obs is not None:
+                self._obs.tx.charge_xid(owner, "client_cache_hits")
+        self._pos[fd] = pos + len(data)
+        return data
+
+    def _fill_read(self, fd: int, pos: int, data, seq: int) -> None:
+        """Cache a read reply's chunks — only if no invalidation landed
+        while the RPC was in flight (drop-before-fill) and the session
+        is outside a transaction."""
+        cache = self._cache
+        if cache is None or cache.revoked or not data:
+            return
+        if cache.inval_seq != seq:
+            return
+        if self.server.in_transaction(self._session):
+            return
+        oid = self._fdpath.get(fd)
+        if oid is None:
+            return
+        owner = self.server.session_last_xid(self._session)
+        cache.fill_read(oid, pos, bytes(data), owner)
+
     def _call(self, method: str, *args, **kwargs):
-        obs = self._obs
-        if obs is not None and obs.tracer.enabled:
-            with obs.tracer.span("rpc.call", method=method):
-                return self._call_inner(method, *args, **kwargs)
-        return self._call_inner(method, *args, **kwargs)
+        try:
+            obs = self._obs
+            if obs is not None and obs.tracer.enabled:
+                with obs.tracer.span("rpc.call", method=method):
+                    return self._call_inner(method, *args, **kwargs)
+            return self._call_inner(method, *args, **kwargs)
+        finally:
+            # Drain piggybacked invalidation notices after *every*
+            # exchange, success or failure, so stale entries drop
+            # before the next cache consultation.
+            if self._cache is not None and not self._cache.revoked:
+                self._cache.poll()
 
     def _call_inner(self, method: str, *args, **kwargs):
         request = _REQ_BASE + _arg_bytes(args, kwargs)
@@ -244,6 +343,28 @@ class RemoteInversionClient:
 
     def p_open(self, fname, mode=0, timestamp=None):
         self._flush_writes()
+        cache = self._cache_ready() if timestamp is None else None
+        if cache is not None:
+            msg = cache.lookup_negative(fname)
+            if msg is not None:
+                # Known-absent name: fail without touching the wire
+                # (the library's p_open never creates).
+                cache.stats.hit("negative")
+                raise FileNotFoundError_(msg)
+            seq = cache.inval_seq
+            try:
+                fd = self._call("p_open", fname, mode, timestamp)
+            except FileNotFoundError_ as exc:
+                if cache.inval_seq == seq and not cache.revoked:
+                    cache.fill_negative(fname, str(exc))
+                raise
+            self._track_fd(fd)
+            # The server granted the resolution on the reply (applied
+            # by the drain above when the batch was quiet).
+            oid = cache.lookup_oid(fname)
+            if oid is not None and isinstance(fd, int):
+                self._fdpath[fd] = oid
+            return fd
         fd = self._call("p_open", fname, mode, timestamp)
         self._track_fd(fd)
         return fd
@@ -258,8 +379,19 @@ class RemoteInversionClient:
         self._flush_writes()
         pos = self._pos.get(fd)
         if not self._batching or length <= 0 or pos is None:
+            if self._cache is not None and pos is not None:
+                if isinstance(length, int) and length > 0:
+                    served = self._cached_read(fd, pos, length)
+                    if served is not None:
+                        return served
+                # Cached serves and absorbed seeks advance only the
+                # client position; realign the server before it reads.
+                self._resync(fd)
+            seq = self._cache.inval_seq if self._cache is not None else 0
             result = self._call("p_read", fd, length)
             if pos is not None and isinstance(result, (bytes, bytearray)):
+                if self._cache is not None:
+                    self._fill_read(fd, pos, result, seq)
                 self._pos[fd] = pos + len(result)
                 self._srv_pos[fd] = self._pos[fd]
             return result
@@ -277,14 +409,21 @@ class RemoteInversionClient:
                 return piece
             # Unusable (seeked away, or too little left): refetch.
             del self._rdbuf[fd]
+        if self._cache is not None:
+            served = self._cached_read(fd, pos, length)
+            if served is not None:
+                return served
         self._resync(fd)
         streak = self._streak.get(fd, 0)
         # The first read of a streak fetches exactly what was asked —
         # batching only kicks in once the access pattern has proven
         # sequential, so a lone random read never over-fetches.
         want = length * self.read_batch_chunks if streak >= 1 else length
+        seq = self._cache.inval_seq if self._cache is not None else 0
         result = self._call("p_read", fd, want)
         self._srv_pos[fd] = pos + len(result)
+        if self._cache is not None:
+            self._fill_read(fd, pos, result, seq)
         piece = result[:length]
         self._pos[fd] = pos + len(piece)
         if len(result) > length:
@@ -319,7 +458,7 @@ class RemoteInversionClient:
             if len(buf) >= limit:
                 self._flush_fd_writes(fd)
             return len(buf)
-        if self._batching and fd in self._pos:
+        if (self._batching or self._cache is not None) and fd in self._pos:
             self._rdbuf.pop(fd, None)
             self._streak[fd] = 0
             self._resync(fd)
@@ -332,7 +471,20 @@ class RemoteInversionClient:
 
     def p_lseek(self, fd, offset_high, offset_low, whence=0):
         self._flush_writes()
-        if (self._batching or self._wbatching) and fd in self._pos:
+        if (self._cache is not None and whence == 0 and fd in self._pos
+                and fd in self._fdpath and self._cache_ready() is not None):
+            # Absorb the SEEK_SET: record the position client-side and
+            # repay it with one corrective seek only if the server is
+            # consulted again for this descriptor (_resync).  Matches
+            # the library's own handle-less SEEK_SET, which validates
+            # nothing and just stores the offset.
+            self._rdbuf.pop(fd, None)
+            self._streak[fd] = 0
+            self._pos[fd] = (offset_high << 32) | (offset_low & 0xFFFFFFFF)
+            self._cache.stats.hit("seek")
+            return self._pos[fd]
+        if (self._batching or self._wbatching
+                or self._cache is not None) and fd in self._pos:
             self._rdbuf.pop(fd, None)
             self._streak[fd] = 0
             if whence == 1:  # SEEK_CUR is relative to the *server* pos
@@ -363,6 +515,30 @@ class RemoteInversionClient:
 
     def p_stat(self, path, timestamp=None):
         self._flush_writes()
+        cache = self._cache_ready() if timestamp is None else None
+        if cache is not None:
+            msg = cache.lookup_negative(path)
+            if msg is not None:
+                cache.stats.hit("negative")
+                raise FileNotFoundError_(msg)
+            oid = cache.lookup_oid(path)
+            if oid is not None:
+                att = cache.lookup_att(oid)
+                if att is not None:
+                    cache.stats.hit("att")
+                    return att
+            cache.stats.miss("att")
+            seq = cache.inval_seq
+            try:
+                att = self._call("p_stat", path, timestamp)
+            except FileNotFoundError_ as exc:
+                if cache.inval_seq == seq and not cache.revoked:
+                    cache.fill_negative(path, str(exc))
+                raise
+            if cache.inval_seq == seq and not cache.revoked:
+                cache.fill_path(path, att.file)
+                cache.fill_att(att.file, att)
+            return att
         return self._call("p_stat", path, timestamp)
 
     def p_readdir(self, path, timestamp=None):

@@ -56,6 +56,10 @@ class FileAttributes:
 
     def __init__(self, db) -> None:
         self.db = db
+        #: lease hook — ``fn(fileid, tx)``; set by
+        #: :meth:`~repro.core.filesystem.InversionFS.attach_leases` so
+        #: attribute mutations invalidate client att caches.
+        self.on_mutate = None
 
     @classmethod
     def bootstrap(cls, db, tx: Transaction) -> "FileAttributes":
@@ -97,6 +101,8 @@ class FileAttributes:
         if entry is None:
             raise FileNotFoundError_(f"no attributes for file {fileid}")
         self._table(tx).delete(tx, entry[0], lock_key=fileid)
+        if self.on_mutate is not None:
+            self.on_mutate(fileid, tx)
 
     def update(self, tx: Transaction, fileid: int, *, size: int | None = None,
                owner: str | None = None, ftype: str | None = None,
@@ -116,4 +122,6 @@ class FileAttributes:
             atime=atime if atime is not None else att.atime,
         )
         self._table(tx).update(tx, tid, new.to_row(), lock_key=fileid)
+        if self.on_mutate is not None:
+            self.on_mutate(fileid, tx)
         return new

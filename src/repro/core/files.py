@@ -186,6 +186,11 @@ class FileHandle:
             view = view[take:]
         self._size = max(self._size, self._pos)
         self._wrote = True
+        # Data changed; bump here (not only in fileatt.update) because
+        # deferred-attribute writes flush without touching fileatt.
+        lm = getattr(self.fs, "lease_manager", None)
+        if lm is not None:
+            lm.bump_oid(self.fileid, self.tx)
         return len(data)
 
     # -- flush / close --------------------------------------------------------------

@@ -57,6 +57,9 @@ class InversionFS:
         #: forced fileatt page per commit), which the benchmark
         #: configuration would never tolerate.
         self.track_atime = False
+        #: the server's :class:`~repro.cache.leases.LeaseManager`, if
+        #: client caching is enabled (see :meth:`attach_leases`).
+        self.lease_manager = None
         self._register_metadata_functions()
 
     # -- construction ------------------------------------------------------
@@ -85,6 +88,20 @@ class InversionFS:
         namespace = Namespace.attach(db)
         return cls(db, namespace, FileAttributes(db))
 
+    # -- leases ------------------------------------------------------------
+
+    def attach_leases(self, manager) -> None:
+        """Enable lease bookkeeping: mutations below bump object epochs
+        (queued per transaction, emitted at the visibility point by
+        :meth:`commit`/:meth:`abort`/:meth:`finish_prepared`)."""
+        self.lease_manager = manager
+        self.fileatt.on_mutate = manager.bump_oid
+
+    def _flush_leases(self, tx: Transaction) -> None:
+        lm = self.lease_manager
+        if lm is not None:
+            lm.flush_tx(tx.xid)
+
     # -- transactions ----------------------------------------------------------
 
     def begin(self) -> Transaction:
@@ -97,6 +114,10 @@ class InversionFS:
             if handle.tx is tx and handle._open:
                 handle.flush()
         self.db.commit(tx)
+        # Notices go out only after the commit is visible: emitting at
+        # mutation time would let another session re-cache the *old*
+        # value between the notice and the commit.
+        self._flush_leases(tx)
 
     def abort(self, tx: Transaction) -> None:
         for handle in list(self._handles):
@@ -105,6 +126,8 @@ class InversionFS:
                 handle._open = False
                 self._forget_handle(handle)
         self.db.abort(tx)
+        # Aborted bumps still flush — over-invalidation is always safe.
+        self._flush_leases(tx)
 
     def prepare(self, tx: Transaction, gid: str) -> None:
         """2PC phase one: flush any open handles written under ``tx``
@@ -125,6 +148,7 @@ class InversionFS:
                     handle._open = False
                     self._forget_handle(handle)
         self.db.finish_prepared(tx, commit)
+        self._flush_leases(tx)
 
     # -- snapshots -----------------------------------------------------------------
 
@@ -174,6 +198,8 @@ class InversionFS:
         self.fileatt.create(tx, fileid, owner, ftype)
         ChunkStore.create_table(self.db, tx, fileid, device,
                                 with_index=self.chunk_index)
+        if self.lease_manager is not None:
+            self.lease_manager.bump_name(path, tx)
         return fileid
 
     def mkdir(self, tx: Transaction, path: str, owner: str = "root") -> int:
@@ -185,6 +211,8 @@ class InversionFS:
         fileid = self.db.catalog.allocate_oid()
         self.namespace.add_entry(tx, parentid, name, fileid)
         self.fileatt.create(tx, fileid, owner, TYPE_DIRECTORY)
+        if self.lease_manager is not None:
+            self.lease_manager.bump_name(path, tx)
         return fileid
 
     # -- open/close -----------------------------------------------------------------------
@@ -282,6 +310,8 @@ class InversionFS:
             raise IsADirectoryError_(f"{path!r} is a directory; use rmdir")
         self.namespace.remove_entry(tx, parentid, name)
         self.fileatt.remove(tx, fileid)
+        if self.lease_manager is not None:
+            self.lease_manager.bump_name(path, tx)
 
     def rmdir(self, tx: Transaction, path: str) -> None:
         snapshot = self.db.snapshot(tx)
@@ -297,6 +327,8 @@ class InversionFS:
             raise DirectoryNotEmptyError(f"{path!r} is not empty")
         self.namespace.remove_entry(tx, parentid, name)
         self.fileatt.remove(tx, fileid)
+        if self.lease_manager is not None:
+            self.lease_manager.bump_name(path, tx)
 
     def rename(self, tx: Transaction, old_path: str, new_path: str) -> None:
         snapshot = self.db.snapshot(tx)
@@ -306,6 +338,11 @@ class InversionFS:
         new_parent = self._resolve_dir(new_dir, snapshot, tx)
         self.namespace.rename_entry(tx, old_parent, old_name,
                                     new_parent, new_name)
+        if self.lease_manager is not None:
+            # Both names change meaning; clients prefix-drop cached
+            # resolutions under each (a directory moves its subtree).
+            self.lease_manager.bump_name(old_path, tx)
+            self.lease_manager.bump_name(new_path, tx)
 
     # -- interrogation ------------------------------------------------------------------------
 

@@ -53,6 +53,10 @@ class InversionClient:
     _tx: object = None
     _fds: dict[int, _Descriptor] = field(default_factory=dict)
     _next_fd: int = 3  # homage to stdin/stdout/stderr
+    #: xid of the most recent transaction this session ran under —
+    #: client caches stamp chunk fills with it so later cache hits can
+    #: be accounted to the transaction that paid for the device read.
+    last_xid: int | None = None
 
     # -- transactions (p_begin / p_commit / p_abort) -----------------------
 
@@ -61,6 +65,7 @@ class InversionClient:
             raise TransactionError(
                 "only one transaction may be active at any time")
         self._tx = self.fs.begin()
+        self.last_xid = self._tx.xid
 
     def p_commit(self) -> None:
         if self._tx is None:
@@ -119,8 +124,10 @@ class InversionClient:
         """Run ``op(tx)`` inside the active transaction, or in a
         one-shot auto-commit transaction."""
         if self._tx is not None:
+            self.last_xid = self._tx.xid
             return op(self._tx)
         tx = self.fs.begin()
+        self.last_xid = tx.xid
         try:
             result = op(tx)
         except BaseException:

@@ -52,6 +52,38 @@ class InversionServer:
         self.fs = fs
         self._sessions: dict[int, InversionClient] = {}
         self._next_session = 1
+        #: :class:`~repro.cache.leases.LeaseManager` once any client
+        #: enables caching (:meth:`enable_leases`); None = no lease
+        #: bookkeeping at all, the zero-overhead default.
+        self.leases = None
+
+    def enable_leases(self):
+        """Turn on lease bookkeeping for this server (idempotent).
+        Shares the file system's manager if another server on the same
+        ``fs`` already enabled it, so epochs stay one space."""
+        if self.leases is None:
+            from repro.cache.leases import LeaseManager, bind_lease_stats
+            manager = getattr(self.fs, "lease_manager", None)
+            if manager is None:
+                manager = LeaseManager()
+                self.fs.attach_leases(manager)
+            self.leases = manager
+            obs = getattr(self.fs.db, "obs", None)
+            if obs is not None:
+                bind_lease_stats(obs.metrics, manager.stats)
+        return self.leases
+
+    def in_transaction(self, session_id: int) -> bool:
+        """Is the session inside an explicit transaction?  Client
+        caches refuse to serve or fill transactional traffic."""
+        session = self._sessions.get(session_id)
+        return session is not None and session._tx is not None
+
+    def session_last_xid(self, session_id: int) -> int | None:
+        """xid of the session's most recent transaction (cache fills
+        stamp chunk entries with it for per-tx hit accounting)."""
+        session = self._sessions.get(session_id)
+        return None if session is None else session.last_xid
 
     @classmethod
     def _signature(cls, method: str) -> inspect.Signature:
@@ -99,6 +131,10 @@ class InversionServer:
         decision.  Descriptor reconciliation is skipped too — it would
         open an auto-commit transaction that blocks on the prepared
         transaction's own locks."""
+        if self.leases is not None:
+            # Revoke first: a crashed client must never shield a stale
+            # cache entry behind a lease the server still honours.
+            self.leases.revoke(session_id)
         session = self._sessions.pop(session_id, None)
         if session is None:
             return
@@ -139,5 +175,27 @@ class InversionServer:
             if obs.tracer.enabled:
                 with obs.tracer.span("rpc.dispatch", method=method,
                                      session=session_id):
-                    return getattr(session, method)(*args, **kwargs)
-        return getattr(session, method)(*args, **kwargs)
+                    result = getattr(session, method)(*args, **kwargs)
+            else:
+                result = getattr(session, method)(*args, **kwargs)
+        else:
+            result = getattr(session, method)(*args, **kwargs)
+        if self.leases is not None:
+            self._lease_post(session_id, session, method, result)
+        return result
+
+    def _lease_post(self, session_id: int, session: InversionClient,
+                    method: str, result) -> None:
+        """Piggyback lease traffic on a successful reply."""
+        if method in ("p_open", "p_creat"):
+            desc = session._fds.get(result)
+            if desc is not None and desc.timestamp is None:
+                # The resolution in the reply lets the client pre-fill
+                # its path cache without a stat round trip.
+                self.leases.grant(session_id, desc.path, desc.fileid)
+        elif method == "p_query":
+            # POSTQUEL mutation statements bypass the fs hooks, so
+            # invalidate conservatively.  Queued if the session is in a
+            # transaction; for auto-commit p_query the library already
+            # committed, so the bump emits immediately.
+            self.leases.bump_all(session._tx)

@@ -36,6 +36,8 @@ FIELDS = (
     "lock_waits",         # times the transaction blocked on a lock
     "lock_wait_seconds",  # wall (real) seconds spent blocked
     "status_forces",      # forced status-file appends this xid triggered
+    "client_cache_hits",  # chunks later served from a client cache that
+                          # this xid's device reads originally filled
 )
 
 

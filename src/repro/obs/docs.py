@@ -26,6 +26,8 @@ OWNING_MODULES = (
     "repro.core.chunks",
     "repro.core.client",
     "repro.core.server",
+    "repro.cache.leases",
+    "repro.cache.client",
     "repro.sched.scheduler",
     "repro.shard.cluster",
     "repro.sim.disk",

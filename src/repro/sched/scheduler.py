@@ -97,6 +97,9 @@ SLEEPING = "sleeping"    # backing off before a victim retry
 DONE = "done"
 FAILED = "failed"
 
+#: sentinel distinguishing "cache couldn't serve" from a served None.
+_CACHE_MISS = object()
+
 
 class Ref:
     """Placeholder argument: the result of an earlier request in the
@@ -228,6 +231,9 @@ class Session:
         self.max_ready_wait = 0.0
         #: the session's own open-span stack (swapped in per slice).
         self.span_stack: list[int] = []
+        #: per-session :class:`~repro.cache.ClientCache` when the
+        #: scheduler was built with a ``cache_factory``.
+        self.cache = None
         #: xid of the transaction begun by the current Txn unit, kept
         #: for the commit hook (the crash testkit's oracle seam).
         self._last_xid: int | None = None
@@ -330,7 +336,7 @@ class MultiUserScheduler:
                  admission_queue: int = 16, wait_quantum: float = 1e-4,
                  backoff_base: float = 0.005, backoff_cap: float = 0.08,
                  max_retries: int = 10, fairness_bound: float = 0.5,
-                 cluster_commits: bool = True) -> None:
+                 cluster_commits: bool = True, cache_factory=None) -> None:
         self.server = server
         self.db = server.fs.db
         self.clock = self.db.clock
@@ -344,6 +350,11 @@ class MultiUserScheduler:
         self.max_retries = max_retries
         self.fairness_bound = fairness_bound
         self.cluster_commits = cluster_commits
+        #: ``fn(server, conn) -> ClientCache`` — when set, every
+        #: admitted session gets a lease-coherent client cache and the
+        #: scheduler serves eligible p_stat/p_read slices from it (see
+        #: :func:`repro.cache.session_cache_factory`).
+        self.cache_factory = cache_factory
         self.stats = SchedStats()
         self.sessions: list[Session] = []
         self._admitted: list[Session] = []
@@ -384,6 +395,8 @@ class MultiUserScheduler:
             if session.conn is not None and not session.finished:
                 self.server.disconnect(session.conn)
                 session.conn = None
+            if session.cache is not None:
+                session.cache.revoke()
 
     def __enter__(self) -> "MultiUserScheduler":
         return self
@@ -441,6 +454,8 @@ class MultiUserScheduler:
 
     def _admit(self, session: Session) -> None:
         session.conn = self.server.connect()
+        if self.cache_factory is not None:
+            session.cache = self.cache_factory(self.server, session.conn)
         session.state = READY
         now = self.clock.now()
         session.admission_wait = now - session.submitted_at
@@ -456,6 +471,8 @@ class MultiUserScheduler:
             # open, releasing its locks for the survivors.
             self.server.disconnect(session.conn)
             session.conn = None
+        if session.cache is not None:
+            session.cache.revoke()
         self._event(state, session.name, session.error or "")
         if self._admission_q:
             self._admit(self._admission_q.pop(0))
@@ -654,7 +671,92 @@ class MultiUserScheduler:
             item = args[0]
             tx = self.server._sessions[session.conn]._tx
             return item.fn(self.server.fs, tx)
-        return self.server.dispatch(session.conn, method, *args, **kwargs)
+        cache = session.cache
+        if cache is None:
+            return self.server.dispatch(session.conn, method, *args, **kwargs)
+        served = self._try_cache(session, cache, method, args, kwargs)
+        if served is not _CACHE_MISS:
+            return served
+        seq = cache.inval_seq
+        try:
+            result = self.server.dispatch(session.conn, method,
+                                          *args, **kwargs)
+        finally:
+            if not cache.revoked:
+                cache.poll()
+        self._cache_fill(session, cache, method, args, kwargs, result, seq)
+        return result
+
+    def _try_cache(self, session: Session, cache, method: str,
+                   args: tuple, kwargs: dict):
+        """Serve an eligible auto-commit p_stat/p_read from the
+        session's cache.  Negative (ENOENT) entries are never served
+        here — a raise out of a slice would fail the session — and
+        transactional slices always reach the server."""
+        if cache.revoked:
+            return _CACHE_MISS
+        server_session = self.server._sessions[session.conn]
+        if server_session._tx is not None:
+            return _CACHE_MISS
+        cache.poll()
+        if cache.revoked:
+            return _CACHE_MISS
+        if method == "p_stat":
+            timestamp = args[1] if len(args) > 1 else kwargs.get("timestamp")
+            if timestamp is not None:
+                return _CACHE_MISS
+            oid = cache.lookup_oid(args[0])
+            if oid is not None:
+                att = cache.lookup_att(oid)
+                if att is not None:
+                    cache.stats.hit("att")
+                    return att
+            cache.stats.miss("att")
+            return _CACHE_MISS
+        if method == "p_read":
+            fd, length = args[0], args[1]
+            desc = server_session._fds.get(fd)
+            if (desc is None or desc.timestamp is not None
+                    or not isinstance(length, int) or length <= 0):
+                return _CACHE_MISS
+            served = cache.serve_read(desc.fileid, desc.pos, length)
+            if served is None:
+                cache.stats.miss("chunk")
+                return _CACHE_MISS
+            data, owners = served
+            acct = self.db.obs.tx
+            for owner in owners:
+                cache.stats.hit("chunk")
+                if owner is not None:
+                    acct.charge_xid(owner, "client_cache_hits")
+            # The server-side descriptor is the authoritative position;
+            # a cache-served read advances it exactly as the dispatch
+            # would have.
+            desc.pos += len(data)
+            return data
+        return _CACHE_MISS
+
+    def _cache_fill(self, session: Session, cache, method: str, args: tuple,
+                    kwargs: dict, result, seq: int) -> None:
+        """Populate the cache from a successful dispatch — only if no
+        invalidation notice landed while the request ran (lock parks
+        let other sessions commit mid-slice)."""
+        if cache.revoked or cache.inval_seq != seq:
+            return
+        server_session = self.server._sessions.get(session.conn)
+        if server_session is None or server_session._tx is not None:
+            return
+        if method == "p_stat":
+            timestamp = args[1] if len(args) > 1 else kwargs.get("timestamp")
+            if timestamp is None and result is not None:
+                cache.fill_path(args[0], result.file)
+                cache.fill_att(result.file, result)
+        elif method == "p_read":
+            desc = server_session._fds.get(args[0])
+            if (desc is not None and desc.timestamp is None
+                    and isinstance(result, (bytes, bytearray)) and result):
+                cache.fill_read(desc.fileid, desc.pos - len(result),
+                                bytes(result), server_session.last_xid)
 
     def _advance_pc(self, session: Session, unit: _Unit, method: str) -> None:
         if unit.txn is None:

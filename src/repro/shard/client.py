@@ -45,7 +45,8 @@ class ShardedInversionClient:
     """One application's session with a sharded cluster: lazy per-shard
     server connections, one cluster-level transaction at a time."""
 
-    def __init__(self, cluster) -> None:
+    def __init__(self, cluster, cache_paths: int = 0,
+                 cache_chunks: int = 0) -> None:
         self.cluster = cluster
         self.coordinator = TwoPhaseCoordinator(cluster)
         #: shard → server connection id (opened on first use).
@@ -56,6 +57,17 @@ class ShardedInversionClient:
         #: cluster fd → (shard, inner fd).
         self._fds: dict[int, tuple[int, int]] = {}
         self._next_fd = 3
+        #: router-aware caching: one lease-coherent cache per shard
+        #: (each shard has its own epoch space), all sharing one stats
+        #: block.  Only p_stat is served client-side — the namespace
+        #: tiers are where a sharded tree pays repeated B-tree descents.
+        self.cache_paths = cache_paths
+        self.cache_chunks = cache_chunks
+        self._caches: dict[int, object] = {}
+        self._cache_stats = None
+        if cache_paths > 0 or cache_chunks > 0:
+            from repro.cache import CacheStats
+            self._cache_stats = CacheStats()
 
     # -- plumbing --------------------------------------------------------
 
@@ -65,8 +77,21 @@ class ShardedInversionClient:
     def _conn(self, shard: int) -> int:
         conn = self._conns.get(shard)
         if conn is None:
-            conn = self.cluster.servers[shard].connect()
+            server = self.cluster.servers[shard]
+            conn = server.connect()
             self._conns[shard] = conn
+            if self._cache_stats is not None:
+                from repro.cache import ClientCache, bind_cache_stats
+                leases = server.enable_leases()
+                leases.subscribe(conn)
+                self._caches[shard] = ClientCache(
+                    leases, conn,
+                    max_paths=max(1, self.cache_paths),
+                    max_chunks=max(1, self.cache_chunks),
+                    stats=self._cache_stats)
+                obs = getattr(server.fs.db, "obs", None)
+                if obs is not None:
+                    bind_cache_stats(obs.metrics, self._cache_stats)
         return conn
 
     def _call(self, shard: int, method: str, *args, **kwargs):
@@ -82,7 +107,13 @@ class ShardedInversionClient:
                 self.cluster.dispatch(shard, conn, "p_begin")
             if shard != self._tx_shards[0]:
                 self.cluster.stats.cross_shard_messages += 1
-        return self.cluster.dispatch(shard, conn, method, *args, **kwargs)
+        try:
+            return self.cluster.dispatch(shard, conn, method,
+                                         *args, **kwargs)
+        finally:
+            cache = self._caches.get(shard)
+            if cache is not None and not cache.revoked:
+                cache.poll()
 
     def _tx_wrote(self, shard: int) -> bool:
         """Did this shard's local transaction write?  Open handles with
@@ -113,6 +144,9 @@ class ShardedInversionClient:
     def close(self) -> None:
         for shard, conn in list(self._conns.items()):
             self.cluster.servers[shard].disconnect(conn)
+        for cache in self._caches.values():
+            cache.revoke()
+        self._caches.clear()
         self._conns.clear()
         self._in_tx = False
         self._tx_shards = []
@@ -221,7 +255,35 @@ class ShardedInversionClient:
         self._call(self._route(path), "p_rmdir", path)
 
     def p_stat(self, path: str, timestamp: float | None = None):
-        return self._call(self._route(path), "p_stat", path, timestamp)
+        shard = self._route(path)
+        cache = self._caches.get(shard)
+        if (cache is not None and not cache.revoked
+                and not self._in_tx and timestamp is None):
+            cache.poll()
+            if not cache.revoked:
+                msg = cache.lookup_negative(path)
+                if msg is not None:
+                    cache.stats.hit("negative")
+                    raise FileNotFoundError_(msg)
+                oid = cache.lookup_oid(path)
+                if oid is not None:
+                    att = cache.lookup_att(oid)
+                    if att is not None:
+                        cache.stats.hit("att")
+                        return att
+                cache.stats.miss("att")
+                seq = cache.inval_seq
+                try:
+                    att = self._call(shard, "p_stat", path, timestamp)
+                except FileNotFoundError_ as exc:
+                    if cache.inval_seq == seq and not cache.revoked:
+                        cache.fill_negative(path, str(exc))
+                    raise
+                if cache.inval_seq == seq and not cache.revoked:
+                    cache.fill_path(path, att.file)
+                    cache.fill_att(att.file, att)
+                return att
+        return self._call(shard, "p_stat", path, timestamp)
 
     def p_readdir(self, path: str,
                   timestamp: float | None = None) -> list[str]:

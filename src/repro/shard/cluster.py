@@ -186,9 +186,20 @@ class ShardedCluster:
     def nshards(self) -> int:
         return self.router.nshards
 
-    def client(self):
+    def client(self, cache_paths: int = 0, cache_chunks: int = 0):
         from repro.shard.client import ShardedInversionClient
-        return ShardedInversionClient(self)
+        return ShardedInversionClient(self, cache_paths=cache_paths,
+                                      cache_chunks=cache_chunks)
+
+    def expire_leases(self) -> int:
+        """Revoke every outstanding client lease on every shard —
+        clients discover it on their next poll and drop their caches.
+        Returns the number of leases expired."""
+        expired = 0
+        for server in self.servers:
+            if server.leases is not None:
+                expired += server.leases.revoke_all()
+        return expired
 
     def close(self) -> None:
         for db in self.dbs:
@@ -311,3 +322,9 @@ class ShardedCluster:
                     self.stats.in_doubt_commits += 1
                 else:
                     self.stats.in_doubt_aborts += 1
+        # Any lease granted before the crash is void: in-doubt
+        # resolution may have changed state under entries a surviving
+        # client still caches, and the crashed clients' sessions are
+        # gone.  Expired leases surface as a revoked poll, after which
+        # the client drops its cache and stops serving.
+        self.expire_leases()

@@ -41,10 +41,15 @@ class ConcurrentWorkloadRunner:
     multi-session scheduler, keeping the differential oracle in
     lock-step at commit order."""
 
-    def __init__(self, db, fs, workload: Workload) -> None:
+    def __init__(self, db, fs, workload: Workload,
+                 cached: bool = False) -> None:
         self.db = db
         self.fs = fs
         self.workload = workload
+        #: run the sessions with lease-coherent client caches attached
+        #: (the cache must be invisible: lease bookkeeping is pure dict
+        #: work, so write boundaries and oracle outcomes are unchanged).
+        self.cached = cached
         self.oracle = ModelFS()
         self.oracle.apply_many(workload.setup_ops)
         #: kept for interface parity with WorkloadRunner.  Concurrent
@@ -83,7 +88,12 @@ class ConcurrentWorkloadRunner:
 
     def run(self) -> None:
         server = InversionServer(self.fs)
-        sched = MultiUserScheduler(server, seed=self.workload.sched_seed)
+        factory = None
+        if self.cached:
+            from repro.cache import session_cache_factory
+            factory = session_cache_factory()
+        sched = MultiUserScheduler(server, seed=self.workload.sched_seed,
+                                   cache_factory=factory)
         sched.commit_hook = self._on_commit
         try:
             for i, steps in enumerate(self.workload.sessions):

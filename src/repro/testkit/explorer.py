@@ -170,11 +170,16 @@ class CrashScheduleExplorer:
     """Enumerates a workload's write boundaries and crash-tests each."""
 
     def __init__(self, base_dir: str, workload: Workload,
-                 torn_append: bool = False, seed: int = 0) -> None:
+                 torn_append: bool = False, seed: int = 0,
+                 cached: bool = False) -> None:
         self.base_dir = str(base_dir)
         self.workload = workload
         self.torn_append = torn_append
         self.seed = seed
+        #: run concurrent workloads with client caches enabled —
+        #: crash points and oracle outcomes must be identical either
+        #: way (lease bookkeeping does no device I/O).
+        self.cached = cached
 
     # -- plumbing --------------------------------------------------------
 
@@ -197,7 +202,8 @@ class CrashScheduleExplorer:
         scheduler-driven concurrent runner (same interface)."""
         if self.workload.sessions:
             from repro.testkit.concurrent import ConcurrentWorkloadRunner
-            return ConcurrentWorkloadRunner(db, fs, self.workload)
+            return ConcurrentWorkloadRunner(db, fs, self.workload,
+                                            cached=self.cached)
         return WorkloadRunner(db, fs, self.workload)
 
     # -- passes ----------------------------------------------------------
@@ -315,10 +321,12 @@ class ShardedWorkloadRunner:
     two-valued at every boundary: the durable base, or the base plus
     the one in-flight group."""
 
-    def __init__(self, cluster, workload: Workload) -> None:
+    def __init__(self, cluster, workload: Workload,
+                 cached: bool = False) -> None:
         self.cluster = cluster
         self.workload = workload
-        self.client = cluster.client()
+        self.client = (cluster.client(cache_paths=64, cache_chunks=32)
+                       if cached else cluster.client())
         # setup ops committed before the run was armed: part of the base.
         self.oracle = ModelFS()
         self.oracle.apply_many(workload.setup_ops)
@@ -379,7 +387,8 @@ class ShardedCrashExplorer:
     missing from both shards, or present on both — is a violation."""
 
     def __init__(self, base_dir: str, workload: Workload,
-                 torn_append: bool = False, seed: int = 0) -> None:
+                 torn_append: bool = False, seed: int = 0,
+                 cached: bool = False) -> None:
         if not workload.shards:
             raise ValueError(
                 f"workload {workload.name!r} is not sharded "
@@ -388,6 +397,10 @@ class ShardedCrashExplorer:
         self.workload = workload
         self.torn_append = torn_append
         self.seed = seed
+        #: drive the workload through a caching cluster client — leases
+        #: keep it coherent and the bookkeeping does no device I/O, so
+        #: the global write ordering is identical either way.
+        self.cached = cached
 
     # -- plumbing --------------------------------------------------------
 
@@ -416,7 +429,8 @@ class ShardedCrashExplorer:
         run_dir = os.path.join(self.base_dir, "profile")
         cluster = self._build(run_dir)
         controller = self._arm(cluster, crash_after=None)
-        runner = ShardedWorkloadRunner(cluster, self.workload)
+        runner = ShardedWorkloadRunner(cluster, self.workload,
+                                       cached=self.cached)
         runner.run()
         controller.disarm()
         final = harvest_cluster(cluster)
@@ -433,7 +447,8 @@ class ShardedCrashExplorer:
         run_dir = os.path.join(self.base_dir, f"run{point:05d}")
         cluster = self._build(run_dir)
         controller = self._arm(cluster, crash_after=point)
-        runner = ShardedWorkloadRunner(cluster, self.workload)
+        runner = ShardedWorkloadRunner(cluster, self.workload,
+                                       cached=self.cached)
         try:
             runner.run()
         except SimulatedCrashError:

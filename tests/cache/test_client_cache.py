@@ -1,0 +1,148 @@
+"""Unit tests for the client cache tiers: LRU bounds, negative
+caching, invalidation application, and the chunk serve/fill rules."""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+from repro.cache.client import ClientCache
+from repro.cache.leases import LeaseManager
+from repro.core.chunks import CHUNK_SIZE
+
+
+def make_cache(max_paths: int = 4, max_chunks: int = 4) -> ClientCache:
+    lm = LeaseManager()
+    lm.subscribe(1)
+    return ClientCache(lm, 1, max_paths=max_paths, max_chunks=max_chunks)
+
+
+def att_of(size: int):
+    return SimpleNamespace(size=size)
+
+
+def test_path_lru_eviction():
+    cache = make_cache(max_paths=2)
+    cache.fill_path("/a", 1)
+    cache.fill_path("/b", 2)
+    cache.lookup_oid("/a")          # touch: /b is now least recent
+    cache.fill_path("/c", 3)
+    assert cache.lookup_oid("/a") == 1
+    assert cache.lookup_oid("/b") is None
+    assert cache.lookup_oid("/c") == 3
+    assert cache.stats.evictions == 1
+
+
+def test_chunk_lru_eviction():
+    cache = make_cache(max_chunks=2)
+    cache.fill_att(9, att_of(3 * CHUNK_SIZE))
+    for chunkno in range(3):
+        cache.fill_read(9, chunkno * CHUNK_SIZE, b"x" * CHUNK_SIZE)
+    assert cache.serve_read(9, 0, CHUNK_SIZE) is None       # evicted
+    assert cache.serve_read(9, CHUNK_SIZE, CHUNK_SIZE) is not None
+    assert cache.stats.evictions == 1
+
+
+def test_negative_and_positive_displace_each_other():
+    cache = make_cache()
+    cache.fill_negative("/gone", "no such file: /gone")
+    assert cache.lookup_negative("/gone") == "no such file: /gone"
+    cache.fill_path("/gone", 5)     # the file was created
+    assert cache.lookup_negative("/gone") is None
+    assert cache.lookup_oid("/gone") == 5
+    cache.fill_negative("/gone", "again")   # ... and unlinked
+    assert cache.lookup_oid("/gone") is None
+
+
+def test_name_invalidation_drops_whole_subtree():
+    cache = make_cache()
+    cache.fill_path("/d/a", 1)
+    cache.fill_path("/d/sub/b", 2)
+    cache.fill_negative("/d/missing", "nope")
+    cache.fill_path("/dz", 3)       # sibling sharing the prefix string
+    cache._apply_invalidation(("name", "/d", 7))
+    assert cache.lookup_oid("/d/a") is None
+    assert cache.lookup_oid("/d/sub/b") is None
+    assert cache.lookup_negative("/d/missing") is None
+    assert cache.lookup_oid("/dz") == 3     # /dz is not under /d
+
+
+def test_oid_invalidation_drops_att_and_chunks_only():
+    cache = make_cache()
+    cache.fill_path("/f", 9)
+    cache.fill_att(9, att_of(CHUNK_SIZE))
+    cache.fill_read(9, 0, b"x" * CHUNK_SIZE)
+    cache._apply_invalidation(("oid", 9, 3))
+    assert cache.lookup_att(9) is None
+    assert cache.serve_read(9, 0, 10) is None
+    assert cache.lookup_oid("/f") == 9      # the name still resolves
+
+
+def test_quiet_batch_rule_for_grants():
+    cache = make_cache()
+    # A batch carrying an invalidation must not apply its grants.
+    cache.apply_notices([("oid", 5, 1), ("grant", "/g", 7, 1)])
+    assert cache.lookup_oid("/g") is None
+    # A quiet batch applies them.
+    cache.apply_notices([("grant", "/g", 7, 2)])
+    assert cache.lookup_oid("/g") == 7
+
+
+def test_inval_seq_counts_applied_invalidations():
+    cache = make_cache()
+    seq = cache.inval_seq
+    cache.apply_notices([("name", "/a", 1), ("oid", 2, 2)])
+    assert cache.inval_seq == seq + 2
+    cache.apply_notices([("grant", "/a", 1, 3)])
+    assert cache.inval_seq == seq + 2       # grants don't bump it
+
+
+def test_revocation_is_terminal():
+    cache = make_cache()
+    cache.fill_path("/a", 1)
+    cache.leases.revoke(1)
+    cache.poll()
+    assert cache.revoked
+    assert cache.lookup_oid("/a") is None
+    cache.fill_path("/a", 1)                # refused
+    assert cache.lookup_oid("/a") is None
+
+
+def test_fill_read_requires_att_and_full_coverage():
+    cache = make_cache()
+    cache.fill_read(9, 0, b"x" * CHUNK_SIZE)        # no att: dropped
+    assert cache.serve_read(9, 0, 10) is None
+    cache.fill_att(9, att_of(2 * CHUNK_SIZE))
+    cache.fill_read(9, 0, b"y" * 100)               # partial chunk: dropped
+    assert cache.serve_read(9, 0, 10) is None
+    cache.fill_read(9, 0, b"z" * CHUNK_SIZE)        # full chunk: cached
+    assert cache.serve_read(9, 0, 10) == (b"z" * 10, [None])
+
+
+def test_fill_read_tail_chunk_at_eof():
+    # A short tail chunk is cacheable when the reply runs to the file's
+    # cached size.
+    size = CHUNK_SIZE + 100
+    cache = make_cache()
+    cache.fill_att(9, att_of(size))
+    cache.fill_read(9, 0, b"a" * CHUNK_SIZE + b"b" * 100)
+    data, owners = cache.serve_read(9, 0, size)
+    assert data == b"a" * CHUNK_SIZE + b"b" * 100
+    assert len(owners) == 2
+
+
+def test_serve_read_clamps_to_size_and_detects_eof():
+    cache = make_cache()
+    cache.fill_att(9, att_of(50))
+    cache.fill_read(9, 0, b"q" * 50)
+    assert cache.serve_read(9, 0, 1000) == (b"q" * 50, [None])
+    assert cache.serve_read(9, 50, 10) == (b"", [])
+    assert cache.serve_read(9, 0, -1) == (b"q" * 50, [None])
+
+
+def test_serve_read_tracks_owner_xids():
+    cache = make_cache()
+    cache.fill_att(9, att_of(2 * CHUNK_SIZE))
+    cache.fill_read(9, 0, b"x" * CHUNK_SIZE, owner=11)
+    cache.fill_read(9, CHUNK_SIZE, b"y" * CHUNK_SIZE, owner=12)
+    data, owners = cache.serve_read(9, 0, 2 * CHUNK_SIZE)
+    assert owners == [11, 12]

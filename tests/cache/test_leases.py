@@ -1,0 +1,95 @@
+"""Unit tests for the server-side lease/epoch bookkeeping."""
+
+from __future__ import annotations
+
+from repro.cache.leases import (EPOCH_MODULUS, MAX_PENDING, LeaseManager,
+                                epoch_newer, normalize_path)
+
+
+class _FakeTx:
+    def __init__(self, xid: int) -> None:
+        self.xid = xid
+
+
+def test_normalize_path_collapses_slashes():
+    assert normalize_path("/a//b/") == "/a/b"
+    assert normalize_path("a/b") == "/a/b"
+    assert normalize_path("/") == "/"
+    assert normalize_path("") == "/"
+
+
+def test_epoch_newer_basics():
+    assert epoch_newer(2, 1)
+    assert not epoch_newer(1, 2)
+    assert not epoch_newer(5, 5)
+
+
+def test_epoch_newer_across_wraparound():
+    # RFC 1982 serial arithmetic: the counter wraps, comparisons hold.
+    old = EPOCH_MODULUS - 2
+    assert epoch_newer(1, old)          # wrapped past zero
+    assert not epoch_newer(old, 1)
+    assert epoch_newer(0, EPOCH_MODULUS - 1)
+
+
+def test_bump_fans_out_to_every_subscriber():
+    lm = LeaseManager()
+    lm.subscribe(1)
+    lm.subscribe(2)
+    lm.bump_name("/a/b")
+    assert lm.poll(1) == [("name", "/a/b", 1)]
+    assert lm.poll(2) == [("name", "/a/b", 1)]
+    # Drained: the next poll is empty, not a repeat.
+    assert lm.poll(1) == []
+
+
+def test_tx_bumps_queue_until_flush_and_dedup():
+    lm = LeaseManager()
+    lm.subscribe(1)
+    tx = _FakeTx(7)
+    lm.bump_oid(42, tx)
+    lm.bump_name("/x", tx)
+    lm.bump_oid(42, tx)          # duplicate: one notice, original order
+    assert lm.poll(1) == []      # nothing before the visibility point
+    lm.flush_tx(7)
+    notices = lm.poll(1)
+    assert [(n[0], n[1]) for n in notices] == [("oid", 42), ("name", "/x")]
+    lm.flush_tx(7)               # idempotent
+    assert lm.poll(1) == []
+
+
+def test_channel_overflow_collapses_to_full_flush():
+    lm = LeaseManager()
+    lm.subscribe(1)
+    for i in range(MAX_PENDING + 10):
+        lm.bump_oid(i)
+    notices = lm.poll(1)
+    assert len(notices) == 1
+    assert notices[0][:2] == ("all", "")
+
+
+def test_revoke_makes_poll_return_none():
+    lm = LeaseManager()
+    lm.subscribe(1)
+    assert lm.revoke(1)
+    assert not lm.revoke(1)      # second revoke is a no-op
+    assert lm.poll(1) is None
+    assert lm.stats.lease_revocations == 1
+
+
+def test_revoke_all_counts_channels():
+    lm = LeaseManager()
+    lm.subscribe(1)
+    lm.subscribe(2)
+    assert lm.revoke_all() == 2
+    assert lm.poll(1) is None and lm.poll(2) is None
+
+
+def test_grant_goes_to_one_session_only():
+    lm = LeaseManager()
+    lm.subscribe(1)
+    lm.subscribe(2)
+    lm.grant(1, "/a//b", 99)
+    assert lm.poll(1) == [("grant", "/a/b", 99, 0)]
+    assert lm.poll(2) == []
+    assert lm.stats.lease_grants == 1

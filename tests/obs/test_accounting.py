@@ -80,7 +80,7 @@ def test_format_tx_breakdown_renders_all_fields():
     lines = text.splitlines()
     assert lines[2].split() == ["xid", "buf.hit", "buf.miss", "rd.ops",
                                 "rd.pages", "wr.ops", "wr.pages",
-                                "lk.waits", "lk.secs", "forces"]
+                                "lk.waits", "lk.secs", "forces", "cc.hits"]
     row = [line for line in lines if line.lstrip().startswith("3")][0]
     assert "12" in row and "0.125" in row
     assert lines[-1].lstrip().startswith("total")
