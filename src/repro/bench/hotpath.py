@@ -1,0 +1,400 @@
+"""Wall-clock hot-path benchmark (BENCH_hotpath.json).
+
+Every other benchmark in this tree reports *simulated* cost — device
+model seconds and operation counters that CI asserts on exactly.  This
+one is different: it times the real Python hot paths that the
+simulated numbers deliberately ignore, and gates the zero-copy page
+codec, the cached B-tree descents and the buffer lookup fast path
+against in-bench reimplementations of the code they replaced.
+
+Four families:
+
+* **page_codec** — record access on a slotted page through the cached
+  header mirror, the lazily decoded slot directory and the long-lived
+  ``memoryview``, versus the pre-cache path (a fresh ``struct`` decode
+  of header and slot per access, record copied out of ``bytes(buf)``).
+* **btree_descent** — repeated point lookups in a populated B-tree
+  with the per-relation descent hints warm, versus the same lookups
+  with the hints and the per-page decoded-key caches cleared before
+  every search (every descent re-decodes every visited node).
+* **buffer_lookup** — ``BufferCache.get_page`` hits, versus a
+  reimplementation of the old lookup body (per-call key list built
+  then tupled, charge fields looked up one at a time).
+* **e2e_write** — a single-process Inversion client writing and
+  reading back a 1 MiB file, wall-clock end to end.
+
+Wall-clock rates vary machine to machine, so the JSON splits in two:
+a ``deterministic`` section (operation counts, cache-counter deltas
+and payload checksums from fixed-size runs — byte-identical across
+runs and asserted by CI's double-run ``cmp``) and a ``wallclock``
+section carrying the ops/s and before/after ratios.  ``--smoke``
+writes the deterministic section only.
+
+Run directly::
+
+    PYTHONPATH=src python -m repro.bench.hotpath [output.json] [--smoke]
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import struct
+import sys
+import time
+
+from repro.bench.harness import build_inversion_sp
+from repro.db.btree import BTree
+from repro.db.buffer import BufferCache
+from repro.db.heap import TID
+from repro.db.page import HEADER_FMT, HEADER_SIZE, SLOT_FMT, SLOT_SIZE, Page
+from repro.db.transactions import Transaction
+from repro.devices.memdisk import MemDisk
+from repro.devices.switch import DeviceSwitch
+from repro.sim.clock import SimClock
+
+_RAW_HEADER = struct.Struct(HEADER_FMT)
+_RAW_SLOT = struct.Struct(SLOT_FMT)
+
+#: fixed sizes for the deterministic section (identical in full and
+#: --smoke runs, so the committed artifact can be checked against a
+#: smoke run byte for byte).
+DET_RECORDS = 64
+DET_PAGE_OPS = 2_000
+DET_KEYS = 3_000
+DET_SEARCHES = 2_000
+DET_FILE_SIZE = 64 * 1024
+
+#: wall-clock op counts (full runs only).
+WC_PAGE_OPS = 200_000
+WC_SEARCHES = 50_000
+WC_BUFFER_OPS = 300_000
+E2E_FILE_SIZE = 1 << 20
+
+
+def _payload(nbytes: int) -> bytes:
+    unit = b"0123456789abcdef"
+    return (unit * (nbytes // len(unit) + 1))[:nbytes]
+
+
+def _time(fn, ops: int, repeats: int = 3) -> tuple[float, float]:
+    """Best of ``repeats`` runs of ``fn`` — (elapsed_s, ops_per_s)."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, ops / best if best > 0 else float("inf")
+
+
+# -- page codec -------------------------------------------------------
+
+
+def _codec_page() -> Page:
+    page = Page()
+    for i in range(DET_RECORDS):
+        page.add_record(bytes([i % 251]) * (20 + i % 40))
+    return page
+
+
+def _legacy_get_record(buf: bytearray, idx: int) -> bytes:
+    """The pre-cache record access, verbatim in shape: the ``nslots``
+    property re-decoded the whole header through a module-level
+    ``struct`` call with a format string, the slot was unpacked the
+    same way, and the record was copied twice (bytearray slice, then
+    ``bytes``)."""
+    nslots = struct.unpack_from(HEADER_FMT, buf, 0)[0]
+    if not (0 <= idx < nslots):
+        raise IndexError(idx)
+    offset, length = struct.unpack_from(
+        SLOT_FMT, buf, HEADER_SIZE + idx * SLOT_SIZE)
+    if offset == 0:
+        raise IndexError(idx)
+    return bytes(buf[offset:offset + length])
+
+
+def run_page_codec(ops: int) -> dict:
+    page = _codec_page()
+    n = DET_RECORDS
+
+    def cached_copy() -> None:
+        get = page.get_record
+        for i in range(ops):
+            get(i % n)
+
+    def cached_view() -> None:
+        # The hot-reader API: B-tree key decode and tuple unpack read
+        # straight from the page's long-lived memoryview.
+        view = page.record_view
+        for i in range(ops):
+            view(i % n)
+
+    def legacy() -> None:
+        buf = page.buf
+        for i in range(ops):
+            _legacy_get_record(buf, i % n)
+
+    _, copy_rate = _time(cached_copy, ops)
+    _, view_rate = _time(cached_view, ops)
+    _, legacy_rate = _time(legacy, ops)
+    return {
+        "ops": ops,
+        "records": n,
+        "copy_ops_per_s": round(copy_rate),
+        "view_ops_per_s": round(view_rate),
+        "legacy_ops_per_s": round(legacy_rate),
+        "speedup": round(view_rate / legacy_rate, 2),
+        "speedup_copy": round(copy_rate / legacy_rate, 2),
+    }
+
+
+def det_page_codec() -> dict:
+    """Fixed op sequence; counters and bytes, no clocks."""
+    baseline = Page.header_cache_invalidations
+    page = _codec_page()
+    digest = hashlib.sha256()
+    for i in range(DET_PAGE_OPS):
+        rec = page.get_record(i % DET_RECORDS)
+        assert rec == _legacy_get_record(page.buf, i % DET_RECORDS)
+        digest.update(rec)
+        if i % 500 == 499:
+            page.compact()
+    return {
+        "ops": DET_PAGE_OPS,
+        "records": DET_RECORDS,
+        "invalidations": Page.header_cache_invalidations - baseline,
+        "sha256": digest.hexdigest(),
+    }
+
+
+# -- B-tree descent ---------------------------------------------------
+
+
+def _make_btree(nkeys: int) -> BTree:
+    clock = SimClock()
+    switch = DeviceSwitch()
+    switch.register(MemDisk("mem0", clock))
+    switch.get("mem0").create_relation("idx")
+    buffers = BufferCache(switch, capacity=512)
+    bt = BTree.create(buffers, "mem0", "idx")
+    tx = Transaction(xid=7, start_time=0.0)
+    for i in range(nkeys):
+        bt.insert(tx, (i,), TID(i, 0))
+    return bt
+
+
+def _clear_descent_caches(bt: BTree) -> None:
+    """Restore the pre-cache world for one search: no remembered walk,
+    no per-node decoded keys."""
+    bt.buffers.descent_hints.clear()
+    for frame in bt.buffers._frames.values():
+        frame.page.cache = None
+
+
+def run_btree_descent(searches: int) -> dict:
+    bt = _make_btree(DET_KEYS)
+    keys = [(i * 37) % DET_KEYS for i in range(searches)]
+    hot = [(i % 16,) for i in range(searches)]  # fast-path friendly
+
+    def warm() -> None:
+        search = bt.search
+        for k in hot:
+            search(k)
+
+    def cold() -> None:
+        search = bt.search
+        for k in keys:
+            _clear_descent_caches(bt)
+            search((k,))
+
+    warm_s, warm_rate = _time(warm, searches)
+    cold_s, cold_rate = _time(cold, searches)
+    return {
+        "keys": DET_KEYS,
+        "searches": searches,
+        "depth": bt.depth(),
+        "warm_descents_per_s": round(warm_rate),
+        "cold_descents_per_s": round(cold_rate),
+        "speedup": round(warm_rate / cold_rate, 2),
+    }
+
+
+def det_btree_descent() -> dict:
+    bt = _make_btree(DET_KEYS)
+    d0, f0 = BTree.total_descents, BTree.descent_fastpath_hits
+    misses = 0
+    for i in range(DET_SEARCHES):
+        key = (i % 16,)
+        if bt.search(key) != [TID(key[0], 0)]:
+            misses += 1
+    return {
+        "keys": DET_KEYS,
+        "searches": DET_SEARCHES,
+        "depth": bt.depth(),
+        "descents": BTree.total_descents - d0,
+        "fastpath_hits": BTree.descent_fastpath_hits - f0,
+        "wrong_results": misses,
+    }
+
+
+# -- buffer lookups ---------------------------------------------------
+
+
+def _make_buffers(pages: int) -> tuple[BufferCache, int]:
+    clock = SimClock()
+    switch = DeviceSwitch()
+    switch.register(MemDisk("mem0", clock))
+    switch.get("mem0").create_relation("rel")
+    buffers = BufferCache(switch, capacity=pages + 8)
+    for _ in range(pages):
+        buffers.new_page("mem0", "rel")
+    return buffers, pages
+
+
+def run_buffer_lookup(ops: int) -> dict:
+    buffers, pages = _make_buffers(64)
+
+    def fast() -> None:
+        get = buffers.get_page
+        for i in range(ops):
+            get("mem0", "rel", i % pages)
+
+    def _legacy_get_page(dev_name: str, relname: str, pageno: int,
+                         prefetched: set) -> Page:
+        # The pre-PR hit path, method calls and all: streak
+        # bookkeeping via _note_access, frame probe, and the per-hit
+        # membership test against the separate ``_prefetched`` set
+        # that the frame flag replaced.
+        key = (dev_name, relname, pageno)
+        obs = buffers.obs
+        buffers._note_access((dev_name, relname), pageno)
+        frame = buffers._frames.get(key)
+        if frame is not None:
+            buffers.stats.hits += 1
+            if obs is not None:
+                obs.tx.charge("buffer_hits")
+            if key in prefetched:
+                prefetched.discard(key)
+                buffers.stats.prefetch_hits += 1
+            buffers._frames.move_to_end(key)
+            return frame.page
+        raise AssertionError("legacy loop must stay resident")
+
+    def legacy() -> None:
+        prefetched: set = set()
+        for i in range(ops):
+            _legacy_get_page("mem0", "rel", i % pages, prefetched)
+
+    fast_s, fast_rate = _time(fast, ops)
+    legacy_s, legacy_rate = _time(legacy, ops)
+    return {
+        "ops": ops,
+        "resident_pages": pages,
+        "fast_ops_per_s": round(fast_rate),
+        "legacy_ops_per_s": round(legacy_rate),
+        "speedup": round(fast_rate / legacy_rate, 2),
+    }
+
+
+def det_buffer_lookup() -> dict:
+    buffers, pages = _make_buffers(64)
+    h0, m0 = buffers.stats.hits, buffers.stats.misses
+    for i in range(DET_PAGE_OPS):
+        buffers.get_page("mem0", "rel", i % pages)
+    return {
+        "ops": DET_PAGE_OPS,
+        "resident_pages": pages,
+        "hits": buffers.stats.hits - h0,
+        "misses": buffers.stats.misses - m0,
+    }
+
+
+# -- end-to-end write -------------------------------------------------
+
+
+def _e2e(nbytes: int, timed: bool) -> dict:
+    built = build_inversion_sp()
+    try:
+        client = built.adapter.client
+        clock = built.adapter.db.clock
+        data = _payload(nbytes)
+        client.p_mkdir("/bench")
+        t0 = time.perf_counter()
+        s0 = clock.now()
+        fd = client.p_creat("/bench/blob")
+        client.p_write(fd, data)
+        client.p_close(fd)
+        write_wall = time.perf_counter() - t0
+        t1 = time.perf_counter()
+        fd = client.p_open("/bench/blob", 0)
+        back = client.p_read(fd, nbytes)
+        client.p_close(fd)
+        read_wall = time.perf_counter() - t1
+        if back != data:
+            raise AssertionError("read back the wrong bytes")
+        out = {
+            "file_size": nbytes,
+            "sim_elapsed_s": round(clock.now() - s0, 9),
+            "sha256": hashlib.sha256(back).hexdigest(),
+        }
+        if timed:
+            out["write_wall_s"] = round(write_wall, 4)
+            out["read_wall_s"] = round(read_wall, 4)
+            out["write_mb_per_s"] = round(nbytes / (1 << 20) / write_wall, 2)
+        return out
+    finally:
+        built.close()
+
+
+# -- entry points -----------------------------------------------------
+
+
+def run_deterministic() -> dict:
+    return {
+        "page_codec": det_page_codec(),
+        "btree_descent": det_btree_descent(),
+        "buffer_lookup": det_buffer_lookup(),
+        "e2e_write": _e2e(DET_FILE_SIZE, timed=False),
+    }
+
+
+def run_hotpath(smoke: bool = False) -> dict:
+    results = {
+        "experiment": ("python hot-path wall clock: zero-copy page codec, "
+                       "cached B-tree descents, buffer lookup fast path"),
+        "deterministic": run_deterministic(),
+    }
+    if not smoke:
+        results["wallclock"] = {
+            "page_codec": run_page_codec(WC_PAGE_OPS),
+            "btree_descent": run_btree_descent(WC_SEARCHES),
+            "buffer_lookup": run_buffer_lookup(WC_BUFFER_OPS),
+            "e2e_write": _e2e(E2E_FILE_SIZE, timed=True),
+        }
+    return results
+
+
+def main(argv: list[str]) -> int:
+    smoke = "--smoke" in argv
+    args = [a for a in argv if a != "--smoke"]
+    out = args[0] if args else "BENCH_hotpath.json"
+    results = run_hotpath(smoke=smoke)
+    with open(out, "w", encoding="utf-8") as f:
+        json.dump(results, f, indent=2, sort_keys=True)
+        f.write("\n")
+    det = results["deterministic"]
+    line = (f"wrote {out}: {det['btree_descent']['fastpath_hits']}"
+            f"/{det['btree_descent']['descents']} fast-path descents, "
+            f"{det['page_codec']['invalidations']} page invalidations")
+    if not smoke:
+        wc = results["wallclock"]
+        line += (f"; codec {wc['page_codec']['speedup']}x, "
+                 f"descent {wc['btree_descent']['speedup']}x, "
+                 f"buffer {wc['buffer_lookup']['speedup']}x, "
+                 f"1MiB write {wc['e2e_write']['write_wall_s']}s")
+    print(line)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -223,6 +223,56 @@ def tx_smoke_breakdown():
         shutil.rmtree(tmp, ignore_errors=True)
 
 
+# -- cProfile helper -----------------------------------------------------
+
+#: benchmark entry points runnable under ``--profile``; each is a
+#: zero-argument callable importing lazily so the profiler never
+#: charges module import time to the workload.
+PROFILE_TARGETS = {
+    "seqio": lambda: __import__("repro.bench.seqio", fromlist=["main"])
+    .main(["/dev/null"]),
+    "commitio": lambda: __import__("repro.bench.commitio", fromlist=["main"])
+    .main(["/dev/null"]),
+    "multiuser": lambda: __import__("repro.bench.multiuser", fromlist=["main"])
+    .main(["/dev/null"]),
+    "multishard": lambda: __import__(
+        "repro.bench.multishard", fromlist=["main"]).main(["/dev/null"]),
+    "cachedio": lambda: __import__("repro.bench.cachedio", fromlist=["main"])
+    .main(["/dev/null"]),
+    "hotpath": lambda: __import__("repro.bench.hotpath", fromlist=["main"])
+    .main(["/dev/null", "--smoke"]),
+}
+
+
+def profile_bench(name: str, sort: str = "cumulative", limit: int = 40,
+                  out: str | None = None) -> int:
+    """Run one benchmark under :mod:`cProfile` and print the hottest
+    functions — the profiling workflow behind the hot-path work: find
+    where the wall-clock goes *before* deciding what to flatten (see
+    EXPERIMENTS.md, "Wall-clock methodology")."""
+    import cProfile
+    import pstats
+
+    if name not in PROFILE_TARGETS:
+        print(f"unknown benchmark {name!r}; choose from "
+              f"{', '.join(sorted(PROFILE_TARGETS))}")
+        return 2
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        PROFILE_TARGETS[name]()
+    finally:
+        profiler.disable()
+    if out:
+        profiler.dump_stats(out)
+        print(f"wrote raw profile to {out} "
+              f"(inspect with python -m pstats {out})")
+    stats = pstats.Stats(profiler)
+    stats.sort_stats(sort)
+    stats.print_stats(limit)
+    return 0
+
+
 def main(argv=None) -> int:
     import argparse
 
@@ -232,7 +282,21 @@ def main(argv=None) -> int:
     parser.add_argument("--tx-smoke", action="store_true",
                         help="run a tiny workload and print its "
                              "per-transaction cost breakdown")
+    parser.add_argument("--profile", metavar="BENCH",
+                        choices=sorted(PROFILE_TARGETS),
+                        help="run one benchmark under cProfile and print "
+                             "the hottest functions")
+    parser.add_argument("--sort", default="cumulative",
+                        help="pstats sort key for --profile "
+                             "(default: cumulative; try tottime)")
+    parser.add_argument("--limit", type=int, default=40,
+                        help="rows of profile output to print")
+    parser.add_argument("--out", default=None,
+                        help="also dump the raw profile to this file")
     args = parser.parse_args(argv)
+    if args.profile:
+        return profile_bench(args.profile, sort=args.sort,
+                             limit=args.limit, out=args.out)
     if args.tx_smoke:
         breakdown = tx_smoke_breakdown()
         if not breakdown:

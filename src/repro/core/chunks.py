@@ -69,6 +69,17 @@ class ChunkStore:
         self.table = db.table(chunk_table_name(fileid), tx)
         self._indexed = self.table.has_index(("chunkno",))
         self._dirty: dict[int, bytes] = {}
+        #: chunkno → merged, sorted [start, end) byte ranges the owner
+        #: explicitly wrote (as opposed to bytes carried over by the
+        #: read-modify-write merge).  A revalidating flush overlays
+        #: exactly these ranges onto the *current* committed chunk, so
+        #: stale merge bases never clobber a concurrent writer's bytes.
+        self._spans: dict[int, list[tuple[int, int]]] = {}
+        #: sticky revalidation flag set by the owning handle once it
+        #: learns another transaction committed under it — makes the
+        #: coalescing buffer's *auto*-flushes revalidate too, not just
+        #: the final explicit flush.
+        self.stale = False
 
     def _find_chunk(self, chunkno: int, snapshot: Snapshot,
                     tx: Transaction | None):
@@ -106,8 +117,9 @@ class ChunkStore:
                    tx: Transaction | None = None) -> bytes:
         """The chunk's bytes under ``snapshot`` (b'' for a hole).  The
         coalescing buffer shadows the table for the owning handle."""
-        if chunkno in self._dirty:
-            return self._dirty[chunkno]
+        buffered = self._dirty.get(chunkno)
+        if buffered is not None:
+            return buffered
         found = self._find_chunk(chunkno, snapshot, tx)
         return found[1][2] if found is not None else b""
 
@@ -145,9 +157,13 @@ class ChunkStore:
 
     # -- writes -------------------------------------------------------------------
 
-    def write_chunk(self, tx: Transaction, chunkno: int, data: bytes) -> None:
+    def write_chunk(self, tx: Transaction, chunkno: int, data: bytes,
+                    span: tuple[int, int] | None = None) -> None:
         """Buffer one chunk's new contents; auto-flushes when the
-        coalescing buffer fills."""
+        coalescing buffer fills.  ``span`` is the [start, end) byte
+        range the caller actually wrote within the chunk (None = the
+        whole buffered content is authoritative, the default for
+        callers that construct complete chunks)."""
         if chunkno > MAX_CHUNKNO:
             raise FileTooLargeError(
                 f"chunk {chunkno} exceeds the maximum file size")
@@ -156,14 +172,41 @@ class ChunkStore:
         # Write intent: take X now, not at flush — see Table.lock_exclusive.
         self.table.lock_exclusive(tx)
         self._dirty[chunkno] = bytes(data)
+        self._add_span(chunkno, *(span if span is not None
+                                  else (0, CHUNK_SIZE)))
         if len(self._dirty) >= COALESCE_CHUNK_LIMIT:
             self.flush(tx)
 
-    def flush(self, tx: Transaction) -> int:
+    def _add_span(self, chunkno: int, start: int, end: int) -> None:
+        spans = self._spans.get(chunkno)
+        if spans is None:
+            self._spans[chunkno] = [(start, end)]
+            return
+        spans.append((start, end))
+        spans.sort()
+        merged = [spans[0]]
+        for s, e in spans[1:]:
+            ls, le = merged[-1]
+            if s <= le:
+                merged[-1] = (ls, max(le, e))
+            else:
+                merged.append((s, e))
+        self._spans[chunkno] = merged
+
+    def flush(self, tx: Transaction, revalidate: bool = False,
+              committed_size: int | None = None) -> int:
         """Push buffered chunks into the table in chunk order.  Existing
         visible versions are updated (old record marked deleted, new
         appended — the no-overwrite rule); new chunks are inserted.
-        Returns the number of chunks written."""
+        Returns the number of chunks written.
+
+        ``revalidate=True`` means the file was committed to by another
+        transaction while the owner's handle was open, so the buffered
+        contents may carry stale read-modify-write bytes: each chunk
+        whose written spans do not cover the committed extent is
+        re-merged against the *current* committed version first.
+        ``committed_size`` (the caller's committed-size hint) bounds
+        that extent so fully-covering writes skip the re-read."""
         if not self._dirty:
             return 0
         obs = self.db.obs
@@ -171,7 +214,40 @@ class ChunkStore:
                         chunks=len(self._dirty)) \
             if obs is not None and obs.tracer.enabled else NO_SPAN
         with span:
+            if revalidate or self.stale:
+                self._revalidate_buffered(tx, committed_size)
             return self._flush_buffered(tx, obs)
+
+    def _revalidate_buffered(self, tx: Transaction,
+                             committed_size: int | None) -> None:
+        """Re-merge buffered chunks whose non-written bytes could be
+        stale.  The skip rule: if the owner's written spans cover
+        ``[0, max(extent_bound, len(buffered)))`` — where the extent
+        bound is how far the committed file reaches into this chunk —
+        no committed byte survives the overwrite, so the buffered
+        content already equals the correct merge and no read is paid.
+        (A flush of same-length offset-0 overwrites, the contended
+        benchmark pattern, stays charge-identical to the fast path.)"""
+        snapshot = self.db.snapshot(tx)
+        for chunkno in sorted(self._dirty):
+            data = self._dirty[chunkno]
+            spans = self._spans.get(chunkno)
+            if committed_size is not None:
+                bound = min(max(0, committed_size - chunkno * CHUNK_SIZE),
+                            CHUNK_SIZE)
+            else:
+                bound = CHUNK_SIZE
+            need = max(bound, len(data))
+            if spans and spans[0][0] == 0 and spans[0][1] >= need:
+                continue
+            found = self._find_chunk(chunkno, snapshot, tx)
+            current = found[1][2] if found is not None else b""
+            base = bytearray(current)
+            if len(base) < len(data):
+                base.extend(bytes(len(data) - len(base)))
+            for s, e in spans or ():
+                base[s:e] = data[s:e]
+            self._dirty[chunkno] = bytes(base)
 
     def _flush_buffered(self, tx: Transaction, obs) -> int:
         snapshot = self.db.snapshot(tx)
@@ -198,6 +274,7 @@ class ChunkStore:
         if batch:
             self.table.insert_many(tx, batch)
         self._dirty.clear()
+        self._spans.clear()
         if obs is not None:
             obs.chunk_flush(written)
         return written
@@ -231,6 +308,7 @@ class ChunkStore:
     def discard(self) -> None:
         """Drop buffered writes (abort path)."""
         self._dirty.clear()
+        self._spans.clear()
 
     # -- whole-file helpers -------------------------------------------------------------
 

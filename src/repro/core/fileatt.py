@@ -60,6 +60,40 @@ class FileAttributes:
         #: :meth:`~repro.core.filesystem.InversionFS.attach_leases` so
         #: attribute mutations invalidate client att caches.
         self.on_mutate = None
+        #: committed-size hints: fileid → the size of the last row this
+        #: process *committed* (queued at mutation, applied via the
+        #: database outcome listener).  Purely advisory — a missing
+        #: hint means "unknown", never "zero" — and lets a stale flush
+        #: prove that its own size already dominates the committed one
+        #: without paying a locked re-read (see FileHandle.flush).
+        self._committed_sizes: dict[int, int] = {}
+        self._pending_sizes: dict[int, dict[int, int | None]] = {}
+        add = getattr(db, "add_commit_listener", None)
+        if add is not None:
+            add(self._on_tx_outcome)
+
+    def _queue_size(self, tx: Transaction, fileid: int,
+                    size: int | None) -> None:
+        """Remember the size this transaction will have committed for
+        ``fileid`` (``None`` = file removed) until its outcome is
+        known."""
+        self._pending_sizes.setdefault(tx.xid, {})[fileid] = size
+
+    def _on_tx_outcome(self, xid: int, committed: bool) -> None:
+        pending = self._pending_sizes.pop(xid, None)
+        if not pending or not committed:
+            return
+        sizes = self._committed_sizes
+        for fileid, size in pending.items():
+            if size is None:
+                sizes.pop(fileid, None)
+            else:
+                sizes[fileid] = size
+
+    def committed_size_hint(self, fileid: int) -> int | None:
+        """The last size committed through this process for ``fileid``
+        (None when no commit has been observed this session)."""
+        return self._committed_sizes.get(fileid)
 
     @classmethod
     def bootstrap(cls, db, tx: Transaction) -> "FileAttributes":
@@ -93,6 +127,7 @@ class FileAttributes:
         now = self.db.clock.now()
         att = FileAtt(fileid, owner, ftype, 0, now, now, now)
         self._table(tx).insert(tx, att.to_row(), lock_key=fileid)
+        self._queue_size(tx, fileid, 0)
         return att
 
     def remove(self, tx: Transaction, fileid: int) -> None:
@@ -101,6 +136,7 @@ class FileAttributes:
         if entry is None:
             raise FileNotFoundError_(f"no attributes for file {fileid}")
         self._table(tx).delete(tx, entry[0], lock_key=fileid)
+        self._queue_size(tx, fileid, None)
         if self.on_mutate is not None:
             self.on_mutate(fileid, tx)
 
@@ -122,6 +158,45 @@ class FileAttributes:
             atime=atime if atime is not None else att.atime,
         )
         self._table(tx).update(tx, tid, new.to_row(), lock_key=fileid)
+        self._queue_size(tx, fileid, new.size)
+        if self.on_mutate is not None:
+            self.on_mutate(fileid, tx)
+        return new
+
+    def lock_entry(self, tx: Transaction, fileid: int) -> None:
+        """Take the file's attribute write lock up front.  A flushing
+        handle locks *before* reading the row it is about to supersede;
+        locking inside :meth:`update` (after its snapshot read) leaves
+        a window where a concurrent committer invalidates the TID the
+        read returned — the write-skew behind ROADMAP open item 4."""
+        self._table(tx).lock_exclusive(tx, lock_key=fileid)
+
+    def reconcile_size(self, tx: Transaction, fileid: int, floor_size: int,
+                       *, mtime: float | None = None) -> FileAtt:
+        """Write ``size = max(current committed size, floor_size)``,
+        re-reading the row *under* the write lock.  This is the slow
+        path of the open-time-size lost-update fix: a handle whose file
+        changed since open must not publish its stale open-time size —
+        a concurrent writer may have committed a larger one (including
+        against a ``write(b"")`` handle that took no chunk locks)."""
+        table = self._table(tx)
+        table.lock_exclusive(tx, lock_key=fileid)
+        snapshot = self.db.snapshot(tx)
+        entry = self.get_entry(fileid, snapshot, tx)
+        if entry is None:
+            raise FileNotFoundError_(f"no attributes for file {fileid}")
+        tid, att = entry
+        new = FileAtt(
+            file=att.file,
+            owner=att.owner,
+            type=att.type,
+            size=max(att.size, floor_size),
+            ctime=att.ctime,
+            mtime=mtime if mtime is not None else att.mtime,
+            atime=att.atime,
+        )
+        table.update(tx, tid, new.to_row(), lock_key=fileid)
+        self._queue_size(tx, fileid, new.size)
         if self.on_mutate is not None:
             self.on_mutate(fileid, tx)
         return new

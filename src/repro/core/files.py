@@ -61,6 +61,11 @@ class FileHandle:
         self.att_flushed = False
         self._atime_stamped = False
         self.store = ChunkStore(fs.db, fileid, tx)
+        #: file data version at open — compared at flush to detect that
+        #: another transaction committed under this handle, in which
+        #: case ``_size`` (captured above at open) may be stale and the
+        #: flush must reconcile instead of blindly publishing it.
+        self._open_dv = fs.file_data_version(fileid)
 
     # -- state ------------------------------------------------------------
 
@@ -169,6 +174,7 @@ class FileHandle:
                 else:
                     existing = {c: self.store.read_chunk(c, self.snapshot, self.tx)
                                 for c in partials}
+        first_chunk = True
         while view.nbytes > 0:
             chunkno = self._pos // CHUNK_SIZE
             offset = self._pos % CHUNK_SIZE
@@ -181,11 +187,21 @@ class FileHandle:
                 if len(old) < offset:
                     old = old + bytes(offset - len(old))
                 chunk = old[:offset] + piece + old[offset + take:]
-            self.store.write_chunk(self.tx, chunkno, chunk)
+            self.store.write_chunk(self.tx, chunkno, chunk,
+                                   span=(offset, offset + take))
+            if first_chunk:
+                first_chunk = False
+                # The chunk-table X lock is now held, freezing the set
+                # of commits that could have raced this handle; the
+                # pre-lock read-modify-write bases above may be stale,
+                # so mark the store for revalidating flushes.
+                if self.fs.file_data_version(self.fileid) != self._open_dv:
+                    self.store.stale = True
             self._pos += take
             view = view[take:]
         self._size = max(self._size, self._pos)
         self._wrote = True
+        self.fs.note_data_write(self.fileid, self.tx)
         # Data changed; bump here (not only in fileatt.update) because
         # deferred-attribute writes flush without touching fileatt.
         lm = getattr(self.fs, "lease_manager", None)
@@ -199,16 +215,47 @@ class FileHandle:
         """Push coalesced chunks into the table and refresh the file's
         size/mtime attributes (unless attribute maintenance is
         deferred, in which case ``att_dirty`` tells the owner to
-        reconcile later)."""
+        reconcile later).
+
+        When another transaction committed to this file since open
+        (``_open_dv`` mismatch), the open-time ``_size`` may be stale —
+        a fixed-length overwrite is still published on the unchanged
+        fast path (its own size provably dominates, per the
+        committed-size hint), but anything else reconciles against the
+        current row under the write lock, and the chunk flush re-merges
+        buffered contents whose written spans don't cover the committed
+        extent.  This is the fix for ROADMAP open item 4: without it,
+        two interleaved different-length overwrites (including
+        ``write(b"")``, which takes no chunk locks at all) could commit
+        a stale open-time size and shrink the other writer's data."""
         self._require_open()
         if not self._wrote:
             return
-        self.store.flush(self.tx)
+        fs = self.fs
         if self.defer_att:
+            stale = fs.file_data_version(self.fileid) != self._open_dv
+            hint = fs.fileatt.committed_size_hint(self.fileid) if stale \
+                else None
+            self.store.flush(self.tx, revalidate=stale, committed_size=hint)
             self.att_dirty = True
         else:
-            self.fs.fileatt.update(self.tx, self.fileid, size=self._size,
-                                   mtime=self.fs.db.clock.now())
+            # Lock the attribute row *before* reading or flushing:
+            # deciding from a pre-lock read and locking inside
+            # fileatt.update leaves a park window in which a concurrent
+            # committer invalidates what was read.
+            fs.fileatt.lock_entry(self.tx, self.fileid)
+            stale = fs.file_data_version(self.fileid) != self._open_dv
+            hint = fs.fileatt.committed_size_hint(self.fileid) if stale \
+                else None
+            self.store.flush(self.tx, revalidate=stale, committed_size=hint)
+            if stale and (hint is None or hint > self._size):
+                att = fs.fileatt.reconcile_size(
+                    self.tx, self.fileid, self._size,
+                    mtime=fs.db.clock.now())
+                self._size = att.size
+            else:
+                fs.fileatt.update(self.tx, self.fileid, size=self._size,
+                                  mtime=fs.db.clock.now())
             self.att_flushed = True
         self._wrote = False
 

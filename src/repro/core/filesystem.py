@@ -60,7 +60,35 @@ class InversionFS:
         #: the server's :class:`~repro.cache.leases.LeaseManager`, if
         #: client caching is enabled (see :meth:`attach_leases`).
         self.lease_manager = None
+        #: per-file committed data versions: fileid → count of commits
+        #: that wrote the file this session.  Bumps are queued at write
+        #: time and applied at the outcome point (same discipline as
+        #: lease epochs), so an open handle can tell at flush whether
+        #: anyone committed under it since it captured its open-time
+        #: size — the trigger for the lost-update slow path.
+        self._file_versions: dict[int, int] = {}
+        self._pending_version_bumps: dict[int, set[int]] = {}
+        add = getattr(db, "add_commit_listener", None)
+        if add is not None:
+            add(self._on_tx_outcome)
         self._register_metadata_functions()
+
+    def note_data_write(self, fileid: int, tx: Transaction) -> None:
+        """Queue a data-version bump for ``fileid`` under ``tx`` (every
+        FileHandle.write calls this, zero-length writes included —
+        those still commit an attribute row)."""
+        self._pending_version_bumps.setdefault(tx.xid, set()).add(fileid)
+
+    def _on_tx_outcome(self, xid: int, committed: bool) -> None:
+        pending = self._pending_version_bumps.pop(xid, None)
+        if not pending or not committed:
+            return
+        versions = self._file_versions
+        for fileid in pending:
+            versions[fileid] = versions.get(fileid, 0) + 1
+
+    def file_data_version(self, fileid: int) -> int:
+        return self._file_versions.get(fileid, 0)
 
     # -- construction ------------------------------------------------------
 

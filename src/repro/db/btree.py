@@ -23,11 +23,33 @@ both old and current blocks") — correct across page splits.
 Index entries are not themselves versioned: an entry inserted by a
 transaction that later aborts simply points at a record no snapshot
 will see.  The vacuum cleaner rebuilds indexes when it moves records.
+
+Hot-path engineering (all provably charge-identical to the plain
+implementation):
+
+- Each node's entry keys are decoded once into a sorted ``list`` kept
+  in the page's ``cache`` slot, so a descent binary-searches with the
+  C-level :mod:`bisect` instead of re-decoding a key per comparison.
+  The simulated-CPU comparison charge is replayed arithmetically: the
+  branch taken at each probe of the classic bisect loop depends only
+  on whether the probe index is below the final insertion point, so
+  the comparison count is a pure function of ``(nslots, insertion
+  point)`` and is reproduced exactly without touching any key bytes.
+- The meta page memoizes its decoded root page number in its ``cache``
+  slot (invalidated by the same write that changes it).
+- Repeated descents revalidate the previous root-to-leaf walk: if each
+  cached internal node is still the identical resident page object at
+  the same mutation version and the key still falls in the remembered
+  separator window, the walk reuses the remembered child without
+  re-searching.  Every level still issues its ``get_page`` in the same
+  order, so buffer-cache hits, LRU order, and per-xid accounting are
+  byte-identical; only redundant Python work is skipped.
 """
 
 from __future__ import annotations
 
 import struct
+from bisect import bisect_left, bisect_right
 from typing import Iterator, Sequence
 
 from repro.db.buffer import BufferCache
@@ -54,11 +76,21 @@ METRICS = (
     MetricSpec("btree.descents", "counter", "descents",
                "Root-to-leaf descents per index relation this session.",
                "repro.db.btree", ("relation",)),
+    MetricSpec("btree.descent_fastpath_hits", "counter", "descents",
+               "Descents whose full root-to-leaf walk was revalidated "
+               "from the previous descent's cached path (same resident "
+               "pages, same separator windows) instead of re-searched. "
+               "Page reads and simulated-CPU charges are identical "
+               "either way; only redundant Python work is skipped.",
+               "repro.db.btree"),
 )
 
 _KLEN_FMT = "<H"
 _CHILD_FMT = "<I"
 _META_FMT = "<I"
+_KLEN = struct.Struct(_KLEN_FMT)
+_CHILD = struct.Struct(_CHILD_FMT)
+_META = struct.Struct(_META_FMT)
 
 _HI_SUFFIX = b"\xff" * 8
 """Appended to a user-key encoding to form an upper bound covering any
@@ -66,27 +98,64 @@ TID suffix."""
 
 
 def _leaf_entry(key: bytes, tid: TID) -> bytes:
-    return struct.pack(_KLEN_FMT, len(key)) + key + tid.pack()
+    return _KLEN.pack(len(key)) + key + tid.pack()
 
 
 def _internal_entry(key: bytes, child: int) -> bytes:
-    return struct.pack(_KLEN_FMT, len(key)) + key + struct.pack(_CHILD_FMT, child)
+    return _KLEN.pack(len(key)) + key + _CHILD.pack(child)
 
 
-def _entry_key(record: bytes) -> bytes:
-    (klen,) = struct.unpack_from(_KLEN_FMT, record, 0)
-    return record[2:2 + klen]
+def _entry_key(record) -> bytes:
+    (klen,) = _KLEN.unpack_from(record, 0)
+    return bytes(record[2:2 + klen])
 
 
-def _leaf_tid(record: bytes) -> TID:
-    (klen,) = struct.unpack_from(_KLEN_FMT, record, 0)
+def _leaf_tid(record) -> TID:
+    (klen,) = _KLEN.unpack_from(record, 0)
     return TID.unpack(record, 2 + klen)
 
 
-def _internal_child(record: bytes) -> int:
-    (klen,) = struct.unpack_from(_KLEN_FMT, record, 0)
-    (child,) = struct.unpack_from(_CHILD_FMT, record, 2 + klen)
+def _internal_child(record) -> int:
+    (klen,) = _KLEN.unpack_from(record, 0)
+    (child,) = _CHILD.unpack_from(record, 2 + klen)
     return child
+
+
+def _page_keys(page: Page) -> list[bytes]:
+    """The node's entry keys as a sorted list, decoded once and kept in
+    the page's ``cache`` slot until the next mutation."""
+    keys = page.cache
+    if keys is None:
+        mv = page.mv
+        unpack_klen = _KLEN.unpack_from
+        keys = []
+        append = keys.append
+        for offset, length in page._slots_all():
+            (klen,) = unpack_klen(mv, offset)
+            append(bytes(mv[offset + 2:offset + 2 + klen]))
+        page.cache = keys
+    return keys
+
+
+def _replay_ncmp(n: int, p: int) -> int:
+    """Comparison count of a binary search over ``n`` slots that lands
+    at insertion point ``p``.
+
+    In the classic loop the branch at each probe ``mid`` is "go right"
+    exactly when ``mid < p`` (for ``bisect_right``, ``keys[mid] <= key
+    ⟺ mid < p``; for ``bisect_left``, ``keys[mid] < key ⟺ mid < p``),
+    so the probe sequence — and hence the count the simulated CPU must
+    be charged — is determined by ``(n, p)`` alone.
+    """
+    lo, hi, ncmp = 0, n, 0
+    while lo < hi:
+        mid = (lo + hi) >> 1
+        ncmp += 1
+        if mid < p:
+            lo = mid + 1
+        else:
+            hi = mid
+    return ncmp
 
 
 class BTree:
@@ -102,6 +171,8 @@ class BTree:
     #: sequential-read benchmark assert on chunk-index descents alone,
     #: separate from naming/fileatt bookkeeping probes.
     descents_by_rel: dict[str, int] = {}
+    #: descents fully served by revalidating the cached previous walk.
+    descent_fastpath_hits = 0
 
     def __init__(self, buffers: BufferCache, dev_name: str, relname: str,
                  cpu: CpuModel | None = None) -> None:
@@ -109,6 +180,7 @@ class BTree:
         self.dev_name = dev_name
         self.relname = relname
         self.cpu = cpu
+        self._hkey = (dev_name, relname)
 
     # -- creation -------------------------------------------------------
 
@@ -120,7 +192,7 @@ class BTree:
         if metano != cls.META_PAGE:
             raise BTreeError(f"meta page allocated at {metano}, expected 0")
         rootno, _root = buffers.new_page(dev_name, relname, PAGE_BTREE_LEAF)
-        meta.add_record(struct.pack(_META_FMT, rootno))
+        meta.add_record(_META.pack(rootno))
         buffers.mark_dirty(dev_name, relname, cls.META_PAGE)
         return cls(buffers, dev_name, relname, cpu)
 
@@ -134,12 +206,16 @@ class BTree:
 
     def _root(self) -> int:
         meta = self._page(self.META_PAGE)
-        (root,) = struct.unpack_from(_META_FMT, meta.get_record(0), 0)
+        root = meta.cache
+        if root is None:
+            (root,) = _META.unpack_from(meta.record_view(0), 0)
+            meta.cache = root
         return root
 
     def _set_root(self, pageno: int) -> None:
         meta = self._page(self.META_PAGE)
-        meta.overwrite_record(0, struct.pack(_META_FMT, pageno))
+        meta.overwrite_record(0, _META.pack(pageno))
+        meta.cache = pageno
         self._dirty(self.META_PAGE)
 
     def _is_leaf(self, page: Page) -> bool:
@@ -150,19 +226,11 @@ class BTree:
     def _bisect(self, page: Page, key: bytes, right: bool) -> int:
         """Slot index where ``key`` would be inserted to keep order.
         ``right=True`` → after equal keys."""
-        lo, hi = 0, page.nslots
-        ncmp = 0
-        while lo < hi:
-            mid = (lo + hi) // 2
-            ncmp += 1
-            mid_key = _entry_key(page.get_record(mid))
-            if (mid_key <= key) if right else (mid_key < key):
-                lo = mid + 1
-            else:
-                hi = mid
-        if self.cpu is not None and ncmp:
-            self.cpu.btree_compare(ncmp)
-        return lo
+        keys = _page_keys(page)
+        p = bisect_right(keys, key) if right else bisect_left(keys, key)
+        if self.cpu is not None and keys:
+            self.cpu.btree_compare(_replay_ncmp(len(keys), p))
+        return p
 
     def _child_for(self, page: Page, key: bytes) -> tuple[int, int]:
         """(slot index, child pageno) of the child covering ``key`` in an
@@ -170,7 +238,7 @@ class BTree:
         idx = self._bisect(page, key, right=True) - 1
         if idx < 0:
             idx = 0  # first entry is the -infinity separator
-        return idx, _internal_child(page.get_record(idx))
+        return idx, _internal_child(page.record_view(idx))
 
     def _descend(self, key: bytes) -> tuple[int, list[tuple[int, int]]]:
         """Find the leaf for ``key``; returns (leaf pageno, path) where
@@ -182,16 +250,43 @@ class BTree:
         span = obs.span("btree.descend", relation=self.relname) \
             if obs is not None and obs.tracer.enabled else NO_SPAN
         with span as sp:
+            hints = self.buffers.descent_hints
+            hint = hints.get(self._hkey)
+            fast = hint is not None
+            cpu = self.cpu
             pageno = self._root()
             path: list[tuple[int, int]] = []
+            walk: list[tuple[Page, int, int, int]] = []
+            level = 0
             while True:
                 page = self._page(pageno)
-                if self._is_leaf(page):
+                if page.flags & PAGE_BTREE_LEAF:
                     sp.set(depth=len(path) + 1)
+                    if fast and level and level == len(hint):
+                        BTree.descent_fastpath_hits += 1
+                    hints[self._hkey] = walk
                     return pageno, path
-                idx, child = self._child_for(page, key)
+                taken = False
+                if fast and level < len(hint):
+                    hpage, hver, hidx, hchild = hint[level]
+                    if hpage is page and hver == page.version:
+                        keys = _page_keys(page)
+                        n = len(keys)
+                        if keys[hidx] <= key and (hidx + 1 >= n
+                                                  or keys[hidx + 1] > key):
+                            # Same separator window as last time: the
+                            # full search would land at p = hidx + 1.
+                            if cpu is not None and n:
+                                cpu.btree_compare(_replay_ncmp(n, hidx + 1))
+                            idx, child = hidx, hchild
+                            taken = True
+                if not taken:
+                    fast = False
+                    idx, child = self._child_for(page, key)
                 path.append((pageno, idx))
+                walk.append((page, page.version, idx, child))
                 pageno = child
+                level += 1
 
     # -- insertion -----------------------------------------------------------------
 
@@ -210,8 +305,14 @@ class BTree:
                      key: bytes, entry: bytes, is_leaf: bool) -> None:
         page = self._page(pageno)
         if page.fits(len(entry)):
+            keys = _page_keys(page)
             idx = self._bisect(page, key, right=True)
             page.insert_record(idx, entry)
+            # The insert dropped the page's key cache; the new entry's
+            # key is exactly ``key``, so patch the list back in rather
+            # than re-decoding the whole node next descent.
+            keys.insert(idx, key)
+            page.cache = keys
             self._dirty(pageno)
             return
         # Split.
@@ -219,8 +320,11 @@ class BTree:
         # Re-fetch and insert into the correct half.
         target = pageno if key < sep_key else right_pageno
         tpage = self._page(target)
+        keys = _page_keys(tpage)
         idx = self._bisect(tpage, key, right=True)
         tpage.insert_record(idx, entry)
+        keys.insert(idx, key)
+        tpage.cache = keys
         self._dirty(target)
         # Propagate the separator upward.
         self._insert_separator(path, sep_key, right_pageno)
@@ -291,15 +395,17 @@ class BTree:
         ``lo``/``hi`` are encoded byte keys; None means unbounded."""
         start_key = lo if lo is not None else b""
         leafno, _path = self._descend(start_key)
+        unpack_klen = _KLEN.unpack_from
         while leafno:
             page = self._page(leafno)
             idx = self._bisect(page, start_key, right=False) if lo is not None else 0
             for slot in range(idx, page.nslots):
-                rec = page.get_record(slot)
-                key = _entry_key(rec)
+                rec = page.record_view(slot)
+                (klen,) = unpack_klen(rec, 0)
+                key = bytes(rec[2:2 + klen])
                 if hi is not None and key > hi:
                     return
-                yield key, _leaf_tid(rec)
+                yield key, TID.unpack(rec, 2 + klen)
             lo = None  # only bisect in the first leaf
             leafno = page.special
 

@@ -115,10 +115,19 @@ class BufferStats:
     prefetch_hits: int = 0
 
 
-@dataclass
 class _Frame:
-    page: Page
-    dirty: bool = False
+    """One resident page.  A plain ``__slots__`` class: frames are the
+    unit object of every buffer lookup, so they skip the dict that a
+    dataclass instance would carry.  ``prefetched`` marks a frame
+    admitted by read-ahead and not yet explicitly requested."""
+
+    __slots__ = ("page", "dirty", "prefetched")
+
+    def __init__(self, page: Page, dirty: bool = False,
+                 prefetched: bool = False) -> None:
+        self.page = page
+        self.dirty = dirty
+        self.prefetched = prefetched
 
 
 @dataclass
@@ -153,8 +162,10 @@ class BufferCache:
     #: sequential steps), so an access pattern that merely brushes two
     #: adjacent pages never over-fetches.
     _streaks: dict[tuple[str, str], int] = field(default_factory=dict, repr=False)
-    #: keys admitted by read-ahead and not yet explicitly requested.
-    _prefetched: set[BufferKey] = field(default_factory=set, repr=False)
+    #: (device, relation) -> the B-tree layer's cached previous descent
+    #: path (kept here so every BTree handle over one cache shares it
+    #: and relation drop/invalidate clears it).
+    descent_hints: dict = field(default_factory=dict, repr=False)
 
     # -- core operations ---------------------------------------------------
 
@@ -166,15 +177,17 @@ class BufferCache:
         key = (dev_name, relname, pageno)
         obs = self.obs
         streak = self._note_access((dev_name, relname), pageno)
-        frame = self._frames.get(key)
+        frames = self._frames
+        frame = frames.get(key)
         if frame is not None:
-            self.stats.hits += 1
+            stats = self.stats
+            stats.hits += 1
             if obs is not None:
                 obs.tx.charge("buffer_hits")
-            if key in self._prefetched:
-                self._prefetched.discard(key)
-                self.stats.prefetch_hits += 1
-            self._frames.move_to_end(key)
+            if frame.prefetched:
+                frame.prefetched = False
+                stats.prefetch_hits += 1
+            frames.move_to_end(key)
             return frame.page
         self.stats.misses += 1
         dev = self.switch.get(dev_name)
@@ -198,8 +211,7 @@ class BufferCache:
         self._admit(key, _Frame(page))
         for i, data in enumerate(datas[1:], start=1):
             pkey = (dev_name, relname, pageno + i)
-            self._admit(pkey, _Frame(Page(data)))
-            self._prefetched.add(pkey)
+            self._admit(pkey, _Frame(Page(data), prefetched=True))
         return page
 
     def _note_access(self, lk: tuple[str, str], pageno: int) -> int:
@@ -260,8 +272,8 @@ class BufferCache:
                 self.stats.hits += 1
                 if obs is not None:
                     obs.tx.charge("buffer_hits")
-                if key in self._prefetched:
-                    self._prefetched.discard(key)
+                if frame.prefetched:
+                    frame.prefetched = False
                     self.stats.prefetch_hits += 1
                 self._frames.move_to_end(key)
                 pages.append(frame.page)
@@ -342,7 +354,6 @@ class BufferCache:
             pages.discard(key[2])
             if not pages:
                 del self._rel_keys[key[:2]]
-        self._prefetched.discard(key)
 
     def _writeback(self, key: BufferKey, frame: _Frame) -> None:
         dev_name, relname, pageno = key
@@ -458,9 +469,9 @@ class BufferCache:
         self._frames.clear()
         self._rel_keys.clear()
         self._dirty_keys.clear()
-        self._prefetched.clear()
         self._last.clear()
         self._streaks.clear()
+        self.descent_hints.clear()
 
     def drop_relation(self, dev_name: str, relname: str) -> None:
         """Discard frames of a dropped relation without writeback."""
@@ -471,9 +482,9 @@ class BufferCache:
             key = (dev_name, relname, pageno)
             self._frames.pop(key, None)
             self._dirty_keys.discard(key)
-            self._prefetched.discard(key)
         self._last.pop((dev_name, relname), None)
         self._streaks.pop((dev_name, relname), None)
+        self.descent_hints.pop((dev_name, relname), None)
 
     # -- introspection -------------------------------------------------------------
 

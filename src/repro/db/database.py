@@ -75,6 +75,11 @@ class Database:
         #: the predicate rules system; None until first use so the
         #: table write path pays nothing when no rules exist.
         self._rules = None
+        #: outcome listeners ``fn(xid, committed)`` fired at the
+        #: visibility point of commit/abort/finish_prepared — in-memory
+        #: bookkeeping (file data versions, committed-size hints) hangs
+        #: off these so it moves in lock-step with what snapshots see.
+        self._commit_listeners: list = []
         self._closed = False
 
     # -- lifecycle -------------------------------------------------------
@@ -210,6 +215,17 @@ class Database:
 
     # -- transactions -------------------------------------------------------
 
+    def add_commit_listener(self, fn) -> None:
+        """Register ``fn(xid, committed)`` to run when a transaction's
+        outcome becomes visible (after the status write, before its
+        locks are released — so waiters resumed by the release already
+        see the listener's effects)."""
+        self._commit_listeners.append(fn)
+
+    def _notify_outcome(self, xid: int, committed: bool) -> None:
+        for fn in self._commit_listeners:
+            fn(xid, committed)
+
     def begin(self) -> Transaction:
         tx = self.tm.begin()
         tx._tm = self.tm  # lets catalog helpers build snapshots
@@ -229,6 +245,7 @@ class Database:
             if tx.wrote:
                 self.buffers.flush_all()
             self.tm.commit(tx)
+            self._notify_outcome(tx.xid, True)
             for dev_name, relname in getattr(tx, "_pending_drops", []):
                 self.buffers.drop_relation(dev_name, relname)
                 self.switch.get(dev_name).drop_relation(relname)
@@ -241,6 +258,7 @@ class Database:
         simply never visible again.  Nothing is undone physically."""
         try:
             self.tm.abort(tx)
+            self._notify_outcome(tx.xid, False)
             self.locks.release_all(tx)
         finally:
             self.obs.tx.end(tx.xid)
@@ -259,6 +277,7 @@ class Database:
         prepared transaction, then release its locks."""
         try:
             self.tm.resolve_prepared(tx, commit)
+            self._notify_outcome(tx.xid, commit)
             if commit:
                 for dev_name, relname in getattr(tx, "_pending_drops", []):
                     self.buffers.drop_relation(dev_name, relname)

@@ -21,10 +21,10 @@ from repro.db.snapshot import Snapshot
 from repro.db.transactions import Transaction
 from repro.db.tuples import (
     INVALID_XID,
+    TUPLE_HEADER_SIZE,
     Schema,
     pack_record,
     pack_xmax_patch,
-    record_payload,
     unpack_header,
 )
 from repro.errors import TableError
@@ -40,7 +40,8 @@ METRICS = (
 )
 
 TID_FMT = "<IH"
-TID_SIZE = struct.calcsize(TID_FMT)  # 6
+_TID_STRUCT = struct.Struct(TID_FMT)
+TID_SIZE = _TID_STRUCT.size  # 6
 
 
 @dataclass(frozen=True, order=True)
@@ -51,11 +52,11 @@ class TID:
     slot: int
 
     def pack(self) -> bytes:
-        return struct.pack(TID_FMT, self.pageno, self.slot)
+        return _TID_STRUCT.pack(self.pageno, self.slot)
 
     @classmethod
-    def unpack(cls, data: bytes, offset: int = 0) -> "TID":
-        pageno, slot = struct.unpack_from(TID_FMT, data, offset)
+    def unpack(cls, data, offset: int = 0) -> "TID":
+        pageno, slot = _TID_STRUCT.unpack_from(data, offset)
         return cls(pageno, slot)
 
 
@@ -148,7 +149,7 @@ class HeapFile:
         The record bytes stay in place — no-overwrite."""
         tx.require_active()
         page = self._page(tid.pageno)
-        record = page.get_record(tid.slot)
+        record = page.record_view(tid.slot)
         xmin, xmax = unpack_header(record)
         if xmax not in (INVALID_XID, tx.xid):
             # Under 2PL a conflicting committed deleter cannot coexist,
@@ -196,43 +197,44 @@ class HeapFile:
         page = self._page(tid.pageno)
         if tid.slot >= page.nslots:
             return None
-        record = page.get_record(tid.slot)
+        record = page.record_view(tid.slot)
         xmin, xmax = unpack_header(record)
         if not snapshot.is_visible(xmin, xmax):
             return None
         if self.cpu is not None:
             self.cpu.tuple_unpack()
-        return self.schema.unpack(record_payload(record))
+        return self.schema.unpack(record, TUPLE_HEADER_SIZE)
 
     def fetch_raw(self, tid: TID) -> tuple[int, int, tuple]:
         """(xmin, xmax, values) regardless of visibility — vacuum and
         tests use this."""
         page = self._page(tid.pageno)
-        record = page.get_record(tid.slot)
+        record = page.record_view(tid.slot)
         xmin, xmax = unpack_header(record)
-        return xmin, xmax, self.schema.unpack(record_payload(record))
+        return xmin, xmax, self.schema.unpack(record, TUPLE_HEADER_SIZE)
 
     def scan(self, snapshot: Snapshot) -> Iterator[tuple[TID, tuple]]:
         """Yield every visible record in physical order."""
         for pageno in range(self.npages()):
             page = self._page(pageno)
             for slot in range(page.nslots):
-                record = page.get_record(slot)
+                record = page.record_view(slot)
                 xmin, xmax = unpack_header(record)
                 if snapshot.is_visible(xmin, xmax):
                     if self.cpu is not None:
                         self.cpu.tuple_unpack()
-                    yield TID(pageno, slot), self.schema.unpack(record_payload(record))
+                    yield TID(pageno, slot), self.schema.unpack(
+                        record, TUPLE_HEADER_SIZE)
 
     def scan_all_versions(self) -> Iterator[tuple[TID, int, int, tuple]]:
         """Yield every record version: (tid, xmin, xmax, values)."""
         for pageno in range(self.npages()):
             page = self._page(pageno)
             for slot in range(page.nslots):
-                record = page.get_record(slot)
+                record = page.record_view(slot)
                 xmin, xmax = unpack_header(record)
                 yield TID(pageno, slot), xmin, xmax, \
-                    self.schema.unpack(record_payload(record))
+                    self.schema.unpack(record, TUPLE_HEADER_SIZE)
 
     def record_count_physical(self) -> int:
         """Total stored record versions (visible or not)."""

@@ -25,36 +25,38 @@ from typing import Iterable, Sequence
 _INT_BIAS = 1 << 63
 _TERMINATOR = b"\x00\x00"
 _ESCAPED_ZERO = b"\x00\xff"
+_BE_Q = struct.Struct(">Q")
+_BE_D = struct.Struct(">d")
 
 
 def encode_int(value: int) -> bytes:
     """Order-preserving encoding of a signed 64-bit integer."""
     if not (-_INT_BIAS <= value < _INT_BIAS):
         raise ValueError(f"integer out of 64-bit range: {value}")
-    return struct.pack(">Q", value + _INT_BIAS)
+    return _BE_Q.pack(value + _INT_BIAS)
 
 
 def decode_int(data: bytes) -> int:
-    return struct.unpack(">Q", data[:8])[0] - _INT_BIAS
+    return _BE_Q.unpack_from(data, 0)[0] - _INT_BIAS
 
 
 def encode_float(value: float) -> bytes:
     """Order-preserving encoding of an IEEE-754 double."""
-    bits = struct.unpack(">Q", struct.pack(">d", value))[0]
+    bits = _BE_Q.unpack(_BE_D.pack(value))[0]
     if bits & (1 << 63):
         bits = ~bits & 0xFFFFFFFFFFFFFFFF  # negative: flip all bits
     else:
         bits |= 1 << 63  # non-negative: flip sign bit
-    return struct.pack(">Q", bits)
+    return _BE_Q.pack(bits)
 
 
 def decode_float(data: bytes) -> float:
-    bits = struct.unpack(">Q", data[:8])[0]
+    bits = _BE_Q.unpack_from(data, 0)[0]
     if bits & (1 << 63):
         bits &= ~(1 << 63) & 0xFFFFFFFFFFFFFFFF
     else:
         bits = ~bits & 0xFFFFFFFFFFFFFFFF
-    return struct.unpack(">d", struct.pack(">Q", bits))[0]
+    return _BE_D.unpack(_BE_Q.pack(bits))[0]
 
 
 def encode_bytes(value: bytes) -> bytes:
@@ -64,30 +66,56 @@ def encode_bytes(value: bytes) -> bytes:
 
 def decode_bytes(data: bytes, offset: int = 0) -> tuple[bytes, int]:
     """Decode a string encoded by :func:`encode_bytes` starting at
-    ``offset``.  Returns ``(value, next_offset)``."""
-    out = bytearray()
+    ``offset``.  Returns ``(value, next_offset)``.
+
+    Zero-free runs are skipped in one ``index`` call instead of byte
+    by byte; most keys have no embedded zeros, so the common case is a
+    single scan plus one slice.
+    """
+    find = data.index
     i = offset
+    out = None
     while True:
-        b = data[i]
-        if b == 0:
-            nxt = data[i + 1]
-            if nxt == 0:
-                return bytes(out), i + 2
-            if nxt == 0xFF:
-                out.append(0)
-                i += 2
-                continue
-            raise ValueError("malformed escaped string key")
-        out.append(b)
-        i += 1
+        j = find(0, i)
+        nxt = data[j + 1]
+        if nxt == 0:
+            if out is None:
+                return bytes(data[i:j]), j + 2
+            out += data[i:j]
+            return bytes(out), j + 2
+        if nxt == 0xFF:
+            if out is None:
+                out = bytearray()
+            out += data[i:j]
+            out.append(0)
+            i = j + 2
+            continue
+        raise ValueError("malformed escaped string key")
 
 
 def encode_text(value: str) -> bytes:
     return encode_bytes(value.encode("utf-8"))
 
 
+_NONE_KEY = b"\x00\x01"
+
+_EXACT_DISPATCH = {
+    int: encode_int,
+    float: encode_float,
+    str: encode_text,
+    bytes: encode_bytes,
+    bool: lambda value: encode_int(int(value)),
+}
+
+
 def encode_value(value: object) -> bytes:
     """Encode a single Python value by runtime type."""
+    # Exact-type dispatch covers the hot cases (int chunk/file keys,
+    # str names) in one dict probe; subclasses and None fall through
+    # to the isinstance chain below.
+    enc = _EXACT_DISPATCH.get(type(value))
+    if enc is not None:
+        return enc(value)
     if isinstance(value, bool):
         return encode_int(int(value))
     if isinstance(value, int):

@@ -145,12 +145,13 @@ class Observability:
             _mirror_all(self.metrics, specs, stats, device=dev.name)
 
     def bind_btree(self) -> None:
-        """Expose B-tree descent counts.  The legacy class attributes
-        are process-global (benchmarks read them as absolutes), so the
-        registry snapshots them here and reports session-relative
-        deltas — the reset rule's escape hatch for process-lived
-        state."""
+        """Expose B-tree descent counts and the page-layer cache
+        counter.  The legacy class attributes are process-global
+        (benchmarks read them as absolutes), so the registry snapshots
+        them here and reports session-relative deltas — the reset
+        rule's escape hatch for process-lived state."""
         from repro.db import btree as btree_mod
+        from repro.db import page as page_mod
 
         cls = btree_mod.BTree
         base_total = cls.total_descents
@@ -168,6 +169,13 @@ class Observability:
             return out
 
         per_rel.mirror_series(_series)
+        base_fast = cls.descent_fastpath_hits
+        fast = self.metrics.register(btree_mod.METRICS[2])
+        fast.mirror(lambda: cls.descent_fastpath_hits - base_fast)
+        page_cls = page_mod.Page
+        base_inval = page_cls.header_cache_invalidations
+        inval = self.metrics.register(page_mod.METRICS[0])
+        inval.mirror(lambda: page_cls.header_cache_invalidations - base_inval)
 
     def bind_client(self, client) -> None:
         """Mirror a remote client's RPC counters and its network
@@ -188,9 +196,7 @@ class Observability:
         if self._m_dev_reads is not None:
             self._m_dev_reads.inc(1, device=device, relation=relation)
             self._m_dev_pages_read.inc(pages, device=device, relation=relation)
-        tx = self.tx
-        tx.charge("device_read_ops")
-        tx.charge("device_pages_read", pages)
+        self.tx.charge_io("device_read_ops", 1, "device_pages_read", pages)
 
     def device_write(self, device: str, relation: str, pages: int,
                      ops: int = 1) -> None:
@@ -198,9 +204,8 @@ class Observability:
             self._m_dev_writes.inc(ops, device=device, relation=relation)
             self._m_dev_pages_written.inc(pages, device=device,
                                           relation=relation)
-        tx = self.tx
-        tx.charge("device_write_ops", ops)
-        tx.charge("device_pages_written", pages)
+        self.tx.charge_io("device_write_ops", ops,
+                          "device_pages_written", pages)
 
     def heap_inserted(self, relation: str, n: int = 1) -> None:
         if self._m_heap_rows is not None:

@@ -84,6 +84,18 @@ class TxAccountant:
             return
         self._rows[xid][field] += amount
 
+    def charge_io(self, ops_field: str, ops: float,
+                  pages_field: str, pages: float) -> None:
+        """Book one I/O op-count/page-count pair in a single call — the
+        device hot path charges two fields per operation, and fusing
+        them halves the thread-local and row lookups."""
+        xid = getattr(self._local, "xid", None)
+        if xid is None:
+            return
+        row = self._rows[xid]
+        row[ops_field] += ops
+        row[pages_field] += pages
+
     def charge_xid(self, xid: int, field: str, amount: float = 1) -> None:
         """Book to an explicit xid — used where the payer is known
         directly (the lock manager knows which transaction waited)."""

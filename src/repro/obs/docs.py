@@ -18,6 +18,7 @@ from repro.obs.registry import MetricSpec
 
 #: every module that declares metrics, in the order sections render.
 OWNING_MODULES = (
+    "repro.db.page",
     "repro.db.buffer",
     "repro.db.btree",
     "repro.db.heap",

@@ -41,7 +41,7 @@ class _NoopSpan:
     def __enter__(self) -> "_NoopSpan":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, exc_type=None, exc=None, tb=None) -> None:
         return None
 
     def set(self, **attrs) -> None:

@@ -8,10 +8,12 @@ both contend on a shared hot file, so every interleaving is
 semantically valid and the lease invalidation path (one session's
 commit dropping the other's cached state) is exercised constantly.
 
-Contended hot-file overwrites all use one fixed length, like the PR-5
-concurrent workload: concurrent *different-length* overwrites of the
-same file have pre-existing open-time-size semantics independent of
-caching, and this suite pins the cache, not those.
+Contended hot-file overwrites use *variable* lengths, including
+zero-length ``write(b"")``: concurrent different-length overwrites of
+one file are exactly the open-time-size lost update of ROADMAP open
+item 4 (fixed by reconciling size under the write lock at flush), so
+the suite generates them again instead of sidestepping them with one
+fixed length.
 
 The scheduler-level test at the bottom drives cache-served reads
 directly (top-level ``Call`` requests are what the scheduler cache
@@ -46,11 +48,16 @@ def session_ops(session: int):
     own_file = st.integers(0, 2).map(lambda j: f"/s{session}/f{j}")
     sizes = st.integers(0, 20_000)
     versions = st.integers(1, 9)
+    # Contended overwrites vary in length — 0 (a pure write(b""))
+    # through past the seeded HOT_SIZE — so interleavings that used to
+    # trigger the open-time-size lost update are generated.
+    hot_sizes = st.one_of(st.just(0), st.integers(1, 3 * HOT_SIZE))
     return st.one_of(
         st.tuples(st.just("write"), own_file, sizes).map(
             lambda t: (t[0], t[1], bytes([65 + session]) * t[2])),
-        st.tuples(st.just("write"), st.just("/hot"), versions).map(
-            lambda t: (t[0], t[1], bytes([48 + t[2]]) * HOT_SIZE)),
+        st.tuples(st.just("write"), st.just("/hot"), versions,
+                  hot_sizes).map(
+            lambda t: (t[0], t[1], bytes([48 + t[2]]) * t[3])),
     )
 
 

@@ -1,0 +1,234 @@
+"""Property tests for the Page hot-path caches.
+
+The slotted page mirrors its packed header in plain attributes, keeps
+a lazily decoded slot directory, and exposes a scratch ``cache`` slot
+for higher layers.  These caches are only sound if every public
+mutator writes the mirror through to the buffer and patches or drops
+the decoded views — so a random operation sequence must keep three
+ground truths in agreement at every step:
+
+* the mirrored header attributes equal a raw ``struct`` decode of the
+  buffer's first 12 bytes (the pre-cache code path);
+* the decoded slot directory equals a raw ``struct`` decode of the
+  slot bytes;
+* the records equal a plain-Python model of the same operations, and
+  survive a round-trip through ``to_bytes`` into a fresh ``Page``.
+
+Every mutation must also bump ``version`` (the B-tree descent fast
+path revalidates on it) and clear ``cache`` (stale decoded keys are a
+correctness bug, not a slow path).
+"""
+
+from __future__ import annotations
+
+import struct
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+from repro.db.page import (  # noqa: E402
+    HEADER_FMT,
+    HEADER_SIZE,
+    SLOT_FMT,
+    SLOT_SIZE,
+    Page,
+)
+
+_RAW_HEADER = struct.Struct(HEADER_FMT)
+_RAW_SLOT = struct.Struct(SLOT_FMT)
+
+
+def _raw_header(page: Page) -> tuple[int, int, int, int, int]:
+    """Decode the header the way the pre-cache code did: a fresh
+    struct call against the raw buffer, no mirrored attributes."""
+    return _RAW_HEADER.unpack_from(bytes(page.buf), 0)
+
+
+def _raw_slots(page: Page) -> list[tuple[int, int]]:
+    nslots = _raw_header(page)[0]
+    raw = bytes(page.buf[HEADER_SIZE:HEADER_SIZE + nslots * SLOT_SIZE])
+    return list(_RAW_SLOT.iter_unpack(raw))
+
+
+def _check_coherent(page: Page, model: list[bytes]) -> None:
+    header = _raw_header(page)
+    mirrored = (page._nslots, page._lower, page._upper, page._flags,
+                page._special)
+    assert mirrored == header, "header mirror diverged from buffer"
+    assert page.nslots == header[0]
+    assert page.flags == header[3]
+    assert page.special == header[4]
+    assert page._slots_all() == _raw_slots(page)
+    assert page.records() == model
+    # Round-trip: a fresh Page over the serialized bytes (cold caches,
+    # everything decoded from scratch) sees the same state.
+    reloaded = Page(page.to_bytes())
+    assert _raw_header(reloaded) == header
+    assert reloaded.records() == model
+
+
+records = st.binary(min_size=0, max_size=120)
+
+ops = st.one_of(
+    st.tuples(st.just("add"), records),
+    st.tuples(st.just("insert"), st.integers(0, 8), records),
+    st.tuples(st.just("overwrite"), st.integers(0, 8), records),
+    st.tuples(st.just("patch"), st.integers(0, 8), st.integers(0, 8),
+              st.binary(min_size=0, max_size=16)),
+    st.tuples(st.just("delete"), st.integers(0, 8)),
+    st.tuples(st.just("flags"), st.integers(0, 0xFFFF)),
+    st.tuples(st.just("special"), st.integers(0, 2**32 - 1)),
+    st.tuples(st.just("compact")),
+    st.tuples(st.just("rewrite"), st.lists(records, max_size=4)),
+    st.tuples(st.just("read")),
+)
+
+SETTINGS = settings(max_examples=150, deadline=None, derandomize=True)
+
+
+@given(script=st.lists(ops, max_size=30))
+@SETTINGS
+def test_random_ops_keep_caches_coherent(script):
+    page = Page()
+    model: list[bytes] = []
+    _check_coherent(page, model)
+    for op in script:
+        before = page.version
+        kind = op[0]
+        mutated = True
+        if kind == "add":
+            if not page.fits(len(op[1])):
+                continue
+            page.add_record(op[1])
+            model.append(op[1])
+        elif kind == "insert":
+            idx = min(op[1], len(model))
+            if not page.fits(len(op[2])):
+                continue
+            page.insert_record(idx, op[2])
+            model.insert(idx, op[2])
+        elif kind == "overwrite":
+            if not model:
+                continue
+            idx = op[1] % len(model)
+            data = (op[2] * (len(model[idx]) // max(1, len(op[2])) + 1)
+                    )[:len(model[idx])] if op[2] else bytes(len(model[idx]))
+            page.overwrite_record(idx, data)
+            model[idx] = data
+        elif kind == "patch":
+            if not model:
+                continue
+            idx = op[1] % len(model)
+            rec = model[idx]
+            if not rec:
+                continue
+            off = op[2] % len(rec)
+            patch = op[3][:len(rec) - off]
+            page.patch_record(idx, off, patch)
+            model[idx] = rec[:off] + patch + rec[off + len(patch):]
+        elif kind == "delete":
+            if not model:
+                continue
+            idx = op[1] % len(model)
+            page.delete_slot(idx)
+            del model[idx]
+        elif kind == "flags":
+            page.flags = op[1]
+        elif kind == "special":
+            page.special = op[1]
+        elif kind == "compact":
+            page.compact()
+        elif kind == "rewrite":
+            total = sum(len(r) + SLOT_SIZE for r in op[1])
+            if total > 8192 - HEADER_SIZE:
+                continue
+            page.rewrite(list(op[1]))
+            model = list(op[1])
+        elif kind == "read":
+            # Pure reads must not perturb anything.
+            for i in range(page.nslots):
+                assert page.get_record(i) == bytes(page.record_view(i))
+            _ = page.free_space
+            mutated = False
+        if mutated:
+            assert page.version > before, f"{kind} did not bump version"
+        else:
+            assert page.version == before
+        _check_coherent(page, model)
+
+
+@given(script=st.lists(ops, max_size=20))
+@SETTINGS
+def test_every_mutation_clears_higher_layer_cache(script):
+    """Whatever a mutator does to its own decoded views, the
+    higher-layer ``cache`` payload (the B-tree's decoded keys) must
+    never survive a mutation — a stale key array would corrupt
+    descents silently."""
+    page = Page()
+    page.add_record(b"seed-record")
+    for op in script:
+        page.cache = sentinel = object()
+        before = page.version
+        kind = op[0]
+        try:
+            if kind == "add":
+                page.add_record(op[1])
+            elif kind == "insert":
+                page.insert_record(min(op[1], page.nslots), op[2])
+            elif kind == "overwrite":
+                idx = op[1] % page.nslots
+                length = len(page.get_record(idx))
+                page.overwrite_record(idx, b"\xaa" * length)
+            elif kind == "patch":
+                idx = op[1] % page.nslots
+                rec = page.get_record(idx)
+                if not rec:
+                    continue
+                page.patch_record(idx, op[2] % len(rec), b"\xbb")
+            elif kind == "delete":
+                page.delete_slot(op[1] % page.nslots)
+            elif kind == "flags":
+                page.flags = op[1]
+            elif kind == "special":
+                page.special = op[1]
+            elif kind == "compact":
+                page.compact()
+            elif kind == "rewrite":
+                page.rewrite(list(op[1]))
+            else:
+                page.cache = None
+                continue
+        except Exception:
+            page.cache = None
+            raise
+        assert page.version > before
+        if kind in ("flags", "special"):
+            # Header-only mutations leave records untouched; the key
+            # cache may legitimately survive them.
+            assert page.cache is sentinel or page.cache is None
+        else:
+            assert page.cache is not sentinel, (
+                f"{kind} left a stale higher-layer cache in place")
+        page.cache = None
+        if page.nslots == 0:
+            page.add_record(b"seed-record")
+
+
+def test_invalidation_counter_counts_dropped_views():
+    baseline = Page.header_cache_invalidations
+    page = Page()
+    page.add_record(b"a")
+    page.add_record(b"b")
+    _ = page._slots_all()          # materialize the decoded directory
+    page.compact()                 # drops it
+    assert Page.header_cache_invalidations == baseline + 1
+    page.cache = [b"decoded-keys"]
+    page.delete_slot(0)            # drops the higher-layer cache
+    assert Page.header_cache_invalidations == baseline + 2
+    # Nothing materialized: a rewrite has no view to drop.
+    page2 = Page()
+    page2.rewrite([b"x"])
+    assert Page.header_cache_invalidations == baseline + 2
