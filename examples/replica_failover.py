@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Replication walkthrough: a primary, two read replicas, a crash, a
+promotion — and not one committed byte lost.
+
+Run:  PYTHONPATH=src python examples/replica_failover.py
+
+See REPLICATION.md for the design (delta feed, cursors, promotion).
+"""
+
+import shutil
+import tempfile
+
+from repro.errors import ReplicaReadOnlyError
+from repro.replica import ReplicatedCluster
+
+
+def main() -> None:
+    workdir = tempfile.mkdtemp(prefix="inversion-replica-")
+    print(f"cluster directory: {workdir}")
+
+    # A primary plus two replicas seeded from a base backup.  Writers
+    # connect to the primary; readers are routed round-robin across the
+    # replicas (session-granular: a session sticks to its server).
+    cluster = ReplicatedCluster.create(workdir + "/cluster", nreplicas=2)
+    r0, r1 = cluster.replicas
+
+    # -- write on the primary, read at the replicas' horizon ----------
+    writer = cluster.writer_client()
+    writer.p_begin()
+    fd = writer.p_creat("/ledger")
+    writer.p_write(fd, b"balance: 100\n")
+    writer.p_close(fd)
+    writer.p_commit()
+    cluster.primary_db.tm.flush_commits()
+
+    print("replica horizons before sync:", r0.horizon(), r1.horizon())
+    print("entries applied by sync_all :", cluster.sync_all())
+    print("replica horizons after sync :", r0.horizon(), r1.horizon())
+
+    reader = cluster.reader_client()          # lands on a replica
+    fd = reader.p_open("/ledger", 0)
+    print("read from", reader.server.replica_id, ":",
+          reader.p_read(fd, 100).decode().strip())
+    reader.p_close(fd)
+
+    # Replicas refuse mutations — route writes to the primary.
+    try:
+        reader.p_creat("/not-here")
+    except ReplicaReadOnlyError as exc:
+        print("replica write refused       :", exc)
+    reader.close()
+
+    # -- more committed work, then the primary dies -------------------
+    writer.p_begin()
+    fd = writer.p_open("/ledger", 2)
+    writer.p_write(fd, b"balance: 250\n")
+    writer.p_close(fd)
+    writer.p_commit()
+    writer.close()
+    cluster.primary_db.tm.flush_commits()
+    # Replicas have NOT synced this yet — they are lagging on purpose.
+    print("lag at crash time (xids)    :",
+          cluster.feed.durable_horizon() - r0.horizon())
+
+    cluster.primary_db.simulate_crash()
+    print("primary crashed.")
+
+    # -- promote ------------------------------------------------------
+    # The feed's durable log survives the primary process, so promotion
+    # drains it first: the new primary recovers to exactly the state a
+    # local restart of the crashed primary would reach.  The surviving
+    # replica re-points at the new primary's feed and resumes from its
+    # cursor — no re-seed.
+    new_primary = cluster.promote()
+    print("promoted", new_primary.replica_id,
+          "| horizon", new_primary.horizon())
+
+    # The committed-but-unsynced write survived: the survivor catches
+    # up from the promoted feed and serves it.
+    cluster.sync_all()
+    reader = cluster.reader_client()          # the surviving replica
+    fd = reader.p_open("/ledger", 0)
+    print("read from", reader.server.replica_id, "after failover:",
+          reader.p_read(fd, 100).decode().strip())
+    reader.p_close(fd)
+    reader.close()
+
+    # -- life goes on: the new primary takes writes -------------------
+    writer = cluster.writer_client()
+    writer.p_begin()
+    fd = writer.p_open("/ledger", 2)
+    writer.p_write(fd, b"balance: 300\n")
+    writer.p_close(fd)
+    writer.p_commit()
+    writer.close()
+    cluster.primary_db.tm.flush_commits()
+    cluster.sync_all()
+
+    reader = cluster.reader_client()
+    fd = reader.p_open("/ledger", 0)
+    print("read after new history      :",
+          reader.p_read(fd, 100).decode().strip())
+    reader.p_close(fd)
+    reader.close()
+
+    cluster.close()
+    shutil.rmtree(workdir, ignore_errors=True)
+    print("done.")
+
+
+if __name__ == "__main__":
+    main()

@@ -175,6 +175,11 @@ class TransactionManager:
         #: queued (xid, record-text) pairs not yet durably appended.
         self._pending: list[tuple[int, str]] = []
         self._batch_deadline: float | None = None
+        #: highest committed xid whose C record is durable on the status
+        #: file — the horizon replication lag is measured against (a
+        #: queued group-commit record is visible but not yet durable, so
+        #: it does not advance this).
+        self._max_durable_committed = 0
         self._load()
 
     # -- persistence ----------------------------------------------------
@@ -286,6 +291,9 @@ class TransactionManager:
                 for xid, rec in parsed:
                     self._records[xid] = rec
                     max_seen = max(max_seen, xid)
+                    if (rec.state == COMMITTED
+                            and xid > self._max_durable_committed):
+                        self._max_durable_committed = xid
         hwm_raw = self._device.read_meta(XID_HWM_TAG)
         hwm = int(hwm_raw.decode("ascii")) if hwm_raw else FIRST_NORMAL_XID
         self._next_xid = max(max_seen + 1, hwm)
@@ -345,6 +353,9 @@ class TransactionManager:
             self.stats.max_group = ncommits
         if ncommits > 1:
             self.stats.group_batches += 1
+        for xid, text in records:
+            if text.startswith("C ") and xid > self._max_durable_committed:
+                self._max_durable_committed = xid
         # The head is already parked in the metadata region: top up the
         # hwm here when headroom runs low, keeping the force out of
         # begin()'s allocation path.
@@ -555,6 +566,51 @@ class TransactionManager:
         seam that lets the testkit interpose a fault-injecting proxy
         between the transaction manager and stable storage."""
         self._device = device
+
+    # -- replication ------------------------------------------------------
+
+    def durable_committed_xid(self) -> int:
+        """Highest committed xid whose record is durable on the status
+        file.  On a primary this is the horizon a replica can catch up
+        to; on a replica (whose status file is byte-shipped from the
+        primary) it is the published read horizon.  Local read-only
+        transactions never touch it — they append no record."""
+        with self._lock:
+            return self._max_durable_committed
+
+    def refresh(self) -> None:
+        """Re-read the status file from the device, replacing the
+        in-memory record map — the replica apply loop's visibility
+        advance (:mod:`repro.replica`).  Every commit/abort/prepare the
+        primary forced since the last refresh becomes visible here in
+        one step; duplicate records in the file (a replayed sync round
+        re-appends its status lines) collapse because records land in a
+        dict keyed by xid, which is what makes re-applying a feed round
+        idempotent."""
+        with self._lock:
+            if self._pending:
+                raise TransactionError(
+                    "refresh() with queued group-commit records — a "
+                    "replica never commits writers, so nothing should "
+                    "be pending")
+            live = {xid: rec for xid, rec in self._records.items()
+                    if rec.state == IN_PROGRESS}
+            old_next = self._next_xid
+            self._records = {BOOTSTRAP_XID: _TxRecord(COMMITTED, 0.0, 0.0)}
+            self._recovered_in_progress = 0
+            self._recovered_in_doubt = 0
+            self._torn_tail = 0
+            self._batch_deadline = None
+            self._max_durable_committed = 0
+            self._load()
+            # Local in-progress (read-only) transactions survive the
+            # reload; a shipped record for the same xid wins — it is the
+            # primary's, and a colliding local transaction wrote nothing
+            # so its visibility outcome is unchanged either way.
+            for xid, rec in live.items():
+                self._records.setdefault(xid, rec)
+            if old_next > self._next_xid:
+                self._next_xid = old_next
 
     def recovery_report(self) -> dict[str, int]:
         """Statistics from the last load — how many transactions in the

@@ -131,6 +131,14 @@ class DeviceManager(ABC):
     def read_meta(self, tag: str) -> bytes | None:
         """Read back a metadata blob, or None if absent."""
 
+    def meta_tags(self) -> list[str]:
+        """Every metadata tag with a stored blob, sorted.  Replication's
+        base backup (:mod:`repro.replica`) copies a device relation by
+        relation and meta by meta; managers that support being cloned
+        override this."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not enumerate metadata tags")
+
     def sync_append_meta(self, tag: str, data: bytes) -> None:
         """Durably append to a metadata blob (the transaction status
         file is append-only).  Default implementation read-modify-writes;

@@ -315,6 +315,9 @@ class SonyJukebox(DeviceManager):
     def read_meta(self, tag: str) -> bytes | None:
         return self._meta.get(tag)
 
+    def meta_tags(self) -> list[str]:
+        return sorted(self._meta)
+
     def close(self) -> None:
         self.flush()
 

@@ -339,6 +339,14 @@ class MagneticDisk(DeviceManager):
         with open(path, "rb") as f:
             return f.read()
 
+    def meta_tags(self) -> list[str]:
+        # Scan the backing directory rather than ``_meta_slots``: the
+        # slot map only learns a tag when it is written this session,
+        # while a base backup must see every blob on the medium.
+        return sorted(fname[:-len(".meta")]
+                      for fname in os.listdir(self.directory)
+                      if fname.endswith(".meta"))
+
     def close(self) -> None:
         self.flush()
         for f in self._files.values():

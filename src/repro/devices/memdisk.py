@@ -163,6 +163,9 @@ class MemDisk(DeviceManager):
     def read_meta(self, tag: str) -> bytes | None:
         return self._meta.get(tag)
 
+    def meta_tags(self) -> list[str]:
+        return sorted(self._meta)
+
     def close(self) -> None:
         """Nothing to release."""
 

@@ -180,6 +180,31 @@ class MigrationError(InversionError):
 
 
 # ---------------------------------------------------------------------------
+# Replication errors
+# ---------------------------------------------------------------------------
+
+
+class ReplicaError(ReproError):
+    """Base class for log-shipping replication errors
+    (:mod:`repro.replica`)."""
+
+
+class ReplicaReadOnlyError(ReplicaError):
+    """A mutating RPC (write, create, explicit transaction, query)
+    reached a read-only replica.  Writers must go to the primary;
+    :meth:`~repro.replica.server.ReplicaServer.promote` lifts the
+    restriction after a failover."""
+
+
+class FeedGapError(ReplicaError):
+    """The replica's cursor points below the feed's retained window
+    (the primary trimmed entries the replica never pulled, or the
+    replica is *ahead* of a freshly promoted primary).  Incremental
+    sync cannot proceed; the replica must be re-seeded with a new base
+    backup."""
+
+
+# ---------------------------------------------------------------------------
 # Multi-session scheduler errors
 # ---------------------------------------------------------------------------
 

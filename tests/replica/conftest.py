@@ -1,0 +1,41 @@
+"""Shared replication fixtures: a primary with a feed, seeded replicas."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core.filesystem import InversionFS
+from repro.core.library import InversionClient
+from repro.db.database import Database
+from repro.replica import PrimaryFeed, ReplicaServer, ReplStats
+
+
+@pytest.fixture
+def primary(tmp_path):
+    """(db, fs, feed) with the feed tap attached from the start."""
+    db = Database.create(str(tmp_path / "primary"))
+    fs = InversionFS.mkfs(db)
+    feed = PrimaryFeed.attach(db, stats=ReplStats())
+    yield db, fs, feed
+    db.close()
+
+
+@pytest.fixture
+def writer(primary):
+    _, fs, _ = primary
+    return InversionClient(fs)
+
+
+def make_replica(tmp_path, feed, name="replica0", **kwargs) -> ReplicaServer:
+    return ReplicaServer.seed(feed, os.path.join(str(tmp_path), name),
+                              name, **kwargs)
+
+
+def write_file(writer: InversionClient, path: str, data: bytes) -> None:
+    writer.p_begin()
+    fd = writer.p_creat(path)
+    writer.p_write(fd, data)
+    writer.p_close(fd)
+    writer.p_commit()

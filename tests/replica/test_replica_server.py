@@ -1,0 +1,179 @@
+"""Replica behaviour: seed, sync, read-only RPC, staleness, promotion."""
+
+import pytest
+
+from repro.core.checker import ConsistencyChecker
+from repro.errors import ReplicaError, ReplicaReadOnlyError
+from repro.testkit.oracle import harvest_state
+
+from tests.replica.conftest import make_replica, write_file
+
+
+def _read(server, path):
+    sid = server.connect()
+    try:
+        fd = server.dispatch(sid, "p_open", path, 0)
+        out = b""
+        while True:
+            chunk = server.dispatch(sid, "p_read", fd, 4096)
+            if not chunk:
+                break
+            out += chunk
+        server.dispatch(sid, "p_close", fd)
+        return out
+    finally:
+        server.disconnect(sid)
+
+
+def test_seed_serves_the_backup_snapshot(tmp_path, primary, writer):
+    db, fs, feed = primary
+    write_file(writer, "/a", b"seeded content")
+    replica = make_replica(tmp_path, feed)
+    assert replica.cursor == feed.next_seq
+    assert _read(replica, "/a") == b"seeded content"
+    assert harvest_state(replica.fs) == harvest_state(fs)
+    replica.close()
+
+
+def test_replica_rejects_mutations(tmp_path, primary, writer):
+    _, _, feed = primary
+    write_file(writer, "/a", b"x")
+    replica = make_replica(tmp_path, feed)
+    sid = replica.connect()
+    with pytest.raises(ReplicaReadOnlyError):
+        replica.dispatch(sid, "p_creat", "/nope")
+    with pytest.raises(ReplicaReadOnlyError):
+        replica.dispatch(sid, "p_unlink", "/a")
+    with pytest.raises(ReplicaReadOnlyError):
+        replica.dispatch(sid, "p_query", "retrieve (f.all)")
+    replica.disconnect(sid)
+    replica.close()
+
+
+def test_sync_applies_later_commits(tmp_path, primary, writer):
+    db, fs, feed = primary
+    write_file(writer, "/a", b"v1")
+    replica = make_replica(tmp_path, feed)
+    before = replica.horizon()
+    write_file(writer, "/b", b"second file")
+    db.tm.flush_commits()
+    applied = replica.sync()
+    assert applied > 0
+    assert replica.horizon() > before
+    assert _read(replica, "/b") == b"second file"
+    assert harvest_state(replica.fs) == harvest_state(fs)
+    assert replica.stats.rounds >= 1
+    assert replica.stats.bytes_shipped > 0
+    replica.close()
+
+
+def test_uncommitted_writes_stay_invisible(tmp_path, primary, writer):
+    """The feed ships raw device writes; visibility is decided by the
+    shipped status file, so an in-flight transaction's pages never show
+    up in a replica read."""
+    db, fs, feed = primary
+    write_file(writer, "/a", b"committed")
+    replica = make_replica(tmp_path, feed)
+    writer.p_begin()
+    fd = writer.p_creat("/inflight")
+    writer.p_write(fd, b"not yet committed")
+    writer.p_close(fd)
+    db.buffers.flush_all()  # push the uncommitted pages into the feed
+    replica.sync()
+    assert _read(replica, "/a") == b"committed"
+    sid = replica.connect()
+    assert "inflight" not in replica.dispatch(sid, "p_readdir", "/")
+    replica.disconnect(sid)
+    writer.p_commit()
+    db.tm.flush_commits()
+    replica.sync()
+    assert _read(replica, "/inflight") == b"not yet committed"
+    replica.close()
+
+
+def test_local_read_txn_survives_sync(tmp_path, primary, writer):
+    """A replica-local read transaction spans a catch-up sync: refresh
+    preserves in-progress records, so commit still succeeds, and the
+    shipped status file is untouched (read-only txns append nothing)."""
+    db, fs, feed = primary
+    write_file(writer, "/a", b"v1")
+    replica = make_replica(tmp_path, feed)
+    sid = replica.connect()
+    replica.dispatch(sid, "p_begin")
+    fd = replica.dispatch(sid, "p_open", "/a", 0)
+    assert replica.dispatch(sid, "p_read", fd, 100) == b"v1"
+    write_file(writer, "/b", b"concurrent")
+    db.tm.flush_commits()
+    replica.sync()
+    replica.dispatch(sid, "p_close", fd)
+    replica.dispatch(sid, "p_commit")
+    replica.disconnect(sid)
+    assert harvest_state(replica.fs) == harvest_state(fs)
+    assert ConsistencyChecker(replica.fs).check_all().clean
+    replica.close()
+
+
+def test_bounded_staleness_forces_catch_up(tmp_path, primary, writer):
+    db, _, feed = primary
+    write_file(writer, "/a", b"v1")
+    replica = make_replica(tmp_path, feed, staleness_xids=0)
+    write_file(writer, "/b", b"fresh")
+    db.tm.flush_commits()
+    assert feed.durable_horizon() > replica.horizon()
+    assert _read(replica, "/b") == b"fresh"  # the read itself syncs
+    assert replica.stats.staleness_syncs >= 1
+    assert replica.horizon() == feed.durable_horizon()
+    replica.close()
+
+
+def test_promotion_lifts_read_only_and_followers_rebind(tmp_path, primary,
+                                                        writer):
+    db, fs, feed = primary
+    write_file(writer, "/a", b"before failover")
+    r0 = make_replica(tmp_path, feed, "replica0")
+    r1 = make_replica(tmp_path, feed, "replica1")
+    write_file(writer, "/b", b"backlog")
+    db.tm.flush_commits()
+    r0.sync()  # r0 is ahead; r1 is stale at failover time
+    expected = harvest_state(fs)
+    db.simulate_crash()
+
+    new_feed = r0.promote()
+    assert not r0.read_only
+    assert r0.stats.promotions == 1
+    with pytest.raises(ReplicaError):
+        r0.promote()  # already primary
+    assert harvest_state(r0.fs) == expected
+
+    # The stale follower resumes from its cursor on the new feed.
+    r1.rebind_feed(new_feed)
+    r1.sync()
+    assert harvest_state(r1.fs) == expected
+
+    # The new primary takes writes; the follower ships them.
+    sid = r0.connect()
+    fd = r0.dispatch(sid, "p_creat", "/after")
+    r0.dispatch(sid, "p_write", fd, b"new history")
+    r0.dispatch(sid, "p_close", fd)
+    r0.disconnect(sid)
+    r0.db.tm.flush_commits()
+    r1.sync()
+    assert _read(r1, "/after") == b"new history"
+    assert harvest_state(r1.fs) == harvest_state(r0.fs)
+    r0.close()
+    r1.close()
+
+
+def test_repl_metrics_are_registered_on_every_member(tmp_path, primary,
+                                                     writer):
+    db, _, feed = primary
+    write_file(writer, "/a", b"x")
+    replica = make_replica(tmp_path, feed)
+    write_file(writer, "/b", b"y")
+    db.tm.flush_commits()
+    replica.sync()
+    registry = replica.db.obs.metrics
+    assert registry.value("repl.rounds") == replica.stats.rounds
+    assert registry.value("repl.bytes_shipped") == replica.stats.bytes_shipped
+    assert registry.value("repl.cursor_saves") >= 1
+    replica.close()

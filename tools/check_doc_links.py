@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Fail on dead intra-repo links in the markdown docs.
+
+Scans every tracked ``*.md`` file (or the paths given on the command
+line) for inline markdown links and bare file references, resolves the
+repo-relative targets, and exits non-zero listing every target that
+does not exist.  External links (http/https/mailto) and pure anchors
+are ignored; ``path#anchor`` links are checked for the path only.
+
+Run:  python tools/check_doc_links.py [files...]
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: [text](target) — the markdown inline link form.
+LINK = re.compile(r"\[[^\]^\[]*\]\(([^)\s]+)\)")
+
+#: fenced-code regions are commands and examples, not links.
+FENCE = re.compile(r"^(```|~~~)")
+
+EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+
+def tracked_markdown() -> list[str]:
+    out = subprocess.run(["git", "ls-files", "*.md", "**/*.md"],
+                         cwd=REPO, capture_output=True, text=True,
+                         check=True).stdout
+    return sorted(set(out.split()))
+
+
+def targets_in(path: str):
+    """Yield (lineno, raw_target) for every intra-repo link."""
+    in_fence = False
+    with open(os.path.join(REPO, path), encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            if FENCE.match(line.strip()):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for match in LINK.finditer(line):
+                target = match.group(1)
+                if target.startswith(EXTERNAL) or target.startswith("#"):
+                    continue
+                yield lineno, target
+
+
+def main(argv: list[str]) -> int:
+    files = argv or tracked_markdown()
+    dead = []
+    for md in files:
+        base = os.path.dirname(os.path.join(REPO, md))
+        for lineno, target in targets_in(md):
+            rel = target.split("#", 1)[0]
+            if not rel:
+                continue
+            resolved = os.path.normpath(os.path.join(base, rel))
+            if not os.path.exists(resolved):
+                dead.append(f"{md}:{lineno}: dead link -> {target}")
+    if dead:
+        print("\n".join(dead))
+        print(f"\n{len(dead)} dead intra-repo link(s)", file=sys.stderr)
+        return 1
+    print(f"checked {len(files)} markdown file(s): all intra-repo links "
+          f"resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
