@@ -1,0 +1,73 @@
+"""Transactional-VFS acceptance: deterministic counter bounds.
+
+The vfsio experiment is exact by construction (simulated clock, page
+and message counters), so the headline claims are asserted literally:
+a by-reference reflink of the 8 MB source materializes zero chunks and
+beats the physical copy by at least 10x in simulated time, and the
+paged listing of the 512-file directory returns exactly the full
+listing in bounded replies.  The run also emits ``BENCH_vfsio.json``
+at the repo root, which CI archives and diffs against a double run for
+determinism.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.bench.vfsio import (MIN_SPEEDUP, NAMESPACE_FILES, NAMESPACE_PAGE,
+                               STRUCT_CHUNKS, run_vfsio)
+
+BENCH_PATH = os.path.join(os.path.dirname(__file__), "..",
+                          "BENCH_vfsio.json")
+
+
+@pytest.fixture(scope="module")
+def vfsio() -> dict:
+    results = run_vfsio()
+    with open(BENCH_PATH, "w", encoding="utf-8") as f:
+        json.dump(results, f, indent=2)
+        f.write("\n")
+    return results
+
+
+def test_reflink_moves_zero_data(vfsio):
+    """The by-reference copy is pointer rows only: every chunk
+    referenced, none materialized, and the device wrote a sliver of
+    what the physical copy wrote."""
+    s = vfsio["structural"]
+    assert s["reflink"]["chunks_referenced"] == STRUCT_CHUNKS, s
+    assert s["reflink"]["chunks_materialized"] == 0, s
+    assert s["reflink"]["pages_written"] <= s["physical_copy"][
+        "pages_written"] / 20, s
+
+
+def test_reflink_speedup_at_least_10x(vfsio):
+    assert vfsio["structural"]["speedup"] >= MIN_SPEEDUP, (
+        vfsio["structural"])
+
+
+def test_concat_and_slice_stay_by_reference(vfsio):
+    s = vfsio["structural"]
+    assert s["concat"]["chunks_referenced"] == 2 * STRUCT_CHUNKS, s
+    assert s["concat"]["chunks_materialized"] == 0, s
+    assert s["slice"]["chunks_referenced"] == STRUCT_CHUNKS // 2, s
+    assert s["slice"]["chunks_materialized"] == 1, s  # the partial tail
+
+
+def test_paged_listing_matches_full_within_bound(vfsio):
+    n = vfsio["namespace"]
+    assert n["full"]["names"] == NAMESPACE_FILES, n
+    assert n["paged"]["names"] == NAMESPACE_FILES, n
+    assert n["paged"]["max_reply_names"] <= NAMESPACE_PAGE, n
+    assert n["paged"]["pages"] == -(-NAMESPACE_FILES // NAMESPACE_PAGE), n
+
+
+def test_committed_artifact_matches_fresh_run(vfsio):
+    """BENCH_vfsio.json at the repo root is exactly what a fresh run
+    produces (the fixture just rewrote it; a drift here means the file
+    was hand-edited or the workload changed without regenerating)."""
+    with open(BENCH_PATH, encoding="utf-8") as f:
+        assert json.load(f) == vfsio

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.core.chunks import chunk_table_name
+from repro.core.chunks import REF_PAYLOAD, chunk_table_name
 from repro.core.constants import CHUNK_SIZE
 from repro.db.snapshot import BootstrapSnapshot
 from repro.errors import InversionError
@@ -31,7 +31,9 @@ class Corruption:
     fileid: int
     chunkno: int | None
     kind: str       # 'misdirected', 'oversize', 'negative-chunkno',
-                    # 'unreadable', 'size-mismatch', 'duplicate-chunk'
+                    # 'unreadable', 'size-mismatch', 'duplicate-chunk',
+                    # 'bad-reference', 'dangling-reference',
+                    # 'unregistered-reference'
     detail: str
 
 
@@ -77,6 +79,14 @@ class ConsistencyChecker:
         for _tid, _xmin, _xmax, values in versions:
             chunkno, selfid, data = values
             report.chunks_checked += 1
+            if selfid < 0:
+                # A by-reference row: its self-identification is the
+                # pointer payload itself (source fileid + chunkno +
+                # version xmin).  Validate the encoding here; whether
+                # the pinned version still exists is the job of
+                # :func:`repro.vfs.extents.shared_extents`.
+                self._check_reference(fileid, chunkno, selfid, data, report)
+                continue
             if selfid != fileid:
                 report.corruptions.append(Corruption(
                     fileid, chunkno, "misdirected",
@@ -115,6 +125,34 @@ class ConsistencyChecker:
                     f"size {att.size} implies chunk {last}, which has no "
                     f"visible version"))
         return report
+
+    def _check_reference(self, fileid: int, chunkno: int, selfid: int,
+                         data: bytes, report: CheckReport) -> None:
+        """Structural validation of one by-reference row."""
+        if chunkno < 0:
+            report.corruptions.append(Corruption(
+                fileid, chunkno, "negative-chunkno",
+                "chunk number below zero"))
+        if len(data) != REF_PAYLOAD.size:
+            report.corruptions.append(Corruption(
+                fileid, chunkno, "bad-reference",
+                f"reference payload is {len(data)} bytes, "
+                f"expected {REF_PAYLOAD.size}"))
+            return
+        src_fid, src_chunkno, _src_xmin = REF_PAYLOAD.unpack(data)
+        if src_fid != -selfid:
+            report.corruptions.append(Corruption(
+                fileid, chunkno, "bad-reference",
+                f"selfid names source {-selfid}, payload names "
+                f"{src_fid}"))
+        if src_fid == fileid:
+            report.corruptions.append(Corruption(
+                fileid, chunkno, "bad-reference",
+                "self-referential chunk pointer"))
+        if src_chunkno < 0:
+            report.corruptions.append(Corruption(
+                fileid, chunkno, "bad-reference",
+                f"negative source chunk number {src_chunkno}"))
 
     def visible_chunk_count(self, fileid: int) -> int:
         """Number of distinct chunk numbers with a visible version —

@@ -23,6 +23,8 @@ chunk order on flush.
 
 from __future__ import annotations
 
+import struct
+
 from repro.core.constants import CHUNK_SIZE, COALESCE_CHUNK_LIMIT, MAX_CHUNKNO
 from repro.db.heap import TID
 from repro.db.snapshot import Snapshot
@@ -54,6 +56,33 @@ CHUNK_SCHEMA = Schema([
 ])
 CHUNK_INDEXES = (("chunkno",),)
 
+#: by-reference chunk payload: (source fileid, source chunkno, source
+#: version xmin).  A reference row stores ``-src_fileid`` in the selfid
+#: column — a negative self identifier is impossible for a literal chunk
+#: (oids are positive), so it doubles as the row discriminator without
+#: touching the schema.
+REF_PAYLOAD = struct.Struct("<qqq")
+REF_CHAIN_LIMIT = 8
+
+
+def encode_ref(src_fileid: int, src_chunkno: int, src_xmin: int) -> bytes:
+    """Pack a by-reference chunk payload.  Pinning by the source
+    version's ``xmin`` names one exact chunk version: immune to
+    commit-time ties under group commit and valid even for a source
+    written by the *same* transaction doing the clone."""
+    return REF_PAYLOAD.pack(src_fileid, src_chunkno, src_xmin)
+
+
+def decode_ref(payload: bytes) -> tuple[int, int, int]:
+    """Unpack a by-reference payload → (fileid, chunkno, xmin)."""
+    return REF_PAYLOAD.unpack(payload)
+
+
+def is_reference_row(row) -> bool:
+    """True when a chunk-table row is a by-reference pointer rather
+    than a literal chunk."""
+    return row[1] < 0
+
 
 def chunk_table_name(fileid: int) -> str:
     """File identifier → data table name (``inv23114`` for 23114)."""
@@ -80,6 +109,10 @@ class ChunkStore:
         #: coalescing buffer's *auto*-flushes revalidate too, not just
         #: the final explicit flush.
         self.stale = False
+        #: source-table handles cached per store while resolving
+        #: by-reference rows (a reflinked file read touches the same
+        #: source table for every chunk).
+        self._src_tables: dict[int, object] = {}
 
     def _find_chunk(self, chunkno: int, snapshot: Snapshot,
                     tx: Transaction | None):
@@ -95,6 +128,81 @@ class ChunkStore:
             if row[0] == chunkno:
                 return tid, row
         return None
+
+    # -- by-reference resolution ------------------------------------------
+
+    def _row_bytes(self, row, tx: Transaction | None = None) -> bytes:
+        """A chunk row's bytes: the literal payload, or — for a
+        by-reference row — the bytes of the pinned source version."""
+        if row[1] >= 0:
+            return row[2]
+        return self._resolve_ref(row[2], tx)
+
+    def _src_table(self, fileid: int, tx: Transaction | None):
+        cached = self._src_tables.get(fileid)
+        if cached is None:
+            name = chunk_table_name(fileid)
+            if not self.db.table_exists(name, tx):
+                return None
+            cached = self.db.table(name, tx)
+            self._src_tables[fileid] = cached
+        return cached
+
+    def _resolve_ref(self, payload: bytes, tx: Transaction | None,
+                     depth: int = 0) -> bytes:
+        """Bytes of the exact source chunk version a reference pins.
+
+        The pin names a version, not a snapshot: the lookup matches on
+        the stored ``xmin`` and deliberately bypasses visibility — the
+        pinned version may long since have been superseded in the
+        source file, in which case vacuum has moved it to the archive
+        relation (``a_inv<fid>``), where the original transaction
+        stamps are preserved and the same match applies."""
+        if depth > REF_CHAIN_LIMIT:
+            raise TableError("chunk reference chain too deep")
+        try:
+            sfid, schunk, sxmin = REF_PAYLOAD.unpack(payload)
+        except struct.error:
+            raise TableError(
+                f"malformed chunk reference in inv{self.fileid}") from None
+        src = self._src_table(sfid, tx)
+        if src is not None:
+            found = src._find_index(("chunkno",))
+            if found is not None:
+                _info, btree = found
+                for tid in btree.search((schunk,)):
+                    xmin, _xmax, values = src.heap.fetch_raw(tid)
+                    if xmin == sxmin:
+                        return self._ref_value(values, tx, depth)
+            else:
+                for _tid, xmin, _xmax, values in src.heap.scan_all_versions():
+                    if values[0] == schunk and xmin == sxmin:
+                        return self._ref_value(values, tx, depth)
+        pair = self.db.archive_index_for(chunk_table_name(sfid), ("chunkno",))
+        if pair is not None:
+            aheap, abtree = pair
+            for tid in abtree.search((schunk,)):
+                xmin, _xmax, values = aheap.fetch_raw(tid)
+                if xmin == sxmin:
+                    return self._ref_value(values, tx, depth)
+        else:
+            aheap = self.db.archive_heap_for(chunk_table_name(sfid))
+            if aheap is not None:
+                for _tid, xmin, _xmax, values in aheap.scan_all_versions():
+                    if values[0] == schunk and xmin == sxmin:
+                        return self._ref_value(values, tx, depth)
+        raise TableError(
+            f"dangling chunk reference: inv{self.fileid} points at "
+            f"inv{sfid} chunk {schunk} xmin {sxmin}, which no longer "
+            f"exists in the live table or its archive")
+
+    def _ref_value(self, values, tx: Transaction | None, depth: int) -> bytes:
+        # Chains are flattened at clone time, so a reference resolving
+        # to another reference means the source itself was a clone made
+        # by older code or by hand — follow it defensively.
+        if values[1] < 0:
+            return self._resolve_ref(values[2], tx, depth + 1)
+        return values[2]
 
     # -- DDL --------------------------------------------------------------
 
@@ -121,7 +229,7 @@ class ChunkStore:
         if buffered is not None:
             return buffered
         found = self._find_chunk(chunkno, snapshot, tx)
-        return found[1][2] if found is not None else b""
+        return self._row_bytes(found[1], tx) if found is not None else b""
 
     def read_range(self, lo: int, hi: int, snapshot: Snapshot,
                    tx: Transaction | None = None) -> dict[int, bytes]:
@@ -143,13 +251,13 @@ class ChunkStore:
             if self._indexed:
                 for _tid, row in self.table.index_range_newest(
                         ("chunkno",), (lo,), (hi,), snapshot, tx):
-                    chunks[row[0]] = row[2]
+                    chunks[row[0]] = self._row_bytes(row, tx)
             else:
                 for _tid, row in self.table.scan(snapshot, tx):
-                    if lo <= row[0] <= hi:
+                    if lo <= row[0] <= hi and row[0] not in chunks:
                         # scan yields live versions then archive; keep the
                         # first visible one, matching _find_chunk.
-                        chunks.setdefault(row[0], row[2])
+                        chunks[row[0]] = self._row_bytes(row, tx)
             for chunkno, data in self._dirty.items():
                 if lo <= chunkno <= hi:
                     chunks[chunkno] = data
@@ -241,7 +349,8 @@ class ChunkStore:
             if spans and spans[0][0] == 0 and spans[0][1] >= need:
                 continue
             found = self._find_chunk(chunkno, snapshot, tx)
-            current = found[1][2] if found is not None else b""
+            current = self._row_bytes(found[1], tx) if found is not None \
+                else b""
             base = bytearray(current)
             if len(base) < len(data):
                 base.extend(bytes(len(data) - len(base)))
@@ -309,6 +418,83 @@ class ChunkStore:
         """Drop buffered writes (abort path)."""
         self._dirty.clear()
         self._spans.clear()
+
+    # -- by-reference structural ops --------------------------------------
+
+    def clone_range(self, tx: Transaction, src_store: "ChunkStore",
+                    src_lo: int, src_hi: int, dst_lo: int = 0) -> int:
+        """Clone the source's visible chunks in ``[src_lo, src_hi]``
+        (inclusive) into this table starting at ``dst_lo`` — by
+        reference.  Each cloned chunk costs one pointer row (a 24-byte
+        payload naming the exact source version); no chunk data moves.
+        Holes in the source stay holes.  Returns the number of chunks
+        referenced.
+
+        Cloning a row that is itself a reference copies the pointer
+        verbatim (chunkno remapped), so chains never grow: every
+        reference points at a literal version.  Copy-on-write falls out
+        of the no-overwrite rule — a later write to a cloned chunk
+        supersedes the pointer row with a literal one, diverging the
+        two files without touching the source."""
+        if src_hi < src_lo:
+            return 0
+        if dst_lo + (src_hi - src_lo) > MAX_CHUNKNO:
+            raise FileTooLargeError(
+                "clone target range exceeds the maximum file size")
+        self.table.lock_exclusive(tx)
+        snapshot = self.db.snapshot(tx)
+        src = src_store
+        pairs: list[tuple] = []
+        if src._indexed:
+            pairs = list(src.table.index_range_newest(
+                ("chunkno",), (src_lo,), (src_hi,), snapshot, tx))
+        else:
+            seen: dict[int, tuple] = {}
+            for tid, row in src.table.scan(snapshot, tx):
+                if src_lo <= row[0] <= src_hi:
+                    seen.setdefault(row[0], (tid, row))
+            pairs = [seen[c] for c in sorted(seen)]
+        batch: list[tuple] = []
+        for tid, row in pairs:
+            dst_chunkno = row[0] - src_lo + dst_lo
+            if row[1] < 0:
+                batch.append((dst_chunkno, row[1], row[2]))
+            else:
+                xmin = src.table.heap.fetch_raw(tid)[0]
+                batch.append((dst_chunkno, -src.fileid,
+                              encode_ref(src.fileid, row[0], xmin)))
+        if not batch:
+            return 0
+        batch.sort(key=lambda r: r[0])
+        self.table.insert_many(tx, batch)
+        obs = self.db.obs
+        if obs is not None:
+            obs.chunk_flush(len(batch))
+        return len(batch)
+
+    def delete_from(self, tx: Transaction, first_chunkno: int) -> int:
+        """Delete every visible chunk row numbered ``first_chunkno`` or
+        higher (the truncate tail).  History is kept — the deleted
+        versions remain readable through time travel, exactly like
+        unlink."""
+        self.table.lock_exclusive(tx)
+        snapshot = self.db.snapshot(tx)
+        victims: list[TID] = []
+        if self._indexed:
+            for tid, _row in self.table.index_range_newest(
+                    ("chunkno",), (first_chunkno,), None, snapshot, tx):
+                victims.append(tid)
+        else:
+            for tid, row in self.table.scan(snapshot, tx):
+                if row[0] >= first_chunkno:
+                    victims.append(tid)
+        for tid in victims:
+            self.table.delete(tx, tid)
+        for chunkno in list(self._dirty):
+            if chunkno >= first_chunkno:
+                del self._dirty[chunkno]
+                self._spans.pop(chunkno, None)
+        return len(victims)
 
     # -- whole-file helpers -------------------------------------------------------------
 

@@ -541,9 +541,32 @@ class RemoteInversionClient:
             return att
         return self._call("p_stat", path, timestamp)
 
-    def p_readdir(self, path, timestamp=None):
+    def p_readdir(self, path, timestamp=None, cookie=None, limit=None):
         self._flush_writes()
-        return self._call("p_readdir", path, timestamp)
+        if cookie is None and limit is None:
+            return self._call("p_readdir", path, timestamp)
+        return self._call("p_readdir", path, timestamp,
+                          cookie=cookie, limit=limit)
+
+    def p_reflink(self, src, dst, device=None):
+        self._flush_writes()
+        self._drop_buffers()
+        return self._call("p_reflink", src, dst, device=device)
+
+    def p_concat(self, srcs, dst, device=None):
+        self._flush_writes()
+        self._drop_buffers()
+        return self._call("p_concat", list(srcs), dst, device=device)
+
+    def p_slice(self, src, lo, hi, dst, device=None):
+        self._flush_writes()
+        self._drop_buffers()
+        return self._call("p_slice", src, lo, hi, dst, device=device)
+
+    def p_truncate(self, path, size):
+        self._flush_writes()
+        self._drop_buffers()
+        return self._call("p_truncate", path, size)
 
     def p_query(self, text):
         self._flush_writes()

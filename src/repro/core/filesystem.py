@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from repro.core.chunks import ChunkStore, chunk_table_name
 from repro.core.constants import (
+    CHUNK_SIZE,
     O_CREAT,
     O_RDONLY,
     O_RDWR,
@@ -26,8 +27,10 @@ from repro.core.fileatt import FileAtt, FileAttributes
 from repro.core.files import FileHandle
 from repro.core.naming import Namespace, basename_dirname
 from repro.db.database import Database
-from repro.db.snapshot import AsOfSnapshot, Snapshot
+from repro.db.snapshot import AsOfSnapshot, BootstrapSnapshot, Snapshot
+from repro.db.locks import EXCLUSIVE, SHARED
 from repro.db.transactions import Transaction
+from repro.db.tuples import Column, Schema
 from repro.errors import (
     DirectoryNotEmptyError,
     FileExistsError_,
@@ -35,7 +38,25 @@ from repro.errors import (
     IsADirectoryError_,
     NotADirectoryError_,
     ReadOnlyFileError,
+    StructuralOpError,
 )
+
+
+#: registry of by-reference clones: one row per clone op, recording
+#: that chunk versions of ``src`` in ``[src_lo, src_hi]`` are reachable
+#: from ``dst``.  Created lazily by the first clone in a database (so
+#: databases that never reflink stay bit-identical to older layouts);
+#: consulted by the vacuum cleaner before *discarding* history
+#: (``keep_history=False``) — a pinned table falls back to archiving,
+#: which keeps every referenced version resolvable forever.
+VFSREF_TABLE = "vfsref"
+VFSREF_SCHEMA = Schema([
+    Column("src", "int8"),
+    Column("dst", "int8"),
+    Column("src_lo", "int4"),
+    Column("src_hi", "int4"),
+])
+VFSREF_INDEXES = (("src",),)
 
 
 class InversionFS:
@@ -72,6 +93,12 @@ class InversionFS:
         if add is not None:
             add(self._on_tx_outcome)
         self._register_metadata_functions()
+        # Arm the vacuum guard (a free attribute set — the registry
+        # probe happens inside the guard, so mounts that never vacuum
+        # with keep_history=False pay nothing and stay cycle-identical
+        # to older layouts).  Covers reattached databases whose clones
+        # were registered in an earlier session.
+        self._install_pin_check()
 
     def note_data_write(self, fileid: int, tx: Transaction) -> None:
         """Queue a data-version bump for ``fileid`` under ``tx`` (every
@@ -372,6 +399,239 @@ class InversionFS:
             self.lease_manager.bump_name(old_path, tx)
             self.lease_manager.bump_name(new_path, tx)
 
+    # -- by-reference structural ops ----------------------------------------------------
+
+    def _flush_open_handles(self, tx: Transaction,
+                            fileid: int | None = None) -> None:
+        """Flush buffered writes of open handles under ``tx`` so a
+        structural op sees (and clones) what the transaction already
+        wrote instead of racing its own coalescing buffers."""
+        for handle in list(self._handles):
+            if handle.tx is tx and handle._open and handle._wrote:
+                if fileid is None or handle.fileid == fileid:
+                    handle.flush()
+
+    def _install_pin_check(self) -> None:
+        if getattr(self.db, "history_pin_check", None) is None:
+            self.db.history_pin_check = self._history_pinned
+
+    def _history_pinned(self, table_name: str) -> bool:
+        """True when chunk versions of ``table_name`` may be reachable
+        by reference from another file — the vacuum cleaner then
+        archives superseded versions even when asked to discard them
+        (``keep_history=False``), so no reference ever dangles."""
+        if not table_name.startswith("inv"):
+            return False
+        try:
+            fileid = int(table_name[3:])
+        except ValueError:
+            return False
+        if not self.db.table_exists(VFSREF_TABLE):
+            return False
+        table = self.db.table(VFSREF_TABLE)
+        snapshot = BootstrapSnapshot(self.db.tm)
+        for _tid, _row in table.index_eq(("src",), (fileid,), snapshot):
+            return True
+        return False
+
+    def _register_clone(self, tx: Transaction, src_fileid: int,
+                        dst_fileid: int, src_lo: int, src_hi: int) -> None:
+        if not self.db.table_exists(VFSREF_TABLE, tx):
+            self.db.create_table(tx, VFSREF_TABLE, VFSREF_SCHEMA,
+                                 indexes=VFSREF_INDEXES)
+        self._install_pin_check()
+        self.db.table(VFSREF_TABLE, tx).insert(
+            tx, (src_fileid, dst_fileid, src_lo, src_hi))
+
+    def _clone_into(self, tx: Transaction, src_id: int, lo_byte: int,
+                    hi_byte: int, dst_store: ChunkStore,
+                    dst_byte: int) -> tuple[int, int]:
+        """Clone source bytes ``[lo_byte, hi_byte)`` into ``dst_store``
+        at ``dst_byte`` (both chunk-aligned).  Whole chunks go by
+        reference; a trailing partial chunk is materialized — at most
+        one chunk of data moves, and the result is byte-for-byte what a
+        physical copy would have produced.  Returns
+        ``(chunks_referenced, chunks_materialized)``."""
+        src_store = ChunkStore(self.db, src_id, tx)
+        dst_id = dst_store.fileid
+        nbytes = hi_byte - lo_byte
+        full, tail = divmod(nbytes, CHUNK_SIZE)
+        src_lo = lo_byte // CHUNK_SIZE
+        dst_lo = dst_byte // CHUNK_SIZE
+        referenced = materialized = 0
+        if full > 0:
+            referenced = dst_store.clone_range(
+                tx, src_store, src_lo, src_lo + full - 1, dst_lo)
+            if referenced:
+                self._register_clone(tx, src_id, dst_id,
+                                     src_lo, src_lo + full - 1)
+        if tail:
+            snapshot = self.db.snapshot(tx)
+            data = src_store.read_chunk(src_lo + full, snapshot, tx)[:tail]
+            if len(data) < tail:
+                data = data + bytes(tail - len(data))  # hole → zeros
+            dst_store.write_chunk(tx, dst_lo + full, data)
+            dst_store.flush(tx)
+            materialized = 1
+        return referenced, materialized
+
+    def _ensure_tail_chunk(self, tx: Transaction, store: ChunkStore,
+                           size: int) -> int:
+        """Guarantee the file's last chunk has a visible version (the
+        checker's size-mismatch invariant: interior holes are legal,
+        a trailing hole is not).  Costs one index probe; writes one
+        zero-filled chunk only when the tail really is a hole — e.g. a
+        clone of a source whose final chunk was itself a hole."""
+        if size == 0:
+            return 0
+        last = (size - 1) // CHUNK_SIZE
+        snapshot = self.db.snapshot(tx)
+        if store._find_chunk(last, snapshot, tx) is not None:
+            return 0
+        store.write_chunk(tx, last, bytes(size - last * CHUNK_SIZE))
+        store.flush(tx)
+        return 1
+
+    def _resolve_source_file(self, path: str, snapshot: Snapshot,
+                             tx: Transaction,
+                             lock: str | None = None) -> tuple[int, FileAtt]:
+        """Resolve a plain file, optionally two-phase-locking its chunk
+        table first.  Structural ops read the source's size and chunk
+        rows and bake them into the destination — without a lock a
+        concurrent truncate or overwrite could slip between the size
+        read and the clone, producing a state no serial order explains.
+        Sources take ``SHARED`` (readers don't exclude each other);
+        truncate takes ``EXCLUSIVE`` up front (it rewrites the boundary
+        chunk it just read).  The attributes are read *after* the lock,
+        so they describe the locked state."""
+        fileid = self.namespace.resolve(path, snapshot, tx)
+        if lock is not None and tx is not None:
+            table = ChunkStore(self.db, fileid, tx).table
+            self.db.locks.acquire(tx, ("rel", table.info.oid), lock)
+        att = self.fileatt.get(fileid, snapshot, tx)
+        if att.type == TYPE_DIRECTORY:
+            raise IsADirectoryError_(f"{path!r} is a directory")
+        return fileid, att
+
+    def reflink(self, tx: Transaction, src_path: str, dst_path: str,
+                device: str | None = None) -> tuple[int, int]:
+        """Create ``dst_path`` as a by-reference copy of ``src_path``:
+        O(chunks) pointer rows, zero data movement (one materialized
+        chunk if the size is not chunk-aligned).  Copy-on-write: later
+        writes to either file supersede only that file's rows."""
+        self._flush_open_handles(tx)
+        snapshot = self.db.snapshot(tx)
+        src_id, att = self._resolve_source_file(src_path, snapshot, tx,
+                                                lock=SHARED)
+        dst_id = self.creat(tx, dst_path, owner=att.owner, ftype=att.type,
+                            device=device)
+        dst_store = ChunkStore(self.db, dst_id, tx)
+        referenced, materialized = self._clone_into(
+            tx, src_id, 0, att.size, dst_store, 0)
+        materialized += self._ensure_tail_chunk(tx, dst_store, att.size)
+        self.fileatt.update(tx, dst_id, size=att.size,
+                            mtime=self.db.clock.now())
+        self.note_data_write(dst_id, tx)
+        return referenced, materialized
+
+    def concat(self, tx: Transaction, src_paths, dst_path: str,
+               device: str | None = None) -> tuple[int, int]:
+        """Create ``dst_path`` as the concatenation of ``src_paths`` by
+        reference.  Every source but the last must be chunk-aligned in
+        size (otherwise chunk boundaries would shift and references
+        could not apply)."""
+        if not src_paths:
+            raise FileNotFoundError_("concat requires at least one source")
+        self._flush_open_handles(tx)
+        snapshot = self.db.snapshot(tx)
+        sources = [self._resolve_source_file(p, snapshot, tx, lock=SHARED)
+                   for p in src_paths]
+        for path, (_fid, att) in zip(src_paths[:-1], sources[:-1]):
+            if att.size % CHUNK_SIZE:
+                raise StructuralOpError(
+                    f"concat source {path!r} size {att.size} is not "
+                    f"chunk-aligned ({CHUNK_SIZE})")
+        dst_id = self.creat(tx, dst_path, owner=sources[0][1].owner,
+                            device=device)
+        dst_store = ChunkStore(self.db, dst_id, tx)
+        offset = referenced = materialized = 0
+        for fid, att in sources:
+            r, m = self._clone_into(tx, fid, 0, att.size, dst_store, offset)
+            referenced += r
+            materialized += m
+            offset += att.size
+        materialized += self._ensure_tail_chunk(tx, dst_store, offset)
+        self.fileatt.update(tx, dst_id, size=offset,
+                            mtime=self.db.clock.now())
+        self.note_data_write(dst_id, tx)
+        return referenced, materialized
+
+    def slice(self, tx: Transaction, src_path: str, lo: int, hi: int,
+              dst_path: str, device: str | None = None) -> tuple[int, int]:
+        """Create ``dst_path`` holding ``src_path``'s bytes ``[lo, hi)``
+        by reference.  ``lo`` must be chunk-aligned; ``hi`` is
+        arbitrary (the final partial chunk is materialized)."""
+        if lo % CHUNK_SIZE:
+            raise StructuralOpError(
+                f"slice start {lo} is not chunk-aligned ({CHUNK_SIZE})")
+        self._flush_open_handles(tx)
+        snapshot = self.db.snapshot(tx)
+        src_id, att = self._resolve_source_file(src_path, snapshot, tx,
+                                                lock=SHARED)
+        if not (0 <= lo <= hi <= att.size):
+            raise StructuralOpError(
+                f"slice range [{lo}, {hi}) outside file of {att.size} bytes")
+        dst_id = self.creat(tx, dst_path, owner=att.owner, device=device)
+        dst_store = ChunkStore(self.db, dst_id, tx)
+        referenced, materialized = self._clone_into(
+            tx, src_id, lo, hi, dst_store, 0)
+        materialized += self._ensure_tail_chunk(tx, dst_store, hi - lo)
+        self.fileatt.update(tx, dst_id, size=hi - lo,
+                            mtime=self.db.clock.now())
+        self.note_data_write(dst_id, tx)
+        return referenced, materialized
+
+    def truncate(self, tx: Transaction, path: str, size: int) -> None:
+        """Set a file's length.  Shrinking deletes the chunk rows past
+        the boundary (their history stays time-travel readable, like
+        unlink) and rewrites the boundary chunk literally; growing just
+        updates the size — the gap reads back as zeros (a hole)."""
+        if size < 0:
+            raise StructuralOpError(f"negative truncate size {size}")
+        self._flush_open_handles(tx)
+        snapshot = self.db.snapshot(tx)
+        fileid, att = self._resolve_source_file(path, snapshot, tx,
+                                                lock=EXCLUSIVE)
+        if size < att.size:
+            store = ChunkStore(self.db, fileid, tx)
+            boundary, keep = divmod(size, CHUNK_SIZE)
+            if keep:
+                data = store.read_chunk(boundary, snapshot, tx)[:keep]
+                if len(data) < keep:
+                    data = data + bytes(keep - len(data))
+                store.delete_from(tx, boundary + 1)
+                store.write_chunk(tx, boundary, data)
+                store.flush(tx)
+            else:
+                store.delete_from(tx, boundary)
+        elif size > att.size:
+            # Growing leaves a hole, except the new final chunk, which
+            # is materialized (zero-extended from whatever the old tail
+            # held) so the trailing-chunk invariant keeps holding.
+            store = ChunkStore(self.db, fileid, tx)
+            last = (size - 1) // CHUNK_SIZE
+            tail_len = size - last * CHUNK_SIZE
+            data = store.read_chunk(last, snapshot, tx)[:tail_len]
+            if len(data) < tail_len:
+                data = data + bytes(tail_len - len(data))
+            store.write_chunk(tx, last, data)
+            store.flush(tx)
+        self.fileatt.update(tx, fileid, size=size, mtime=self.db.clock.now())
+        self.note_data_write(fileid, tx)
+        lm = self.lease_manager
+        if lm is not None:
+            lm.bump_oid(fileid, tx)
+
     # -- interrogation ------------------------------------------------------------------------
 
     def stat(self, path: str, tx: Transaction | None = None,
@@ -386,6 +646,29 @@ class InversionFS:
         fileid = self._resolve_dir(path, snapshot, tx)
         return sorted(name for name, __ in
                       self.namespace.children(fileid, snapshot, tx))
+
+    def readdir_page(self, path: str, tx: Transaction | None = None,
+                     timestamp: float | None = None,
+                     cookie: str | None = None,
+                     limit: int | None = None
+                     ) -> tuple[list[str], str | None]:
+        """One page of a directory listing: up to ``limit`` names
+        strictly after ``cookie`` (None = from the start), in name
+        order, plus the cookie for the next page (None at the end).
+        The server materializes only the page, not the directory — the
+        difference between a million-file ``readdir`` reply and a
+        bounded one."""
+        snapshot = self._snap(tx, timestamp)
+        fileid = self._resolve_dir(path, snapshot, tx)
+        names: list[str] = []
+        for name, _fid in self.namespace.children_page(fileid, snapshot,
+                                                       tx, cookie):
+            names.append(name)
+            if limit is not None and len(names) > limit:
+                break
+        if limit is not None and len(names) > limit:
+            return names[:limit], names[limit - 1]
+        return names, None
 
     def path_of(self, fileid: int, tx: Transaction | None = None,
                 timestamp: float | None = None) -> str:

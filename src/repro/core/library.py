@@ -277,10 +277,59 @@ class InversionClient:
             return self.fs.stat(path, tx=self._tx, timestamp=timestamp)
         return self.fs.stat(path, timestamp=timestamp)
 
-    def p_readdir(self, path: str, timestamp: float | None = None) -> list[str]:
+    def p_readdir(self, path: str, timestamp: float | None = None,
+                  cookie: str | None = None, limit: int | None = None):
+        """Directory listing.  With ``cookie``/``limit`` the call is
+        paged: it returns ``(names, next_cookie)`` where ``names`` holds
+        at most ``limit`` entries strictly after ``cookie`` and
+        ``next_cookie`` is None once the listing is exhausted — the
+        server never materializes more than one page."""
+        if cookie is None and limit is None:
+            if self._tx is not None:
+                return self.fs.readdir(path, tx=self._tx, timestamp=timestamp)
+            return self.fs.readdir(path, timestamp=timestamp)
         if self._tx is not None:
-            return self.fs.readdir(path, tx=self._tx, timestamp=timestamp)
-        return self.fs.readdir(path, timestamp=timestamp)
+            return self.fs.readdir_page(path, tx=self._tx,
+                                        timestamp=timestamp,
+                                        cookie=cookie, limit=limit)
+        return self.fs.readdir_page(path, timestamp=timestamp,
+                                    cookie=cookie, limit=limit)
+
+    # -- structural ops (the WTF-style by-reference surface) --------------------------
+
+    def p_reflink(self, src: str, dst: str,
+                  device: str | None = None) -> tuple[int, int]:
+        """Copy ``src`` to ``dst`` by reference (chunk-pointer rows, no
+        data movement).  Returns (chunks referenced, chunks
+        materialized)."""
+        return self._run(lambda tx: self.fs.reflink(tx, src, dst,
+                                                    device=device))
+
+    def p_concat(self, srcs, dst: str,
+                 device: str | None = None) -> tuple[int, int]:
+        """Concatenate ``srcs`` into new file ``dst`` by reference."""
+        return self._run(lambda tx: self.fs.concat(tx, list(srcs), dst,
+                                                   device=device))
+
+    def p_slice(self, src: str, lo: int, hi: int, dst: str,
+                device: str | None = None) -> tuple[int, int]:
+        """Extract ``src[lo:hi]`` into new file ``dst`` by reference
+        (``lo`` chunk-aligned; the partial tail chunk is materialized)."""
+        return self._run(lambda tx: self.fs.slice(tx, src, lo, hi, dst,
+                                                  device=device))
+
+    def p_truncate(self, path: str, size: int) -> None:
+        """Set a file's length (shrink deletes tail chunks, grow leaves
+        a hole)."""
+        for desc in self._fds.values():
+            if desc.path == path and desc.pending_size is not None:
+                self._reconcile_att(desc)
+        self._run(lambda tx: self.fs.truncate(tx, path, size))
+        for desc in self._fds.values():
+            if desc.path == path:
+                desc.pending_size = None
+                if desc.handle is not None and desc.handle._open:
+                    desc.handle._size = size
 
     def p_query(self, text: str) -> list[tuple]:
         """Run a POSTQUEL query over the file system (the 'query

@@ -161,6 +161,23 @@ class Namespace:
                 continue  # the root's own entry
             yield row[0], row[2]
 
+    def children_page(self, parentid: int, snapshot: Snapshot,
+                      tx: Transaction | None = None,
+                      cookie: str | None = None) -> Iterator[tuple[str, int]]:
+        """Directory entries strictly after ``cookie`` (a name), in
+        name order — the server side of paged readdir.  ``"\\0"`` is
+        rejected in file names, so ``cookie + "\\0"`` is the smallest
+        key greater than the cookie: the scan restarts exactly where
+        the previous page stopped, in one index descent, without
+        materializing the part of the directory already listed."""
+        table = self._table(tx)
+        lo = (parentid,) if cookie is None else (parentid, cookie + "\0")
+        for _tid, row in table.index_range(("parentid", "filename"),
+                                           lo, (parentid,), snapshot, tx):
+            if row[0] == "" and parentid == ROOT_PARENT:
+                continue  # the root's own entry
+            yield row[0], row[2]
+
     # -- mutation -----------------------------------------------------------------
 
     def add_entry(self, tx: Transaction, parentid: int, name: str,

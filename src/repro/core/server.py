@@ -41,6 +41,7 @@ class InversionServer:
         "p_creat", "p_open", "p_close",
         "p_read", "p_write", "p_lseek", "p_mkdir", "p_unlink", "p_rmdir",
         "p_rename", "p_stat", "p_readdir", "p_query",
+        "p_reflink", "p_concat", "p_slice", "p_truncate",
     })
 
     #: method -> Signature, for request validation (class-level: the

@@ -79,6 +79,10 @@ class VacuumStats:
     kept: int = 0
     pages_before: int = 0
     pages_after: int = 0
+    #: a keep_history=False request was overridden because another
+    #: file holds by-reference pointers into this table — superseded
+    #: versions were archived instead of discarded.
+    history_pinned: bool = False
 
 
 class VacuumCleaner:
@@ -112,27 +116,48 @@ class VacuumCleaner:
 
     # -- archive DDL -----------------------------------------------------------
 
-    def _ensure_archive(self, tx, info: TableInfo) -> tuple[HeapFile, list[tuple[tuple[str, ...], BTree]]]:
+    def _ensure_archive(self, info: TableInfo) -> tuple[HeapFile, list[tuple[tuple[str, ...], BTree]]]:
         """Create (if needed) and return the archive heap and its
-        indexes, mirroring the live table's indexes."""
+        indexes, mirroring the live table's indexes.
+
+        Creation runs in its own transaction, committed durably before
+        the pass moves a single version: the archive's catalog row must
+        already be on stable storage when the compacted swap destroys
+        the originals.  Were it part of the vacuum transaction, a crash
+        after the swap but before that transaction's commit record
+        would leave the archived versions on disk under a catalog row
+        recovery presumes aborted — unreachable by every lookup, and a
+        dangling pointer for any by-reference clone pinned to them.  An
+        empty archive left by a pass that crashed later is harmless:
+        the next pass finds and reuses it."""
         name = f"a_{info.name}"
-        snapshot = self.db.snapshot(tx)
-        archive_info = self.db.catalog.lookup_table(name, snapshot, use_cache=False)
+        archive_info = self.db.catalog.lookup_table(
+            name, BootstrapSnapshot(self.db.tm), use_cache=False)
         devname = self.archive_device or info.devname
         if archive_info is None:
-            dev = self.db.switch.get(devname)
-            oid = self.db.catalog.allocate_oid()
-            dev.create_relation(name)
-            self.db.catalog.add_table_row(tx, oid, name, dev.name, "a", info.schema)
-            for ix in info.indexes:
-                idxname = f"a_{ix.name}"
-                dev.create_relation(idxname)
-                BTree.create(self.db.buffers, dev.name, idxname, cpu=self.db.cpu)
-                self.db.catalog.add_index_row(
-                    tx, self.db.catalog.allocate_oid(), idxname, oid,
-                    list(ix.keycols))
-            archive_info = self.db.catalog.lookup_table(name, snapshot,
-                                                        use_cache=False)
+            ddl = self.db.begin()
+            try:
+                dev = self.db.switch.get(devname)
+                oid = self.db.catalog.allocate_oid()
+                dev.create_relation(name)
+                self.db.catalog.add_table_row(ddl, oid, name, dev.name, "a",
+                                              info.schema)
+                for ix in info.indexes:
+                    idxname = f"a_{ix.name}"
+                    dev.create_relation(idxname)
+                    BTree.create(self.db.buffers, dev.name, idxname,
+                                 cpu=self.db.cpu)
+                    self.db.catalog.add_index_row(
+                        ddl, self.db.catalog.allocate_oid(), idxname, oid,
+                        list(ix.keycols))
+                ddl.wrote = True
+                self.db.commit(ddl)
+            except BaseException:
+                self.db.abort(ddl)
+                raise
+            self.db.tm.flush_commits()  # group commit must not buffer DDL
+            archive_info = self.db.catalog.lookup_table(
+                name, BootstrapSnapshot(self.db.tm), use_cache=False)
         heap = HeapFile(self.db.buffers, archive_info.devname,
                         archive_info.name, archive_info.schema, cpu=self.db.cpu)
         btrees = [(ix.keycols,
@@ -160,8 +185,18 @@ class VacuumCleaner:
             heap = HeapFile(self.db.buffers, info.devname, info.name,
                             info.schema, cpu=self.db.cpu)
             stats.pages_before = heap.npages()
-            if self.keep_history:
-                archive_heap, archive_btrees = self._ensure_archive(tx, info)
+            keep_history = self.keep_history
+            if not keep_history:
+                # Another file may hold by-reference chunk pointers into
+                # this table (see InversionFS._history_pinned): then
+                # discarding superseded versions would leave dangling
+                # references, so fall back to archiving them.
+                check = getattr(self.db, "history_pin_check", None)
+                if check is not None and check(table_name):
+                    keep_history = True
+                    stats.history_pinned = True
+            if keep_history:
+                archive_heap, archive_btrees = self._ensure_archive(info)
             else:
                 archive_heap, archive_btrees = None, []
             schema = info.schema
@@ -195,8 +230,11 @@ class VacuumCleaner:
                     keep.append((xmin, xmax, values))
                     stats.kept += 1
 
-            # Make the archive durable before destroying the originals.
+            # Make the archive — and any group-commit-buffered status
+            # records whose stamps the rewrite bakes in — durable
+            # before destroying the originals.
             self.db.buffers.flush_all()
+            self.db.tm.flush_commits()
 
             # Rewrite the live heap compacted, then rebuild its indexes.
             self._rewrite_heap(info, keep)

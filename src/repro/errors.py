@@ -179,6 +179,13 @@ class MigrationError(InversionError):
     """A migration rule is malformed or a migration failed."""
 
 
+class StructuralOpError(InversionError):
+    """A by-reference structural operation (reflink/concat/slice/
+    truncate) was asked for boundaries it cannot honour: a non-chunk-
+    aligned concat source or slice start, a slice range outside the
+    file, or a negative truncate size."""
+
+
 # ---------------------------------------------------------------------------
 # Replication errors
 # ---------------------------------------------------------------------------

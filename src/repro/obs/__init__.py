@@ -187,6 +187,14 @@ class Observability:
         _mirror_all(self.metrics, client_mod.METRICS, client)
         _mirror_all(self.metrics, network_mod.METRICS, client.network.stats)
 
+    def bind_vfs(self, vfs) -> None:
+        """Mirror a transactional-VFS session's counters (the VFS sits
+        above whatever client it wraps, so it binds itself the same way
+        clients do)."""
+        from repro.vfs import api as vfs_mod
+
+        _mirror_all(self.metrics, vfs_mod.METRICS, vfs)
+
     # -- hot-path charge helpers ----------------------------------------
 
     def device_read(self, device: str, relation: str, pages: int) -> None:

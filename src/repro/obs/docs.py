@@ -31,6 +31,7 @@ OWNING_MODULES = (
     "repro.cache.client",
     "repro.sched.scheduler",
     "repro.shard.cluster",
+    "repro.vfs.api",
     "repro.replica.feed",
     "repro.sim.disk",
     "repro.sim.network",

@@ -29,11 +29,12 @@ Two operations are inherently multi-shard and are composed here:
 
 from __future__ import annotations
 
-from repro.core.constants import O_RDONLY, O_RDWR, SEEK_SET
+from repro.core.constants import CHUNK_SIZE, O_RDONLY, O_RDWR, SEEK_SET
 from repro.errors import (
     BadFileDescriptorError,
     FileExistsError_,
     FileNotFoundError_,
+    StructuralOpError,
     TransactionError,
 )
 from repro.shard.twophase import TwoPhaseCoordinator
@@ -286,17 +287,45 @@ class ShardedInversionClient:
         return self._call(shard, "p_stat", path, timestamp)
 
     def p_readdir(self, path: str,
-                  timestamp: float | None = None) -> list[str]:
+                  timestamp: float | None = None,
+                  cookie: str | None = None, limit: int | None = None):
         if path.strip("/"):
+            if cookie is None and limit is None:
+                return self._call(self._route(path), "p_readdir", path,
+                                  timestamp)
             return self._call(self._route(path), "p_readdir", path,
-                              timestamp)
+                              timestamp, cookie=cookie, limit=limit)
         # The root is the one directory that spans shards: its listing
         # is the union of every shard's root entries (disjoint by
         # construction — each top-level name lives only on its owner).
-        names: list[str] = []
+        if cookie is None and limit is None:
+            names: list[str] = []
+            for shard in range(self.cluster.nshards):
+                names.extend(self._call(shard, "p_readdir", "/", timestamp))
+            return sorted(names)
+        # Paged root listing: one page per shard, merged.  The cookie
+        # is a name watermark, so it means the same thing on every
+        # shard.  A shard that reports more entries bounds how far the
+        # merge may safely advance (its unfetched names could fall
+        # below another shard's page tail), so only names up to the
+        # smallest such page tail are taken this round.
+        candidates: list[str] = []
+        tails: list[str] = []
+        more_shards = False
         for shard in range(self.cluster.nshards):
-            names.extend(self._call(shard, "p_readdir", "/", timestamp))
-        return sorted(names)
+            names, nxt = self._call(shard, "p_readdir", "/", timestamp,
+                                    cookie=cookie, limit=limit)
+            candidates.extend(names)
+            if nxt is not None:
+                more_shards = True
+                if names:
+                    tails.append(names[-1])
+        candidates.sort()
+        bound = min(tails) if tails else None
+        eligible = [n for n in candidates if bound is None or n <= bound]
+        out = eligible[:limit] if limit is not None else eligible
+        more = more_shards or len(out) < len(candidates)
+        return out, (out[-1] if out and more else None)
 
     # -- rename (the cross-shard composite) -------------------------------
 
@@ -346,6 +375,92 @@ class ShardedInversionClient:
             self._call(dst, "p_write", nfd, data)
         self._call(dst, "p_close", nfd)
         self._call(src, "p_unlink", old)
+
+    # -- structural ops ----------------------------------------------------
+
+    def p_truncate(self, path: str, size: int) -> None:
+        self._call(self._route(path), "p_truncate", path, size)
+
+    def p_reflink(self, src: str, dst: str,
+                  device: str | None = None) -> tuple[int, int]:
+        """By-reference copy when both names route to one shard; a
+        physical copy inside one cluster transaction otherwise (shards
+        share no storage, so references cannot cross them — the 2PC
+        commit still makes the copy atomic)."""
+        s, d = self._route(src), self._route(dst)
+        if s == d:
+            return self._call(s, "p_reflink", src, dst, device=device)
+        return self._own_tx(lambda: self._copy_physical([src], dst, device))
+
+    def p_concat(self, srcs, dst: str,
+                 device: str | None = None) -> tuple[int, int]:
+        srcs = list(srcs)
+        if not srcs:
+            raise FileNotFoundError_("concat requires at least one source")
+        d = self._route(dst)
+        if all(self._route(p) == d for p in srcs):
+            return self._call(d, "p_concat", srcs, dst, device=device)
+        for path in srcs[:-1]:
+            st = self._call(self._route(path), "p_stat", path)
+            if st.size % CHUNK_SIZE:
+                raise StructuralOpError(
+                    f"concat source {path!r} size {st.size} is not "
+                    f"chunk-aligned ({CHUNK_SIZE})")
+        return self._own_tx(lambda: self._copy_physical(srcs, dst, device))
+
+    def p_slice(self, src: str, lo: int, hi: int, dst: str,
+                device: str | None = None) -> tuple[int, int]:
+        s, d = self._route(src), self._route(dst)
+        if s == d:
+            return self._call(s, "p_slice", src, lo, hi, dst, device=device)
+        if lo % CHUNK_SIZE:
+            raise StructuralOpError(
+                f"slice start {lo} is not chunk-aligned ({CHUNK_SIZE})")
+        st = self._call(s, "p_stat", src)
+        if not (0 <= lo <= hi <= st.size):
+            raise StructuralOpError(
+                f"slice range [{lo}, {hi}) outside file of {st.size} bytes")
+
+        def run() -> tuple[int, int]:
+            data = self._read_whole(src)[lo:hi]
+            return self._write_new(dst, data, device)
+        return self._own_tx(run)
+
+    def _own_tx(self, fn):
+        """Run a multi-shard composite in the open cluster transaction,
+        or in its own one (mirroring p_rename's auto-commit path)."""
+        if self._in_tx:
+            return fn()
+        self.p_begin()
+        try:
+            result = fn()
+        except BaseException:
+            self.p_abort()
+            raise
+        self.p_commit()
+        return result
+
+    def _read_whole(self, path: str) -> bytes:
+        shard = self._route(path)
+        size = self._call(shard, "p_stat", path).size
+        fd = self._call(shard, "p_open", path, O_RDONLY)
+        data = self._call(shard, "p_read", fd, size) if size else b""
+        self._call(shard, "p_close", fd)
+        return data
+
+    def _write_new(self, dst: str, data: bytes,
+                   device: str | None) -> tuple[int, int]:
+        shard = self._route(dst)
+        fd = self._call(shard, "p_creat", dst, O_RDWR, device=device)
+        if data:
+            self._call(shard, "p_write", fd, data)
+        self._call(shard, "p_close", fd)
+        return 0, (len(data) + CHUNK_SIZE - 1) // CHUNK_SIZE
+
+    def _copy_physical(self, srcs, dst: str,
+                       device: str | None) -> tuple[int, int]:
+        data = b"".join(self._read_whole(p) for p in srcs)
+        return self._write_new(dst, data, device)
 
     def _move_dir(self, old: str, new: str, src: int, dst: int) -> None:
         """Depth-first subtree move.  Every child of ``old`` lives on

@@ -17,6 +17,7 @@ and ``rename`` requires the target name to be free.
 
 from __future__ import annotations
 
+from repro.core.constants import CHUNK_SIZE
 from repro.errors import InversionError
 
 
@@ -98,8 +99,48 @@ class ModelFS:
                 return "target parent is not an existing directory"
             if new == old or new.startswith(old + "/"):
                 return "target inside source subtree"
+        elif kind == "reflink":
+            src, dst = args
+            return self._why_invalid_clone_dst((src,), dst)
+        elif kind == "concat":
+            srcs, dst = args
+            if not srcs:
+                return "no sources"
+            reason = self._why_invalid_clone_dst(srcs, dst)
+            if reason is not None:
+                return reason
+            for src in srcs[:-1]:
+                if len(self.entries[src]) % CHUNK_SIZE != 0:
+                    return "non-final source is not chunk-aligned"
+        elif kind == "slice":
+            src, lo, hi, dst = args
+            reason = self._why_invalid_clone_dst((src,), dst)
+            if reason is not None:
+                return reason
+            if lo % CHUNK_SIZE != 0:
+                return "slice start is not chunk-aligned"
+            if not (0 <= lo <= hi <= len(self.entries[src])):
+                return "slice range outside the file"
+        elif kind == "truncate":
+            path, size = args
+            if not self.is_file(path):
+                return "not an existing plain file"
+            if size < 0:
+                return "negative size"
         else:
             raise ValueError(f"unknown op kind {kind!r}")
+        return None
+
+    def _why_invalid_clone_dst(self, srcs, dst: str) -> str | None:
+        """The shared acceptance rules of every structural op: plain-file
+        sources, a free destination under an existing directory."""
+        for src in srcs:
+            if not self.is_file(src):
+                return "source is not an existing plain file"
+        if self.exists(dst):
+            return "destination already exists"
+        if not self.is_dir(_parent(dst)):
+            return "destination parent is not an existing directory"
         return None
 
     # -- mutation ---------------------------------------------------------
@@ -129,6 +170,21 @@ class ModelFS:
                 for path in [p for p in self.entries
                              if p.startswith(old + "/")]:
                     self.entries[new + path[len(old):]] = self.entries.pop(path)
+        # Structural ops are by-reference in the real fs, but the model
+        # only sees visible bytes — a physical copy is the same thing.
+        elif kind == "reflink":
+            src, dst = args
+            self.entries[dst] = self.entries[src]
+        elif kind == "concat":
+            srcs, dst = args
+            self.entries[dst] = b"".join(self.entries[s] for s in srcs)
+        elif kind == "slice":
+            src, lo, hi, dst = args
+            self.entries[dst] = self.entries[src][lo:hi]
+        elif kind == "truncate":
+            path, size = args
+            old = self.entries[path]
+            self.entries[path] = old[:size].ljust(size, b"\0")
 
     def apply_many(self, ops) -> None:
         for op in ops:
@@ -154,6 +210,14 @@ def apply_fs_op(fs, tx, op: tuple) -> None:
         fs.rmdir(tx, args[0])
     elif kind == "rename":
         fs.rename(tx, args[0], args[1])
+    elif kind == "reflink":
+        fs.reflink(tx, args[0], args[1])
+    elif kind == "concat":
+        fs.concat(tx, list(args[0]), args[1])
+    elif kind == "slice":
+        fs.slice(tx, args[0], args[1], args[2], args[3])
+    elif kind == "truncate":
+        fs.truncate(tx, args[0], args[1])
     else:
         raise ValueError(f"unknown op kind {kind!r}")
 
@@ -183,6 +247,14 @@ def apply_client_op(client, op: tuple) -> None:
         client.p_rmdir(args[0])
     elif kind == "rename":
         client.p_rename(args[0], args[1])
+    elif kind == "reflink":
+        client.p_reflink(args[0], args[1])
+    elif kind == "concat":
+        client.p_concat(list(args[0]), args[1])
+    elif kind == "slice":
+        client.p_slice(args[0], args[1], args[2], args[3])
+    elif kind == "truncate":
+        client.p_truncate(args[0], args[1])
     else:
         raise ValueError(f"unknown op kind {kind!r}")
 

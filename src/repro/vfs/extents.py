@@ -1,0 +1,126 @@
+"""The shared-extents invariant.
+
+A by-reference clone leaves chunk-table rows that *point* at exact
+chunk versions of another file.  The invariant this module proves:
+**every reference stored anywhere — current, superseded, or archived —
+still resolves**, i.e. the version it pins exists in the source's live
+heap or its archive.  Vacuum is the only thing that destroys versions;
+the ``vfsref`` registry plus the vacuum cleaner's history-pin guard
+(:meth:`repro.db.vacuum.VacuumCleaner.vacuum_table`) must therefore
+never let a pinned version be expunged.  ``shared_extents`` walks the
+storage level (all versions, visibility ignored — time travel can
+reach any of them) and reports every violation as a
+:class:`~repro.core.checker.Corruption`.
+"""
+
+from __future__ import annotations
+
+from repro.core.checker import CheckReport, Corruption
+from repro.core.chunks import REF_PAYLOAD, ChunkStore, chunk_table_name
+from repro.core.filesystem import VFSREF_TABLE
+from repro.db.snapshot import BootstrapSnapshot
+from repro.errors import InversionError, TableError
+
+
+def _ref_rows(db, table_name):
+    """Every by-reference row stored for one chunk table, from the
+    live heap and the archive alike (an archived dst version may still
+    be time-travel readable, so its references must resolve too)."""
+    from repro.db.heap import HeapFile
+    info = db.catalog.lookup_table(table_name, BootstrapSnapshot(db.tm),
+                                   use_cache=False)
+    if info is not None:
+        heap = HeapFile(db.buffers, info.devname, info.name, info.schema,
+                        cpu=db.cpu)
+        for _tid, xmin, _xmax, values in heap.scan_all_versions():
+            # Aborted-insert garbage is unreachable (vacuum expunges
+            # it); only committed versions carry the invariant.
+            if values[1] < 0 and db.tm.is_committed(xmin):
+                yield values
+    archive = db.archive_heap_for(table_name)
+    if archive is not None:
+        for _tid, _xmin, _xmax, values in archive.scan_all_versions():
+            if values[1] < 0:
+                yield values
+
+
+def _registry_covers(db, src_fid: int, chunkno: int) -> bool:
+    """True when some ``vfsref`` row pins this source chunk — the
+    bookkeeping the vacuum guard relies on.  The guard checks source
+    coverage only (any registered claim pins the whole range for every
+    reader), and registry rows are never deleted, so a flattened
+    nested clone is covered by the original clone's registration even
+    after the intermediate file is unlinked."""
+    if not db.table_exists(VFSREF_TABLE):
+        return False
+    table = db.table(VFSREF_TABLE)
+    snapshot = BootstrapSnapshot(db.tm)
+    for _tid, row in table.index_eq(("src",), (src_fid,), snapshot):
+        if row[2] <= chunkno <= row[3]:
+            return True
+    return False
+
+
+def shared_extents(fs, report: CheckReport | None = None) -> CheckReport:
+    """Validate every chunk reference in the file system.
+
+    For each file's chunk table (live and archived versions both):
+    every reference row must decode, must resolve to its pinned source
+    version, and must be covered by a ``vfsref`` registry row (else
+    the vacuum guard would not protect it).  A clean report is the
+    proof that no reachable shared extent was vacuumed away."""
+    report = report or CheckReport()
+    db = fs.db
+    snapshot = BootstrapSnapshot(db.tm)
+    naming = db.table("naming")
+    seen: set[int] = set()
+    for _tid, (_name, _parent, fileid) in naming.scan(snapshot):
+        if fileid in seen or fileid == fs.namespace.root_fileid:
+            seen.add(fileid)
+            continue
+        seen.add(fileid)
+        table_name = chunk_table_name(fileid)
+        if not db.table_exists(table_name):
+            continue
+        report.files_checked += 1
+        store = ChunkStore(db, fileid, None)
+        for values in _ref_rows(db, table_name):
+            report.chunks_checked += 1
+            chunkno, selfid, payload = values
+            if len(payload) != REF_PAYLOAD.size:
+                report.corruptions.append(Corruption(
+                    fileid, chunkno, "bad-reference",
+                    f"reference payload is {len(payload)} bytes, "
+                    f"expected {REF_PAYLOAD.size}"))
+                continue
+            src_fid, src_chunkno, src_xmin = REF_PAYLOAD.unpack(payload)
+            if src_fid != -selfid:
+                report.corruptions.append(Corruption(
+                    fileid, chunkno, "bad-reference",
+                    f"selfid names source {-selfid}, payload names "
+                    f"{src_fid}"))
+                continue
+            try:
+                store._resolve_ref(payload, None)
+            except TableError as exc:
+                report.corruptions.append(Corruption(
+                    fileid, chunkno, "dangling-reference", str(exc)))
+                continue
+            if not _registry_covers(db, src_fid, src_chunkno):
+                report.corruptions.append(Corruption(
+                    fileid, chunkno, "unregistered-reference",
+                    f"reference to inv{src_fid} chunk {src_chunkno} has "
+                    f"no vfsref registry row — vacuum would not protect "
+                    f"it"))
+    return report
+
+
+def raise_if_shared_extents_broken(fs) -> None:
+    """Assertion-style entry point for tests and workloads."""
+    report = shared_extents(fs)
+    if not report.clean:
+        first = report.corruptions[0]
+        raise InversionError(
+            f"{len(report.corruptions)} shared-extent violations; first: "
+            f"file {first.fileid} chunk {first.chunkno} [{first.kind}]: "
+            f"{first.detail}")

@@ -1,0 +1,169 @@
+"""The VFS surface behaves identically over every client stack:
+in-process, remote, remote+cache, and sharded (satellite matrix for
+the transactional POSIX layer)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.constants import CHUNK_SIZE, O_CREAT, O_RDONLY, O_RDWR
+from repro.errors import FileNotFoundError_, StructuralOpError
+from repro.testkit.workload import payload
+
+
+def test_roundtrip_and_namespace(stack):
+    vfs, root = stack
+    vfs.mkdir(f"{root}/d")
+    data = payload(1, "rt", 5000)
+    vfs.write_file(f"{root}/d/f", data)
+    assert vfs.read_file(f"{root}/d/f") == data
+    assert vfs.stat(f"{root}/d/f").size == 5000
+    assert vfs.exists(f"{root}/d/f")
+    assert not vfs.exists(f"{root}/d/missing")
+    assert vfs.readdir(f"{root}/d") == ["f"]
+    vfs.rename(f"{root}/d/f", f"{root}/d/g")
+    assert vfs.readdir(f"{root}/d") == ["g"]
+    vfs.unlink(f"{root}/d/g")
+    vfs.rmdir(f"{root}/d")
+    assert not vfs.exists(f"{root}/d")
+
+
+def test_open_lseek_read(stack):
+    vfs, root = stack
+    data = payload(2, "fd", 2 * CHUNK_SIZE + 100)
+    fd = vfs.open(f"{root}/f", O_RDWR | O_CREAT)
+    vfs.write(fd, data)
+    vfs.close(fd)
+    fd = vfs.open(f"{root}/f", O_RDONLY)
+    assert vfs.read(fd, 64) == data[:64]
+    vfs.lseek(fd, CHUNK_SIZE + 7)
+    assert vfs.read(fd, 50) == data[CHUNK_SIZE + 7:CHUNK_SIZE + 57]
+    vfs.close(fd)
+    # O_CREAT on an existing file opens it.
+    fd = vfs.open(f"{root}/f", O_RDWR | O_CREAT)
+    vfs.close(fd)
+
+
+def test_transaction_group_commits_atomically(stack):
+    vfs, root = stack
+    with vfs.transaction():
+        vfs.mkdir(f"{root}/tree")
+        vfs.write_file(f"{root}/tree/a", b"alpha")
+        vfs.write_file(f"{root}/tree/b", b"beta")
+        vfs.rename(f"{root}/tree/b", f"{root}/tree/c")
+    assert vfs.readdir(f"{root}/tree") == ["a", "c"]
+    assert vfs.read_file(f"{root}/tree/c") == b"beta"
+
+
+def test_transaction_abort_rolls_back_every_file(stack):
+    vfs, root = stack
+    vfs.write_file(f"{root}/keep", b"stable")
+    with pytest.raises(RuntimeError):
+        with vfs.transaction():
+            vfs.mkdir(f"{root}/doomed")
+            vfs.write_file(f"{root}/doomed/x", b"gone")
+            vfs.write_file(f"{root}/keep2", b"gone too")
+            raise RuntimeError("boom")
+    assert not vfs.exists(f"{root}/doomed")
+    assert not vfs.exists(f"{root}/keep2")
+    assert vfs.read_file(f"{root}/keep") == b"stable"
+
+
+def test_explicit_abort(stack):
+    vfs, root = stack
+    vfs.begin()
+    vfs.write_file(f"{root}/tmp", b"speculative")
+    vfs.abort()
+    assert not vfs.exists(f"{root}/tmp")
+
+
+def test_iterdir_pages_match_full_listing(stack):
+    vfs, root = stack
+    vfs.mkdir(f"{root}/big")
+    names = sorted(f"n{i:03d}" for i in range(41))
+    with vfs.transaction():
+        for name in names:
+            vfs.write_file(f"{root}/big/{name}", b"")
+    assert vfs.readdir(f"{root}/big") == names
+    assert list(vfs.iterdir(f"{root}/big", page_size=7)) == names
+    page, cookie = vfs.readdir_page(f"{root}/big", None, 7)
+    assert page == names[:7] and cookie == names[6]
+    page, cookie = vfs.readdir_page(f"{root}/big", cookie, 7)
+    assert page == names[7:14]
+
+
+def test_structural_ops_roundtrip(stack):
+    vfs, root = stack
+    data = payload(3, "st", 3 * CHUNK_SIZE)
+    tail = payload(3, "tl", 450)
+    vfs.write_file(f"{root}/base", data)
+    vfs.write_file(f"{root}/tail", tail)
+
+    vfs.reflink(f"{root}/base", f"{root}/copy")
+    assert vfs.read_file(f"{root}/copy") == data
+
+    vfs.concat([f"{root}/base", f"{root}/tail"], f"{root}/joined")
+    assert vfs.read_file(f"{root}/joined") == data + tail
+
+    vfs.slice(f"{root}/base", CHUNK_SIZE, 2 * CHUNK_SIZE + 99,
+              f"{root}/mid")
+    assert vfs.read_file(f"{root}/mid") == data[CHUNK_SIZE:
+                                                2 * CHUNK_SIZE + 99]
+
+    # Copy-on-write: overwriting the source leaves the clone alone.
+    vfs.write_file(f"{root}/base", b"X" * 100)
+    assert vfs.read_file(f"{root}/copy") == data
+    assert vfs.read_file(f"{root}/base")[:100] == b"X" * 100
+
+    vfs.truncate(f"{root}/copy", CHUNK_SIZE + 10)
+    assert vfs.read_file(f"{root}/copy") == data[:CHUNK_SIZE + 10]
+    vfs.truncate(f"{root}/copy", CHUNK_SIZE + 500)
+    assert vfs.read_file(f"{root}/copy") == (
+        data[:CHUNK_SIZE + 10] + bytes(490))
+
+
+def test_structural_alignment_errors(stack):
+    vfs, root = stack
+    vfs.write_file(f"{root}/odd", b"o" * 1000)       # not chunk-aligned
+    vfs.write_file(f"{root}/other", b"p" * 500)
+    with pytest.raises(StructuralOpError):
+        vfs.concat([f"{root}/odd", f"{root}/other"], f"{root}/bad")
+    with pytest.raises(StructuralOpError):
+        vfs.slice(f"{root}/odd", 1, 10, f"{root}/bad")
+    with pytest.raises(StructuralOpError):
+        vfs.slice(f"{root}/odd", 0, 2000, f"{root}/bad")
+    with pytest.raises(StructuralOpError):
+        vfs.truncate(f"{root}/odd", -1)
+    with pytest.raises(FileNotFoundError_):
+        vfs.reflink(f"{root}/missing", f"{root}/bad")
+    assert not vfs.exists(f"{root}/bad")
+
+
+def test_structural_ops_inside_group(stack):
+    """A reflink inside an aborted group vanishes with the group."""
+    vfs, root = stack
+    data = payload(4, "grp", 2 * CHUNK_SIZE)
+    vfs.write_file(f"{root}/src", data)
+    vfs.begin()
+    vfs.reflink(f"{root}/src", f"{root}/snap")
+    vfs.truncate(f"{root}/src", CHUNK_SIZE)
+    vfs.abort()
+    assert not vfs.exists(f"{root}/snap")
+    assert vfs.read_file(f"{root}/src") == data
+    with vfs.transaction():
+        vfs.reflink(f"{root}/src", f"{root}/snap")
+        vfs.truncate(f"{root}/src", CHUNK_SIZE)
+    assert vfs.read_file(f"{root}/snap") == data
+    assert vfs.read_file(f"{root}/src") == data[:CHUNK_SIZE]
+
+
+def test_empty_file_structural_ops(stack):
+    vfs, root = stack
+    vfs.write_file(f"{root}/empty", b"")
+    referenced, materialized = vfs.reflink(f"{root}/empty",
+                                           f"{root}/empty2")
+    assert (referenced, materialized) == (0, 0)
+    assert vfs.read_file(f"{root}/empty2") == b""
+    assert vfs.slice(f"{root}/empty", 0, 0, f"{root}/empty3") == (0, 0)
+    vfs.truncate(f"{root}/empty", 0)
+    assert vfs.stat(f"{root}/empty").size == 0

@@ -1,11 +1,14 @@
 #!/usr/bin/env python3
-"""Fail on dead intra-repo links in the markdown docs.
+"""Fail on dead intra-repo links and anchors in the markdown docs.
 
 Scans every tracked ``*.md`` file (or the paths given on the command
-line) for inline markdown links and bare file references, resolves the
-repo-relative targets, and exits non-zero listing every target that
-does not exist.  External links (http/https/mailto) and pure anchors
-are ignored; ``path#anchor`` links are checked for the path only.
+line) for inline markdown links, resolves the repo-relative targets,
+and exits non-zero listing every target that does not exist.  External
+links (http/https/mailto) are ignored.  Anchor fragments are validated
+too: ``#section`` must name a heading in the same file and
+``path.md#section`` a heading in the target file, using GitHub's
+slugification (lowercase, spaces to dashes, punctuation dropped,
+``-1``/``-2`` suffixes for duplicates).
 
 Run:  python tools/check_doc_links.py [files...]
 """
@@ -25,6 +28,8 @@ LINK = re.compile(r"\[[^\]^\[]*\]\(([^)\s]+)\)")
 #: fenced-code regions are commands and examples, not links.
 FENCE = re.compile(r"^(```|~~~)")
 
+HEADING = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+
 EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
 
 
@@ -33,6 +38,40 @@ def tracked_markdown() -> list[str]:
                          cwd=REPO, capture_output=True, text=True,
                          check=True).stdout
     return sorted(set(out.split()))
+
+
+def _slugify(title: str) -> str:
+    """GitHub's anchor algorithm: strip markdown emphasis/code marks,
+    lowercase, drop everything but word characters, spaces and dashes,
+    then turn spaces into dashes."""
+    text = re.sub(r"[`*_]", "", title)
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # linked headings
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_in(path: str) -> set[str]:
+    """Every anchor a heading in ``path`` defines (duplicate titles get
+    ``-1``, ``-2``, … suffixes, like GitHub renders them)."""
+    anchors: set[str] = set()
+    counts: dict[str, int] = {}
+    in_fence = False
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            if FENCE.match(line.strip()):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            match = HEADING.match(line)
+            if not match:
+                continue
+            slug = _slugify(match.group(2))
+            n = counts.get(slug, 0)
+            counts[slug] = n + 1
+            anchors.add(slug if n == 0 else f"{slug}-{n}")
+    return anchors
 
 
 def targets_in(path: str):
@@ -47,7 +86,7 @@ def targets_in(path: str):
                 continue
             for match in LINK.finditer(line):
                 target = match.group(1)
-                if target.startswith(EXTERNAL) or target.startswith("#"):
+                if target.startswith(EXTERNAL):
                     continue
                 yield lineno, target
 
@@ -55,21 +94,31 @@ def targets_in(path: str):
 def main(argv: list[str]) -> int:
     files = argv or tracked_markdown()
     dead = []
+    anchor_cache: dict[str, set[str]] = {}
+
+    def anchors_of(resolved: str) -> set[str]:
+        if resolved not in anchor_cache:
+            anchor_cache[resolved] = anchors_in(resolved)
+        return anchor_cache[resolved]
+
     for md in files:
         base = os.path.dirname(os.path.join(REPO, md))
         for lineno, target in targets_in(md):
-            rel = target.split("#", 1)[0]
-            if not rel:
-                continue
-            resolved = os.path.normpath(os.path.join(base, rel))
+            rel, _, fragment = target.partition("#")
+            resolved = os.path.normpath(os.path.join(base, rel)) if rel \
+                else os.path.join(REPO, md)
             if not os.path.exists(resolved):
                 dead.append(f"{md}:{lineno}: dead link -> {target}")
+                continue
+            if fragment and resolved.endswith(".md"):
+                if fragment.lower() not in anchors_of(resolved):
+                    dead.append(f"{md}:{lineno}: dead anchor -> {target}")
     if dead:
         print("\n".join(dead))
         print(f"\n{len(dead)} dead intra-repo link(s)", file=sys.stderr)
         return 1
     print(f"checked {len(files)} markdown file(s): all intra-repo links "
-          f"resolve")
+          f"and anchors resolve")
     return 0
 
 
